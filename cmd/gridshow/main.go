@@ -1,0 +1,47 @@
+// Command gridshow prints the measured Internet Mobility 4x4 matrix —
+// the reproduction of Figure 10 — together with the agreement check
+// against the paper's classification.
+//
+// Usage:
+//
+//	gridshow [-seed N] [-cells]
+//
+// With -cells, every cell's detail (deliverability, consistency, hops,
+// overhead, requirements) is listed after the matrix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mob4x4/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	cells := flag.Bool("cells", false, "print per-cell detail")
+	flag.Parse()
+
+	grid := experiments.RunGrid(*seed)
+	fmt.Print(experiments.GridTable(grid))
+
+	matches, total, mismatches := experiments.GridAgreement(grid)
+	fmt.Printf("\nagreement with the paper's classification: %d/%d\n", matches, total)
+	for _, c := range mismatches {
+		fmt.Printf("  MISMATCH %s: class=%v in=%v out=%v consistent=%v\n",
+			c.Combo, c.Class, c.DeliveredIn, c.DeliveredOut, c.Consistent)
+	}
+
+	if *cells {
+		fmt.Println()
+		for _, c := range grid {
+			fmt.Printf("%-15s class=%-15v tcp=%-5v in=%dh out=%dh +%d/%dB  requires: %s\n",
+				c.Combo, c.Class, c.WorksForTCP(), c.InHops, c.OutHops,
+				c.InOverheadBytes, c.OutOverheadBytes, c.Requirements)
+		}
+	}
+	if matches != total {
+		os.Exit(1)
+	}
+}

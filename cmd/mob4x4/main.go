@@ -1,0 +1,153 @@
+// Command mob4x4 runs the reproduction experiments for "Internet Mobility
+// 4x4" (Cheshire & Baker, SIGCOMM '96) and prints the tables and paths
+// that regenerate each figure.
+//
+// Usage:
+//
+//	mob4x4 [-seed N] <experiment>
+//
+// Experiments:
+//
+//	fig1        basic Mobile IP: asymmetric routing via the home agent
+//	fig2        source-address filtering drops Out-DH (filter on)
+//	fig3        alias for fig2 with the Out-IE row highlighted
+//	fig4        triangle routing vs home-agent distance sweep
+//	fig5        smart correspondent: ICMP + DNS care-of discovery
+//	formats     packet formats of Figures 6-9 (s/d/S/D table)
+//	grid        the 4x4 matrix of Figure 10 (see also cmd/gridshow)
+//	overhead    encapsulation size overhead and MTU crossing (Section 3.3)
+//	adaptive    start-strategy comparison (Section 7.1.2)
+//	durability  connection survival across movement (Section 2)
+//	webbrowse   Out-DT port heuristic vs full Mobile IP (Row D)
+//	fa          foreign-agent vs self-sufficient attachment (Section 2)
+//	transitions correspondent-side mode transitions (Section 7.2)
+//	multicast   local group join vs home-agent relay (Section 6.4)
+//	trace       traceroute to the home address, at home vs roamed
+//	dualmobile  both endpoints mobile, session survives both roaming (§1)
+//	asymmetry   latency/bandwidth asymmetry of the two path directions (§2)
+//	savings     shared-resource load per correspondent capability (§3.2)
+//	report      every experiment rendered as one markdown document
+//	all         every experiment in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mob4x4/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mob4x4 [-seed N] <experiment>\nrun 'go doc mob4x4/cmd/mob4x4' for the experiment list\n")
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := map[string]func(int64){
+		"fig1": func(s int64) { fmt.Print(experiments.RunFig1(s).String()) },
+		"fig2": func(s int64) {
+			fmt.Print(experiments.RunFig2(s, true).String())
+			fmt.Println()
+			fmt.Print(experiments.RunFig2(s, false).String())
+		},
+		"fig3": func(s int64) { fmt.Print(experiments.RunFig2(s, true).String()) },
+		"fig4": func(s int64) {
+			// Beyond d=16 the doubled triangle path exceeds the default
+			// TTL (64) and In-IE stops delivering at all — a real
+			// deployment consequence of triangle routing, but beyond
+			// the figure's sweep.
+			fmt.Print(experiments.Fig4Table(experiments.RunFig4(s, []int{0, 1, 2, 4, 8, 16})))
+		},
+		"fig5":    func(s int64) { fmt.Print(experiments.RunFig5(s).String()) },
+		"formats": func(int64) { fmt.Print(experiments.FormatsTable(experiments.RunFormats())) },
+		"grid": func(s int64) {
+			grid := experiments.RunGrid(s)
+			fmt.Print(experiments.GridTable(grid))
+			m, t, _ := experiments.GridAgreement(grid)
+			fmt.Printf("agreement with paper classification: %d/%d\n", m, t)
+		},
+		"overhead": func(s int64) {
+			fmt.Print(experiments.OverheadTable(experiments.RunOverhead(
+				[]int{64, 512, 1400, 1456, 1460, 1470, 1475, 1480, 1500, 4000, 8192}, 1500)))
+			fr := experiments.RunTunnelFragmentation(s, 1460)
+			fmt.Printf("\nend-to-end: %dB payload crossed the backbone in %d packets plain, %d tunneled (delivered=%v)\n",
+				fr.PayloadBytes, fr.PlainPackets, fr.TunnelPackets, fr.Delivered)
+		},
+		"adaptive": func(s int64) {
+			fmt.Print(experiments.AdaptiveTable(experiments.RunAdaptive(s, true)))
+			fmt.Println()
+			fmt.Print(experiments.AdaptiveTable(experiments.RunAdaptive(s, false)))
+		},
+		"durability": func(s int64) {
+			rows := []experiments.DurabilityResult{
+				experiments.RunDurability(s, true, 3),
+				experiments.RunDurability(s, false, 3),
+			}
+			fmt.Print(experiments.DurabilityTable(rows))
+		},
+		"webbrowse": func(s int64) {
+			mip := experiments.RunWebBrowse(s, 10, true)
+			dt := experiments.RunWebBrowse(s, 10, false)
+			fmt.Printf("Row D — web browsing, 10 sequential fetches of 8KiB:\n")
+			for _, r := range []experiments.WebBrowseResult{mip, dt} {
+				fmt.Printf("  %-9s completed=%d/%d  time=%-12v backbone=%dB\n",
+					r.Mode, r.Completed, r.Fetches, r.TotalTime, r.BackboneBytes)
+			}
+		},
+		"fa": func(s int64) {
+			rows := []experiments.FAResult{
+				experiments.RunForeignAgent(s, false),
+				experiments.RunForeignAgent(s, true),
+			}
+			fmt.Print(experiments.FATable(rows))
+		},
+		"transitions": func(s int64) { fmt.Println(experiments.RunCorrespondentTransitions(s).String()) },
+		"multicast": func(s int64) {
+			rows := []experiments.MulticastResult{
+				experiments.RunMulticast(s, true, 10),
+				experiments.RunMulticast(s, false, 10),
+			}
+			fmt.Print(experiments.MulticastTable(rows))
+		},
+		"trace": func(s int64) {
+			fmt.Print(experiments.TraceTable(experiments.RunTraceroutes(s)))
+		},
+		"dualmobile": func(s int64) {
+			fmt.Print(experiments.RunDualMobile(s).String())
+		},
+		"asymmetry": func(s int64) {
+			fmt.Print(experiments.RunAsymmetry(s).String())
+		},
+		"savings": func(s int64) {
+			fmt.Print(experiments.SavingsTable(experiments.RunSavings(s)))
+		},
+		"report": func(s int64) {
+			fmt.Print(experiments.Report(s))
+		},
+	}
+	order := []string{"fig1", "fig2", "fig4", "fig5", "formats", "grid", "overhead",
+		"adaptive", "durability", "webbrowse", "fa", "transitions", "multicast", "trace",
+		"dualmobile", "asymmetry", "savings"}
+
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, exp := range order {
+			run[exp](*seed)
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := run[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mob4x4: unknown experiment %q\n", name)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fn(*seed)
+}

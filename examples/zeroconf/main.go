@@ -1,0 +1,102 @@
+// Zeroconf: everything Section 2 says about arriving on a strange
+// network, in one run. The mobile host lands on a visited segment knowing
+// nothing. It acquires a care-of address by DHCP, registers it with its
+// home agent, publishes it as a DNS CA record for smart correspondents,
+// and is immediately reachable at its permanent home address. Then it
+// hears a foreign-agent beacon on another segment and attaches through
+// the agent instead — the IETF-style alternative.
+package main
+
+import (
+	"fmt"
+
+	"mob4x4/internal/dnssim"
+	"mob4x4/internal/experiments"
+	"mob4x4/internal/icmp"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/mobileip"
+)
+
+func main() {
+	s := experiments.Build(experiments.Options{Seed: 12, WithServices: true})
+	const name = "mh.mosquitonet.stanford.edu"
+
+	// 1. Arrive with nothing and DHCP a care-of address.
+	fmt.Println("arriving on visited network with no configuration...")
+	addr, err := s.RoamDHCP()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  DHCP lease: %s, registered with home agent: %v\n", addr, s.MN.Registered())
+
+	// 2. Publish the care-of address in the DNS (the paper's extension).
+	resolver, err := dnssim.NewResolver(s.MHHost, s.Net.Host("dns").FirstAddr())
+	if err != nil {
+		panic(err)
+	}
+	resolver.UpdateCA(name, addr, 300, func(err error) {
+		fmt.Printf("  DNS CA record published: err=%v\n", err)
+	})
+	s.Net.RunFor(3e9)
+
+	// 3. Reachable at the home address immediately.
+	var rtt string
+	s.CHFarIC.OnEchoReply = func(src ipv4.Addr, msg icmp.Message) {
+		rtt = "ok"
+		fmt.Printf("  ping %s (home address) answered from %s\n", s.MN.Home(), src)
+	}
+	_ = s.CHFarIC.Ping(ipv4.Zero, s.MN.Home(), 1, 1, nil)
+	s.Net.RunFor(3e9)
+	if rtt == "" {
+		fmt.Println("  ping failed!")
+	}
+
+	// 4. A smart correspondent resolves the name and sees both records.
+	chRes, err := dnssim.NewResolver(s.CHFar, s.Net.Host("dns").FirstAddr())
+	if err != nil {
+		panic(err)
+	}
+	chRes.Query(name, func(recs []dnssim.Record, err error) {
+		for _, r := range recs {
+			fmt.Printf("  DNS %s -> %s %s (ttl %d)\n", name, r.Type, r.Addr, r.TTL)
+		}
+		if a, isCA, ok := dnssim.BestAddr(recs); ok && isCA {
+			fmt.Printf("  smart correspondent may now send directly to %s (In-DE)\n", a)
+		}
+	})
+	s.Net.RunFor(3e9)
+
+	// 5. Move on: a foreign agent beacons on visited LAN B; the node
+	// discovers it and re-attaches with zero configuration again.
+	faHost := s.Net.AddHost("fa", s.VisitB)
+	s.Net.ComputeRoutes()
+	fa, err := mobileip.NewForeignAgent(faHost, faHost.Ifaces()[0], mobileip.ForeignAgentConfig{})
+	if err != nil {
+		panic(err)
+	}
+	stopAdv := fa.Advertise(1e9)
+	defer stopAdv()
+	stopListen, err := s.MN.ListenForAgents()
+	if err != nil {
+		panic(err)
+	}
+	defer stopListen()
+
+	fmt.Println("\nmoving to the next network (foreign agent territory)...")
+	s.MN.Detach()
+	s.MHIfc.Attach(s.VisitB.Seg)
+	s.Net.RunFor(10e9)
+	fmt.Printf("  discovered agent %s, registered=%v, care-of=%s (the agent's address)\n",
+		fa.Addr(), s.MN.Registered(), s.MN.CareOf())
+
+	done := false
+	s.CHFarIC.OnEchoReply = func(src ipv4.Addr, msg icmp.Message) {
+		done = true
+		fmt.Printf("  ping at the new location answered from %s, relayed by the agent\n", src)
+	}
+	_ = s.CHFarIC.Ping(ipv4.Zero, s.MN.Home(), 1, 2, nil)
+	s.Net.RunFor(3e9)
+	if !done {
+		fmt.Println("  ping failed!")
+	}
+}

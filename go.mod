@@ -1,0 +1,3 @@
+module mob4x4
+
+go 1.22

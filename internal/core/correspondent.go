@@ -1,0 +1,96 @@
+package core
+
+import "mob4x4/internal/ipv4"
+
+// Binding is a correspondent's knowledge of a mobile host's current
+// location: home address -> care-of address, valid until the (virtual)
+// expiry the owner tracks.
+type Binding struct {
+	Home   ipv4.Addr
+	CareOf ipv4.Addr
+}
+
+// CorrespondentPolicy implements Section 7.2, the correspondent host's
+// four simple choices:
+//
+//   - not mobile-aware, or no binding known: In-IE (just send normal IP);
+//   - binding known: In-DE (encapsulate to the care-of address);
+//   - mobile host detected on the same segment: In-DH;
+//   - the mobile host initiated with its temporary address: In-DT
+//     (implicit — the correspondent just replies to the source address).
+type CorrespondentPolicy struct {
+	// MobileAware gates all special behavior; a conventional 1996 host
+	// is !MobileAware and always produces In-IE/In-DT behavior
+	// implicitly.
+	MobileAware bool
+
+	bindings map[ipv4.Addr]Binding // keyed by home address
+	onLink   map[ipv4.Addr]bool    // home addresses known to be on our segment
+}
+
+// NewCorrespondentPolicy returns a policy; aware selects whether the host
+// has mobility-aware networking software at all.
+func NewCorrespondentPolicy(aware bool) *CorrespondentPolicy {
+	return &CorrespondentPolicy{
+		MobileAware: aware,
+		bindings:    make(map[ipv4.Addr]Binding),
+		onLink:      make(map[ipv4.Addr]bool),
+	}
+}
+
+// LearnBinding records a home->care-of binding (from an ICMP notification
+// or a DNS CA record). Ignored by non-aware hosts.
+func (p *CorrespondentPolicy) LearnBinding(b Binding) {
+	if !p.MobileAware {
+		return
+	}
+	p.bindings[b.Home] = b
+}
+
+// ForgetBinding drops the binding for a home address (lifetime expiry or a
+// delivery failure to the care-of address).
+func (p *CorrespondentPolicy) ForgetBinding(home ipv4.Addr) {
+	delete(p.bindings, home)
+}
+
+// Binding returns the known binding for a home address.
+func (p *CorrespondentPolicy) Binding(home ipv4.Addr) (Binding, bool) {
+	b, ok := p.bindings[home]
+	return b, ok
+}
+
+// NoteOnLink records that the mobile host with the given home address was
+// observed on our own segment (e.g. it sent us an In-DH-style packet, or
+// its care-of address matches our prefix).
+func (p *CorrespondentPolicy) NoteOnLink(home ipv4.Addr, onLink bool) {
+	if !p.MobileAware {
+		return
+	}
+	if onLink {
+		p.onLink[home] = true
+	} else {
+		delete(p.onLink, home)
+	}
+}
+
+// ModeFor returns how this correspondent will send to dst. peerUsedTemp
+// reports whether the conversation was initiated by the peer from its
+// temporary address (in which case dst IS that temporary address and the
+// reply is In-DT by construction).
+func (p *CorrespondentPolicy) ModeFor(dst ipv4.Addr, peerUsedTemp bool) InMode {
+	if peerUsedTemp {
+		// "the correspondent host, whether or not it is mobile-aware,
+		// will necessarily reply using that address" (§7.2).
+		return InDT
+	}
+	if !p.MobileAware {
+		return InIE // plain IP to the home address; the HA does the rest
+	}
+	if p.onLink[dst] {
+		return InDH
+	}
+	if _, ok := p.bindings[dst]; ok {
+		return InDE
+	}
+	return InIE
+}

@@ -1,0 +1,267 @@
+package core
+
+// Class is the paper's three-way classification of grid cells (Figure 10
+// caption): unshaded cells are the useful combinations; lightly shaded
+// cells "would work correctly with current protocols such as TCP, but for
+// other reasons would not normally be used"; darkly shaded cells "would
+// not work correctly with current protocols such as TCP".
+type Class int
+
+// Grid cell classes.
+const (
+	// Useful combinations — the seven modes a mobile host would choose.
+	Useful Class = iota
+	// ValidUnlikely — works, but a sensible host replies the way it was
+	// addressed, so these are not normally used.
+	ValidUnlikely
+	// Broken — mixing the temporary care-of address on one side with the
+	// permanent address on the other leaves the peers disagreeing about
+	// the connection endpoints; TCP cannot work.
+	Broken
+)
+
+func (c Class) String() string {
+	switch c {
+	case Useful:
+		return "useful"
+	case ValidUnlikely:
+		return "valid-unlikely"
+	case Broken:
+		return "broken"
+	default:
+		return "class(?)"
+	}
+}
+
+// Classify returns the paper's classification of a combination (Section 6).
+//
+// The rule the paper gives in Section 6.5 is endpoint consistency: "the
+// use of the temporary care-of address for communication in one direction
+// effectively mandates the use of the same address for the corresponding
+// return communication". A combination where exactly one direction uses
+// the temporary address as the endpoint is Broken. Among the workable
+// cells, replying less directly than you were addressed is valid but
+// unlikely (Sections 6.2, 6.3).
+func Classify(c Combo) Class {
+	inTemp := !c.In.UsesHomeAddress()
+	outTemp := !c.Out.UsesHomeAddress()
+	if inTemp != outTemp {
+		return Broken
+	}
+	if inTemp && outTemp {
+		return Useful // In-DT/Out-DT: plain IP, the paper's Row D choice
+	}
+	switch c {
+	case Combo{InDE, OutIE}:
+		// "The first category (In-DE/Out-IE) is also valid, but is
+		// unlikely to be used." (§6.2)
+		return ValidUnlikely
+	case Combo{InDH, OutIE}, Combo{InDH, OutDE}:
+		// "(In-DH/Out-IE) and (In-DH/Out-DE) are also valid, but are
+		// unlikely to be used." (§6.3)
+		return ValidUnlikely
+	}
+	return Useful
+}
+
+// UsefulCombos returns the seven useful grid cells in Figure 10 order.
+func UsefulCombos() []Combo {
+	var out []Combo
+	for _, c := range AllCombos() {
+		if Classify(c) == Useful {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Requirement describes what a mode needs from the world to work. A Combo
+// is feasible in an Environment when every requirement of both of its
+// modes is met.
+type Requirement int
+
+// Requirements referenced by the grid (the box captions of Figure 10).
+const (
+	// ReqHomeAgent: a reachable, registered home agent.
+	ReqHomeAgent Requirement = iota
+	// ReqNoSourceFiltering: no security-conscious router on the path
+	// drops packets with topologically-invalid source addresses.
+	ReqNoSourceFiltering
+	// ReqCHDecapsulation: the correspondent can decapsulate tunneled
+	// packets (but need not be otherwise mobile-aware).
+	ReqCHDecapsulation
+	// ReqCHMobileAware: the correspondent knows the binding and can
+	// encapsulate to the care-of address itself.
+	ReqCHMobileAware
+	// ReqSameSegment: both hosts share a link-layer segment.
+	ReqSameSegment
+	// ReqForgoMobility: the application accepts that connections break
+	// when the host moves.
+	ReqForgoMobility
+)
+
+func (r Requirement) String() string {
+	switch r {
+	case ReqHomeAgent:
+		return "registered home agent"
+	case ReqNoSourceFiltering:
+		return "no source-address filtering on path"
+	case ReqCHDecapsulation:
+		return "correspondent can decapsulate"
+	case ReqCHMobileAware:
+		return "fully mobile-aware correspondent"
+	case ReqSameSegment:
+		return "both hosts on same network segment"
+	case ReqForgoMobility:
+		return "application forgoes mobility support"
+	default:
+		return "requirement(?)"
+	}
+}
+
+// OutRequirements returns what an outgoing mode needs (Section 4).
+func OutRequirements(m OutMode) []Requirement {
+	switch m {
+	case OutIE:
+		return []Requirement{ReqHomeAgent}
+	case OutDE:
+		return []Requirement{ReqCHDecapsulation}
+	case OutDH:
+		return []Requirement{ReqNoSourceFiltering}
+	case OutDT:
+		return []Requirement{ReqForgoMobility}
+	}
+	return nil
+}
+
+// InRequirements returns what an incoming mode needs (Section 5).
+func InRequirements(m InMode) []Requirement {
+	switch m {
+	case InIE:
+		return []Requirement{ReqHomeAgent}
+	case InDE:
+		return []Requirement{ReqCHMobileAware}
+	case InDH:
+		return []Requirement{ReqSameSegment}
+	case InDT:
+		return []Requirement{ReqForgoMobility}
+	}
+	return nil
+}
+
+// Requirements returns the union of a combo's in and out requirements.
+func (c Combo) Requirements() []Requirement {
+	seen := map[Requirement]bool{}
+	var out []Requirement
+	for _, r := range append(InRequirements(c.In), OutRequirements(c.Out)...) {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Environment captures the three factors of the paper's abstract: network
+// permissiveness, correspondent capability, and what the connection needs.
+type Environment struct {
+	// HomeAgentReachable: the MH is registered and the tunnel to the
+	// home agent works.
+	HomeAgentReachable bool
+	// SourceFilteringOnPath: some router between the MH and the CH
+	// performs the source-address checks of Section 3.1.
+	SourceFilteringOnPath bool
+	// CHCanDecapsulate: the CH decapsulates tunneled packets (e.g.
+	// "recent versions of Linux") without being fully mobile-aware.
+	CHCanDecapsulate bool
+	// CHMobileAware: the CH knows the MH's binding and can encapsulate.
+	CHMobileAware bool
+	// SameSegment: MH and CH share a link-layer segment.
+	SameSegment bool
+	// DurableConnection: the application needs the conversation to
+	// survive movement (rules out the DT modes).
+	DurableConnection bool
+	// PrivacyRequired: the user does not want the CH (or on-path
+	// observers near it) to learn the care-of address; forces indirect
+	// delivery (Out-IE motivation, Section 4).
+	PrivacyRequired bool
+}
+
+// Met reports whether a requirement holds in the environment.
+func (e Environment) Met(r Requirement) bool {
+	switch r {
+	case ReqHomeAgent:
+		return e.HomeAgentReachable
+	case ReqNoSourceFiltering:
+		return !e.SourceFilteringOnPath
+	case ReqCHDecapsulation:
+		return e.CHCanDecapsulate || e.CHMobileAware
+	case ReqCHMobileAware:
+		return e.CHMobileAware
+	case ReqSameSegment:
+		return e.SameSegment
+	case ReqForgoMobility:
+		return !e.DurableConnection
+	}
+	return false
+}
+
+// Feasible reports whether every requirement of the combo is met, and if
+// not, returns the first missing requirement.
+func (e Environment) Feasible(c Combo) (bool, Requirement) {
+	for _, r := range c.Requirements() {
+		if !e.Met(r) {
+			return false, r
+		}
+	}
+	if e.PrivacyRequired && (c.Out != OutIE || c.In != InIE) {
+		// Every direct mode reveals the care-of address to the
+		// correspondent or to observers near it; privacy means "sending
+		// all outgoing packets indirectly via the home agent may be the
+		// method the user wants, even when other more efficient
+		// alternatives are also available" (Section 4, Out-IE).
+		return false, ReqHomeAgent
+	}
+	return true, 0
+}
+
+// Cost models the per-packet cost of a combo for ranking: the number of
+// tunnel headers added plus a large penalty for each indirect direction
+// (triangle routing dominates header overhead in practice).
+func Cost(c Combo) int {
+	cost := 0
+	if c.In.Encapsulated() {
+		cost++
+	}
+	if c.Out.Encapsulated() {
+		cost++
+	}
+	if !c.In.Direct() {
+		cost += 10
+	}
+	if !c.Out.Direct() {
+		cost += 10
+	}
+	return cost
+}
+
+// Best returns the cheapest useful combo feasible in the environment. The
+// second return is false when nothing works — which per Section 6.1 means
+// the host "is not in any meaningful sense connected to the Internet at
+// all", since In-IE/Out-IE requires only a working home agent.
+func (e Environment) Best() (Combo, bool) {
+	var best Combo
+	found := false
+	for _, c := range AllCombos() {
+		if Classify(c) != Useful {
+			continue
+		}
+		if ok, _ := e.Feasible(c); !ok {
+			continue
+		}
+		if !found || Cost(c) < Cost(best) {
+			best, found = c, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestClassifyMatchesFigure10 pins every cell to the paper's published
+// classification, row by row.
+func TestClassifyMatchesFigure10(t *testing.T) {
+	want := map[Combo]Class{
+		// Row A: conventional correspondent host.
+		{InIE, OutIE}: Useful,
+		{InIE, OutDE}: Useful,
+		{InIE, OutDH}: Useful,
+		{InIE, OutDT}: Broken,
+		// Row B: mobile-aware correspondent host.
+		{InDE, OutIE}: ValidUnlikely,
+		{InDE, OutDE}: Useful,
+		{InDE, OutDH}: Useful,
+		{InDE, OutDT}: Broken,
+		// Row C: both hosts on the same network segment.
+		{InDH, OutIE}: ValidUnlikely,
+		{InDH, OutDE}: ValidUnlikely,
+		{InDH, OutDH}: Useful,
+		{InDH, OutDT}: Broken,
+		// Row D: forgoing mobility support.
+		{InDT, OutIE}: Broken,
+		{InDT, OutDE}: Broken,
+		{InDT, OutDH}: Broken,
+		{InDT, OutDT}: Useful,
+	}
+	if len(want) != 16 {
+		t.Fatal("test table incomplete")
+	}
+	for combo, class := range want {
+		if got := Classify(combo); got != class {
+			t.Errorf("Classify(%s) = %v, want %v", combo, got, class)
+		}
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	counts := map[Class]int{}
+	for _, c := range AllCombos() {
+		counts[Classify(c)]++
+	}
+	if counts[Useful] != 7 {
+		t.Errorf("useful = %d, want 7", counts[Useful])
+	}
+	if counts[ValidUnlikely] != 3 {
+		t.Errorf("valid-unlikely = %d, want 3", counts[ValidUnlikely])
+	}
+	if counts[Broken] != 6 {
+		t.Errorf("broken = %d, want 6", counts[Broken])
+	}
+	if len(UsefulCombos()) != 7 {
+		t.Errorf("UsefulCombos = %d", len(UsefulCombos()))
+	}
+}
+
+// TestBrokenIffEndpointMismatch verifies the Section 6.5 rule as a
+// property: a combination is Broken exactly when one side uses the
+// temporary address as the endpoint and the other does not.
+func TestBrokenIffEndpointMismatch(t *testing.T) {
+	for _, c := range AllCombos() {
+		mismatch := c.In.UsesHomeAddress() != c.Out.UsesHomeAddress()
+		if (Classify(c) == Broken) != mismatch {
+			t.Errorf("%s: broken=%v, endpoint mismatch=%v", c, Classify(c) == Broken, mismatch)
+		}
+	}
+}
+
+func TestAllCombosOrderAndCount(t *testing.T) {
+	cs := AllCombos()
+	if len(cs) != 16 {
+		t.Fatalf("len = %d", len(cs))
+	}
+	// Figure 10 order: row-major over (In, Out).
+	if cs[0] != (Combo{InIE, OutIE}) || cs[3] != (Combo{InIE, OutDT}) ||
+		cs[15] != (Combo{InDT, OutDT}) {
+		t.Errorf("order wrong: %v", cs)
+	}
+}
+
+func TestModePredicates(t *testing.T) {
+	if OutIE.Direct() || !OutDE.Direct() || !OutDH.Direct() || !OutDT.Direct() {
+		t.Error("OutMode.Direct")
+	}
+	if !OutIE.Encapsulated() || !OutDE.Encapsulated() || OutDH.Encapsulated() || OutDT.Encapsulated() {
+		t.Error("OutMode.Encapsulated")
+	}
+	if !OutIE.UsesHomeAddress() || OutDT.UsesHomeAddress() {
+		t.Error("OutMode.UsesHomeAddress")
+	}
+	if InIE.Direct() || !InDE.Direct() || !InDH.Direct() || !InDT.Direct() {
+		t.Error("InMode.Direct")
+	}
+	if !InIE.Encapsulated() || !InDE.Encapsulated() || InDH.Encapsulated() || InDT.Encapsulated() {
+		t.Error("InMode.Encapsulated")
+	}
+	if !InDH.UsesHomeAddress() || InDT.UsesHomeAddress() {
+		t.Error("InMode.UsesHomeAddress")
+	}
+	for _, m := range OutModes() {
+		if !m.Valid() || m.String() == "" {
+			t.Errorf("out mode %d invalid", m)
+		}
+	}
+	for _, m := range InModes() {
+		if !m.Valid() || m.String() == "" {
+			t.Errorf("in mode %d invalid", m)
+		}
+	}
+	if OutMode(9).Valid() || InMode(9).Valid() {
+		t.Error("out-of-range modes valid")
+	}
+}
+
+func TestRequirements(t *testing.T) {
+	reqOut := map[OutMode]Requirement{
+		OutIE: ReqHomeAgent, OutDE: ReqCHDecapsulation,
+		OutDH: ReqNoSourceFiltering, OutDT: ReqForgoMobility,
+	}
+	for m, want := range reqOut {
+		rs := OutRequirements(m)
+		if len(rs) != 1 || rs[0] != want {
+			t.Errorf("OutRequirements(%s) = %v", m, rs)
+		}
+	}
+	reqIn := map[InMode]Requirement{
+		InIE: ReqHomeAgent, InDE: ReqCHMobileAware,
+		InDH: ReqSameSegment, InDT: ReqForgoMobility,
+	}
+	for m, want := range reqIn {
+		rs := InRequirements(m)
+		if len(rs) != 1 || rs[0] != want {
+			t.Errorf("InRequirements(%s) = %v", m, rs)
+		}
+	}
+	// Combo requirements deduplicate.
+	rs := Combo{InIE, OutIE}.Requirements()
+	if len(rs) != 1 || rs[0] != ReqHomeAgent {
+		t.Errorf("combo reqs = %v", rs)
+	}
+	for _, r := range []Requirement{ReqHomeAgent, ReqNoSourceFiltering, ReqCHDecapsulation,
+		ReqCHMobileAware, ReqSameSegment, ReqForgoMobility} {
+		if r.String() == "" {
+			t.Errorf("requirement %d has no string", r)
+		}
+	}
+}
+
+func TestEnvironmentBestMatchesPaperMotivations(t *testing.T) {
+	cases := []struct {
+		name string
+		env  Environment
+		want Combo
+	}{
+		{
+			// §6.1: filtering network, conventional CH — "no choice but
+			// to use Out-IE".
+			name: "conventional CH behind filters",
+			env: Environment{HomeAgentReachable: true, SourceFilteringOnPath: true,
+				DurableConnection: true},
+			want: Combo{InIE, OutIE},
+		},
+		{
+			// Out-DE is "the best choice for a mobile host in a network
+			// with source address filtering, communicating with a
+			// correspondent host that is able to process encapsulated
+			// packets".
+			name: "filtering + decap-capable CH",
+			env: Environment{HomeAgentReachable: true, SourceFilteringOnPath: true,
+				CHCanDecapsulate: true, DurableConnection: true},
+			want: Combo{InIE, OutDE},
+		},
+		{
+			name: "no filters, conventional CH",
+			env:  Environment{HomeAgentReachable: true, DurableConnection: true},
+			want: Combo{InIE, OutDH},
+		},
+		{
+			name: "fully aware CH, no filters",
+			env: Environment{HomeAgentReachable: true, CHMobileAware: true,
+				DurableConnection: true},
+			want: Combo{InDE, OutDH},
+		},
+		{
+			name: "fully aware CH behind filters",
+			env: Environment{HomeAgentReachable: true, CHMobileAware: true,
+				SourceFilteringOnPath: true, DurableConnection: true},
+			want: Combo{InDE, OutDE},
+		},
+		{
+			// §5 In-DH: "the best choice when visiting another
+			// institution and connecting to their network".
+			name: "same segment",
+			env: Environment{HomeAgentReachable: true, SameSegment: true,
+				CHMobileAware: true, DurableConnection: true},
+			want: Combo{InDH, OutDH},
+		},
+		{
+			// Row D: short-lived connection.
+			name: "short-lived connection",
+			env:  Environment{HomeAgentReachable: true},
+			want: Combo{InDT, OutDT},
+		},
+		{
+			// §4 privacy: indirect everything.
+			name: "privacy required",
+			env: Environment{HomeAgentReachable: true, CHMobileAware: true,
+				PrivacyRequired: true, DurableConnection: true},
+			want: Combo{InIE, OutIE},
+		},
+	}
+	for _, c := range cases {
+		got, ok := c.env.Best()
+		if !ok {
+			t.Errorf("%s: no feasible combo", c.name)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: Best = %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEnvironmentNothingWorks(t *testing.T) {
+	// No home agent and a durable connection required: per §6.1, a host
+	// that cannot even reach its home agent "is not in any meaningful
+	// sense connected to the Internet at all".
+	env := Environment{DurableConnection: true}
+	if _, ok := env.Best(); ok {
+		t.Error("Best found a combo with no home agent and durability required")
+	}
+}
+
+// TestBestIsAlwaysFeasibleAndUseful is the property test over random
+// environments: whatever Best returns must be classified Useful and
+// feasible; and if (HomeAgentReachable && !PrivacyRequired) or
+// !DurableConnection, something must be returned.
+func TestBestIsAlwaysFeasibleAndUseful(t *testing.T) {
+	f := func(ha, filt, decap, aware, seg, durable, privacy bool) bool {
+		env := Environment{
+			HomeAgentReachable:    ha,
+			SourceFilteringOnPath: filt,
+			CHCanDecapsulate:      decap,
+			CHMobileAware:         aware,
+			SameSegment:           seg,
+			DurableConnection:     durable,
+			PrivacyRequired:       privacy,
+		}
+		combo, ok := env.Best()
+		if !ok {
+			// Acceptable only if genuinely nothing works.
+			for _, c := range AllCombos() {
+				if Classify(c) != Useful {
+					continue
+				}
+				if feasible, _ := env.Feasible(c); feasible {
+					return false // Best missed a feasible combo
+				}
+			}
+			return true
+		}
+		if Classify(combo) != Useful {
+			return false
+		}
+		feasible, _ := env.Feasible(combo)
+		if !feasible {
+			return false
+		}
+		// Optimality: no cheaper useful feasible combo exists.
+		for _, c := range AllCombos() {
+			if Classify(c) != Useful {
+				continue
+			}
+			if ok2, _ := env.Feasible(c); ok2 && Cost(c) < Cost(combo) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// Direct beats indirect regardless of encapsulation.
+	if Cost(Combo{InDE, OutDE}) >= Cost(Combo{InIE, OutIE}) {
+		t.Error("direct encapsulated should beat double-indirect")
+	}
+	// Unencapsulated beats encapsulated at equal directness.
+	if Cost(Combo{InDH, OutDH}) >= Cost(Combo{InDE, OutDE}) {
+		t.Error("plain same-segment should be cheapest home-address mode")
+	}
+	if Cost(Combo{InDT, OutDT}) != 0 {
+		t.Error("plain IP should cost 0")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for _, c := range []Class{Useful, ValidUnlikely, Broken} {
+		if c.String() == "" {
+			t.Error("class string empty")
+		}
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown class should render")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mob4x4/internal/ipv4"
+)
+
+// ParseRules reads the user configuration format Section 7.1.2 sketches:
+// "allow the user, as part of the configuration of a Mobile IP machine,
+// to specify rules stating which addresses Mobile IP should begin using
+// in an optimistic mode and which addresses it should begin using in a
+// pessimistic mode. These rules could be specified similarly to the way
+// routing table entries are currently specified, as an address and a mask
+// value."
+//
+// One rule per line:
+//
+//	<prefix> <action>
+//
+// where action is one of:
+//
+//	optimistic        start conversations at Out-DH
+//	pessimistic       start conversations at Out-IE
+//	out-ie | out-de | out-dh
+//	                  pin the mode outright (e.g. "the entire home
+//	                  network [as] a region where Out-IE should always
+//	                  be used")
+//
+// Blank lines and #-comments are ignored. Longer prefixes take precedence
+// regardless of order (Selector semantics).
+func ParseRules(text string) ([]Rule, error) {
+	var rules []Rule
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("rules: line %d: want \"<prefix> <action>\", got %q", lineNo+1, raw)
+		}
+		prefix, err := ipv4.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %v", lineNo+1, err)
+		}
+		rule := Rule{Prefix: prefix}
+		switch strings.ToLower(fields[1]) {
+		case "optimistic":
+			rule.Policy = StartOptimistic
+		case "pessimistic":
+			rule.Policy = StartPessimistic
+		case "out-ie":
+			m := OutIE
+			rule.ForceMode = &m
+		case "out-de":
+			m := OutDE
+			rule.ForceMode = &m
+		case "out-dh":
+			m := OutDH
+			rule.ForceMode = &m
+		default:
+			return nil, fmt.Errorf("rules: line %d: unknown action %q", lineNo+1, fields[1])
+		}
+		rules = append(rules, rule)
+	}
+	return rules, nil
+}
+
+// LoadRules parses text and installs every rule into the selector.
+func LoadRules(s *Selector, text string) error {
+	rules, err := ParseRules(text)
+	if err != nil {
+		return err
+	}
+	for _, r := range rules {
+		s.AddRule(r)
+	}
+	return nil
+}
+
+// FormatRules renders rules back into the configuration format
+// (round-trips with ParseRules).
+func FormatRules(rules []Rule) string {
+	var b strings.Builder
+	for _, r := range rules {
+		action := r.Policy.String()
+		if r.ForceMode != nil {
+			action = strings.ToLower(r.ForceMode.String())
+		}
+		fmt.Fprintf(&b, "%s %s\n", r.Prefix, action)
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mob4x4/internal/ipv4"
+)
+
+const sampleRules = `
+# the entire home network always tunnels via the home agent
+36.1.1.0/24 out-ie
+
+# campus neighbours: direct is known safe
+128.9.0.0/16 optimistic
+
+# a partner lab that can decapsulate but filters plain packets
+17.5.0.0/24 out-de
+
+# everything else: be careful
+0.0.0.0/0 pessimistic
+`
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules(sampleRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules", len(rules))
+	}
+	if rules[0].ForceMode == nil || *rules[0].ForceMode != OutIE {
+		t.Error("rule 0 should force Out-IE")
+	}
+	if rules[1].Policy != StartOptimistic || rules[1].ForceMode != nil {
+		t.Error("rule 1 should be optimistic policy")
+	}
+	if rules[2].ForceMode == nil || *rules[2].ForceMode != OutDE {
+		t.Error("rule 2 should force Out-DE")
+	}
+	if rules[3].Policy != StartPessimistic {
+		t.Error("rule 3 should be pessimistic")
+	}
+}
+
+func TestLoadRulesDrivesSelector(t *testing.T) {
+	s := NewSelector(StartOptimistic)
+	if err := LoadRules(s, sampleRules); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]OutMode{
+		"36.1.1.77": OutIE, // forced
+		"128.9.3.4": OutDH, // optimistic
+		"17.5.0.9":  OutDE, // forced
+		"192.0.2.1": OutIE, // pessimistic catch-all
+	}
+	for addr, want := range cases {
+		if got := s.ModeFor(ipv4.MustParseAddr(addr)); got != want {
+			t.Errorf("ModeFor(%s) = %s, want %s", addr, got, want)
+		}
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	for _, bad := range []string{
+		"36.1.1.0/24",              // missing action
+		"36.1.1.0/24 out-ie extra", // too many fields
+		"not-a-prefix out-ie",
+		"36.1.1.0/24 out-dt", // DT is not a home-address method
+		"36.1.1.0/24 sideways",
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFormatRulesRoundTrip(t *testing.T) {
+	rules, err := ParseRules(sampleRules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatRules(rules)
+	again, err := ParseRules(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	if len(again) != len(rules) {
+		t.Fatalf("round trip lost rules: %d vs %d", len(again), len(rules))
+	}
+	for i := range rules {
+		if rules[i].Prefix != again[i].Prefix || rules[i].Policy != again[i].Policy {
+			t.Errorf("rule %d changed: %+v vs %+v", i, rules[i], again[i])
+		}
+		if (rules[i].ForceMode == nil) != (again[i].ForceMode == nil) {
+			t.Errorf("rule %d force mode changed", i)
+		}
+	}
+	if !strings.Contains(text, "out-ie") {
+		t.Errorf("format output missing actions:\n%s", text)
+	}
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mob4x4/internal/ipv4"
+)
+
+// StartPolicy chooses which home-address delivery method a conversation
+// begins with when nothing is known about the correspondent (Section
+// 7.1.2).
+type StartPolicy int
+
+// The start policies the paper discusses.
+const (
+	// StartPessimistic: begin with Out-IE and tentatively try the more
+	// aggressive options over the conversation's lifetime ([Fox96]).
+	// Safe but "can be wasteful, because in many cases either one or
+	// both of Out-DH and Out-DE will work fine".
+	StartPessimistic StartPolicy = iota
+	// StartOptimistic: begin with Out-DH and fall back through Out-DE to
+	// Out-IE on failure. Wasteful where Out-DH "is known to fail every
+	// time".
+	StartOptimistic
+)
+
+func (p StartPolicy) String() string {
+	if p == StartOptimistic {
+		return "optimistic"
+	}
+	return "pessimistic"
+}
+
+// Rule is one user-configured entry of the address/mask table the paper
+// proposes: "allow the user ... to specify rules stating which addresses
+// Mobile IP should begin using in an optimistic mode and which addresses
+// it should begin using in a pessimistic mode ... specified similarly to
+// the way routing table entries are currently specified, as an address
+// and a mask value."
+type Rule struct {
+	Prefix ipv4.Prefix
+	Policy StartPolicy
+	// ForceMode, when non-nil, pins the initial mode outright (e.g.
+	// "the entire home network is a region where Out-IE should always
+	// be used").
+	ForceMode *OutMode
+}
+
+// RetransmissionThreshold is how many consecutive retransmissions to (or
+// from) a correspondent the selector tolerates before concluding that the
+// current delivery method is failing (Section 7.1.2's proposed
+// original-vs-retransmission IP interface).
+const RetransmissionThreshold = 2
+
+// methodState is the per-correspondent entry of the delivery method cache:
+// "The mobile host keeps a cache of the currently selected delivery
+// method associated with each target IP address ... and allows it to
+// build up a history, for each correspondent host, of which communication
+// methods have proven to be successful and which have not."
+type methodState struct {
+	mode OutMode
+	// failed records modes observed not to work for this correspondent.
+	failed [NumOutModes]bool
+	// succeeded records modes observed to work.
+	succeeded [NumOutModes]bool
+	// retrans counts consecutive retransmissions since the last
+	// delivery success.
+	retrans int
+	// probing marks a tentative upgrade in flight: on failure we return
+	// to the last known-good mode instead of degrading further.
+	probing  bool
+	lastGood OutMode
+	hasGood  bool
+	// switches counts mode changes (experiment instrumentation).
+	switches int
+}
+
+// Selector is the mobile host's outgoing-mode decision engine. It is not
+// safe for concurrent use; the simulation is single-threaded.
+type Selector struct {
+	// DefaultPolicy applies where no rule matches.
+	DefaultPolicy StartPolicy
+	rules         []Rule
+	cache         map[ipv4.Addr]*methodState
+
+	// CHCanDecapsulate reports (or guesses) whether a given
+	// correspondent can decapsulate; when it returns false the selector
+	// skips Out-DE in its ladders. Nil means "unknown: try it".
+	CHCanDecapsulate func(ipv4.Addr) bool
+
+	// Stats
+	Decisions     uint64
+	CacheHits     uint64
+	ModeSwitches  uint64
+	FallbackMoves uint64
+	UpgradeMoves  uint64
+}
+
+// NewSelector returns a selector with the given default start policy.
+func NewSelector(def StartPolicy) *Selector {
+	return &Selector{
+		DefaultPolicy: def,
+		cache:         make(map[ipv4.Addr]*methodState),
+	}
+}
+
+// AddRule installs a prefix rule. Longer prefixes take precedence.
+func (s *Selector) AddRule(r Rule) {
+	s.rules = append(s.rules, r)
+	sort.SliceStable(s.rules, func(i, j int) bool {
+		return s.rules[i].Prefix.Bits > s.rules[j].Prefix.Bits
+	})
+}
+
+// ruleFor returns the best-matching rule, if any.
+func (s *Selector) ruleFor(dst ipv4.Addr) *Rule {
+	for i := range s.rules {
+		if s.rules[i].Prefix.Contains(dst) {
+			return &s.rules[i]
+		}
+	}
+	return nil
+}
+
+// initialMode picks the first home-address mode for a fresh correspondent.
+func (s *Selector) initialMode(dst ipv4.Addr) OutMode {
+	policy := s.DefaultPolicy
+	if r := s.ruleFor(dst); r != nil {
+		if r.ForceMode != nil {
+			return *r.ForceMode
+		}
+		policy = r.Policy
+	}
+	if policy == StartOptimistic {
+		return OutDH
+	}
+	return OutIE
+}
+
+// ForcedMode reports whether a configured rule pins the outgoing mode
+// for dst outright (the "Out-IE should always be used" kind of rule).
+func (s *Selector) ForcedMode(dst ipv4.Addr) (OutMode, bool) {
+	if r := s.ruleFor(dst); r != nil && r.ForceMode != nil {
+		return *r.ForceMode, true
+	}
+	return 0, false
+}
+
+// ModeFor returns the outgoing mode to use for the next packet to dst.
+// This is the hot path consulted by the route-lookup override; the method
+// cache makes it O(1) after the first packet of a conversation ("This
+// saves it from having to make the decision afresh for every packet").
+func (s *Selector) ModeFor(dst ipv4.Addr) OutMode {
+	s.Decisions++
+	if st, ok := s.cache[dst]; ok {
+		s.CacheHits++
+		return st.mode
+	}
+	st := &methodState{mode: s.initialMode(dst)}
+	s.cache[dst] = st
+	return st.mode
+}
+
+// state returns (creating if needed) the cache entry for dst.
+func (s *Selector) state(dst ipv4.Addr) *methodState {
+	st, ok := s.cache[dst]
+	if !ok {
+		st = &methodState{mode: s.initialMode(dst)}
+		s.cache[dst] = st
+	}
+	return st
+}
+
+// ReportSuccess records that the current method delivered (an
+// acknowledgement or reply arrived that was not a retransmission).
+func (s *Selector) ReportSuccess(dst ipv4.Addr) {
+	st := s.state(dst)
+	st.retrans = 0
+	st.succeeded[st.mode] = true
+	st.lastGood, st.hasGood = st.mode, true
+	if st.probing {
+		st.probing = false // tentative upgrade confirmed
+	}
+}
+
+// ReportRetransmission implements the IP-interface addition the paper
+// proposes: transports tell IP whether each packet is an original or a
+// retransmission; repeated retransmissions in either direction suggest
+// the current delivery method is not working. After
+// RetransmissionThreshold consecutive retransmissions the selector
+// switches modes and reports the change.
+func (s *Selector) ReportRetransmission(dst ipv4.Addr) (switched bool, newMode OutMode) {
+	st := s.state(dst)
+	st.retrans++
+	if st.retrans < RetransmissionThreshold {
+		return false, st.mode
+	}
+	st.retrans = 0
+	st.failed[st.mode] = true
+	st.succeeded[st.mode] = false
+	if st.probing && st.hasGood && !st.failed[st.lastGood] {
+		// A tentative upgrade failed: fall straight back to the last
+		// mode that worked.
+		st.probing = false
+		s.setMode(st, st.lastGood)
+		s.FallbackMoves++
+		return true, st.mode
+	}
+	next, ok := s.nextFallback(dst, st)
+	if !ok {
+		// Everything failed; the paper's floor is Out-IE, which "can
+		// be relied upon to work in all situations". Reset history so
+		// we can try again if the world changes.
+		for i := range st.failed {
+			st.failed[i] = false
+		}
+		next = OutIE
+	}
+	s.setMode(st, next)
+	s.FallbackMoves++
+	return true, st.mode
+}
+
+// nextFallback walks down the conservative ladder DH -> DE -> IE skipping
+// modes known to fail and Out-DE when the correspondent cannot
+// decapsulate.
+func (s *Selector) nextFallback(dst ipv4.Addr, st *methodState) (OutMode, bool) {
+	ladder := []OutMode{OutDH, OutDE, OutIE}
+	idx := 0
+	for i, m := range ladder {
+		if m == st.mode {
+			idx = i + 1
+			break
+		}
+	}
+	for _, m := range ladder[idx:] {
+		if st.failed[m] {
+			continue
+		}
+		if m == OutDE && s.CHCanDecapsulate != nil && !s.CHCanDecapsulate(dst) {
+			continue
+		}
+		return m, true
+	}
+	return OutIE, false
+}
+
+// TryUpgrade tentatively moves one step up the aggressive ladder
+// IE -> DE -> DH for dst (the pessimistic strategy's periodic probe). It
+// reports whether a probe was started. A probe that fails rolls back via
+// ReportRetransmission; one that works is confirmed by ReportSuccess.
+func (s *Selector) TryUpgrade(dst ipv4.Addr) (bool, OutMode) {
+	st := s.state(dst)
+	if st.probing {
+		return false, st.mode
+	}
+	ladder := []OutMode{OutIE, OutDE, OutDH}
+	idx := len(ladder)
+	for i, m := range ladder {
+		if m == st.mode {
+			idx = i + 1
+			break
+		}
+	}
+	for _, m := range ladder[idx:] {
+		if st.failed[m] {
+			continue
+		}
+		if m == OutDE && s.CHCanDecapsulate != nil && !s.CHCanDecapsulate(dst) {
+			continue
+		}
+		st.lastGood, st.hasGood = st.mode, true
+		st.probing = true
+		s.setMode(st, m)
+		s.UpgradeMoves++
+		return true, st.mode
+	}
+	return false, st.mode
+}
+
+func (s *Selector) setMode(st *methodState, m OutMode) {
+	if st.mode != m {
+		st.mode = m
+		st.switches++
+		s.ModeSwitches++
+	}
+}
+
+// Forget drops the cache entry for dst (e.g. after moving to a network
+// with different filtering, the old history may be invalid).
+func (s *Selector) Forget(dst ipv4.Addr) { delete(s.cache, dst) }
+
+// Reset clears the whole cache (used when the mobile host moves).
+func (s *Selector) Reset() { s.cache = make(map[ipv4.Addr]*methodState) }
+
+// CacheLen reports the number of cached correspondents.
+func (s *Selector) CacheLen() int { return len(s.cache) }
+
+// Snapshot renders the cache entry for dst for debugging.
+func (s *Selector) Snapshot(dst ipv4.Addr) string {
+	st, ok := s.cache[dst]
+	if !ok {
+		return fmt.Sprintf("%s: (no entry)", dst)
+	}
+	return fmt.Sprintf("%s: mode=%s probing=%v switches=%d failed=%v", dst, st.mode, st.probing, st.switches, st.failed)
+}

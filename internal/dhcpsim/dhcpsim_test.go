@@ -1,0 +1,161 @@
+package dhcpsim
+
+import (
+	"testing"
+
+	"mob4x4/internal/inet"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/stack"
+)
+
+// dhcpLAN: a server and n clients on one segment.
+func dhcpLAN(t testing.TB, poolSize int) (*inet.Network, *Server, func(name string) (*stack.Host, *Client)) {
+	t.Helper()
+	n := inet.New(5)
+	lan := n.AddLAN("lan", "128.9.1.0/24", netsim.SegmentOpts{Latency: 1e6})
+	gw := n.AddRouter("gw")
+	n.AttachRouter(gw, lan)
+	serverHost := n.AddHost("dhcp", lan)
+	n.ComputeRoutes()
+	srv, err := NewServer(serverHost, lan.Prefix, lan.Gateway, 100, 100+poolSize-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string) (*stack.Host, *Client) {
+		h := stack.NewHost(n.Sim, name)
+		ifc := h.AddIface("eth0", lan.Seg, ipv4.Zero, ipv4.Prefix{})
+		c, err := NewClient(h, ifc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h, c
+	}
+	return n, srv, mk
+}
+
+func acquire(t testing.TB, n *inet.Network, c *Client) (Lease, error) {
+	t.Helper()
+	var lease Lease
+	var aerr error
+	done := false
+	c.Acquire(func(l Lease, err error) { lease, aerr, done = l, err, true })
+	n.RunFor(10e9)
+	if !done {
+		t.Fatal("acquisition never completed")
+	}
+	return lease, aerr
+}
+
+func TestAcquireLease(t *testing.T) {
+	n, srv, mk := dhcpLAN(t, 10)
+	_, c := mk("guest")
+	lease, err := acquire(t, n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Addr != ipv4.MustParseAddr("128.9.1.100") {
+		t.Errorf("leased %s", lease.Addr)
+	}
+	if lease.Prefix.Bits != 24 || lease.Gateway.IsZero() || lease.TTLSec == 0 {
+		t.Errorf("lease incomplete: %+v", lease)
+	}
+	if srv.Available() != 9 {
+		t.Errorf("pool = %d", srv.Available())
+	}
+}
+
+func TestDistinctClientsDistinctAddresses(t *testing.T) {
+	n, _, mk := dhcpLAN(t, 10)
+	_, c1 := mk("g1")
+	_, c2 := mk("g2")
+	l1, err1 := acquire(t, n, c1)
+	l2, err2 := acquire(t, n, c2)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if l1.Addr == l2.Addr {
+		t.Errorf("both clients got %s", l1.Addr)
+	}
+}
+
+func TestSameClientKeepsAddress(t *testing.T) {
+	n, _, mk := dhcpLAN(t, 10)
+	_, c := mk("guest")
+	l1, _ := acquire(t, n, c)
+	l2, err := acquire(t, n, c) // re-acquire (e.g. after wake from sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Addr != l2.Addr {
+		t.Errorf("address changed: %s -> %s", l1.Addr, l2.Addr)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	n, srv, mk := dhcpLAN(t, 1)
+	_, c1 := mk("g1")
+	if _, err := acquire(t, n, c1); err != nil {
+		t.Fatal(err)
+	}
+	_, c2 := mk("g2")
+	c2.Retries = 2
+	if _, err := acquire(t, n, c2); err == nil {
+		t.Error("second lease granted from empty pool")
+	}
+	if srv.Stats.PoolEmpty == 0 {
+		t.Error("pool-empty not counted")
+	}
+}
+
+func TestReleaseReturnsAddress(t *testing.T) {
+	n, srv, mk := dhcpLAN(t, 1)
+	_, c1 := mk("g1")
+	if _, err := acquire(t, n, c1); err != nil {
+		t.Fatal(err)
+	}
+	c1.Release()
+	n.RunFor(2e9)
+	if srv.Available() != 1 {
+		t.Fatalf("pool = %d after release", srv.Available())
+	}
+	_, c2 := mk("g2")
+	if _, err := acquire(t, n, c2); err != nil {
+		t.Errorf("released address not reusable: %v", err)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	n, srv, mk := dhcpLAN(t, 1)
+	srv.LeaseSec = 30
+	_, c := mk("g1")
+	if _, err := acquire(t, n, c); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Available() != 0 {
+		t.Fatal("lease not committed")
+	}
+	n.RunFor(31e9)
+	if srv.Available() != 1 {
+		t.Errorf("lease did not expire: pool = %d", srv.Available())
+	}
+}
+
+func TestAcquireTimesOutWithoutServer(t *testing.T) {
+	n := inet.New(5)
+	lan := n.AddLAN("lan", "128.9.1.0/24", netsim.SegmentOpts{})
+	h := stack.NewHost(n.Sim, "lonely")
+	ifc := h.AddIface("eth0", lan.Seg, ipv4.Zero, ipv4.Prefix{})
+	c, err := NewClient(h, ifc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Retries = 2
+	var gotErr error
+	done := false
+	c.Acquire(func(l Lease, err error) { gotErr, done = err, true })
+	n.RunFor(10e9)
+	if !done || gotErr == nil {
+		t.Errorf("expected timeout: done=%v err=%v", done, gotErr)
+	}
+}

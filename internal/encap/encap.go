@@ -1,0 +1,276 @@
+// Package encap implements the three IP-within-IP encapsulation schemes
+// discussed by the paper: plain IP-in-IP ([Per96c], later RFC 2003),
+// Minimal Encapsulation ([Per95], later RFC 2004) and Generic Routing
+// Encapsulation ([RFC1702]). Section 2 notes that the ~20-byte overhead of
+// full encapsulation "can be minimized by use of Generic Routing
+// Encapsulation or Minimal Encapsulation"; the per-scheme Overhead
+// methods and BenchmarkCodecs quantify that trade-off.
+package encap
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mob4x4/internal/ipv4"
+)
+
+// Codec encapsulates and decapsulates IP packets for tunneling.
+type Codec interface {
+	// Name identifies the scheme ("ipip", "minenc", "gre").
+	Name() string
+	// Proto is the IPv4 protocol number carried in the outer header.
+	Proto() uint8
+	// Overhead is the number of bytes the scheme adds to a packet
+	// (outer header + scheme header, if any).
+	Overhead() int
+	// Encapsulate wraps inner in an outer packet from src to dst.
+	Encapsulate(inner ipv4.Packet, src, dst ipv4.Addr) (ipv4.Packet, error)
+	// Decapsulate extracts the inner packet from an outer packet
+	// previously produced by this codec.
+	Decapsulate(outer ipv4.Packet) (ipv4.Packet, error)
+}
+
+// ByName returns the codec for a scheme name.
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "ipip":
+		return IPIP{}, nil
+	case "minenc":
+		return MinEnc{}, nil
+	case "gre":
+		return GRE{}, nil
+	default:
+		return nil, fmt.Errorf("encap: unknown scheme %q", name)
+	}
+}
+
+// All returns every codec, for sweeps and ablations.
+func All() []Codec { return []Codec{IPIP{}, MinEnc{}, GRE{}} }
+
+// IPIP is full IP-in-IP encapsulation: the entire original packet,
+// header included, becomes the payload of a fresh IPv4 header.
+// Overhead: 20 bytes (the paper's headline number in Section 3.3).
+type IPIP struct{}
+
+// Name implements Codec.
+func (IPIP) Name() string { return "ipip" }
+
+// Proto implements Codec.
+func (IPIP) Proto() uint8 { return ipv4.ProtoIPIP }
+
+// Overhead implements Codec.
+func (IPIP) Overhead() int { return ipv4.HeaderLen }
+
+// Encapsulate implements Codec.
+func (IPIP) Encapsulate(inner ipv4.Packet, src, dst ipv4.Addr) (ipv4.Packet, error) {
+	b, err := inner.Marshal()
+	if err != nil {
+		return ipv4.Packet{}, fmt.Errorf("encap/ipip: %w", err)
+	}
+	return ipv4.Packet{
+		Header: ipv4.Header{
+			Protocol: ipv4.ProtoIPIP,
+			Src:      src,
+			Dst:      dst,
+			TTL:      inner.TTL, // outer TTL copied from inner on entry (RFC 2003 §3.1)
+		},
+		Payload: b,
+		TraceID: inner.TraceID,
+	}, nil
+}
+
+// Decapsulate implements Codec.
+func (IPIP) Decapsulate(outer ipv4.Packet) (ipv4.Packet, error) {
+	if outer.Protocol != ipv4.ProtoIPIP {
+		return ipv4.Packet{}, fmt.Errorf("encap/ipip: outer protocol %d is not IPIP", outer.Protocol)
+	}
+	inner, err := ipv4.Unmarshal(outer.Payload)
+	if err != nil {
+		return ipv4.Packet{}, fmt.Errorf("encap/ipip: bad inner packet: %w", err)
+	}
+	inner.TraceID = outer.TraceID
+	return inner, nil
+}
+
+// MinEnc is Minimal Encapsulation ([Per95]): instead of a full inner IP
+// header, a compressed 8- or 12-byte forwarding header carries only the
+// fields the outer header cannot (original destination, original protocol,
+// and — if it differs from the outer source — the original source).
+// Overhead: 8 bytes when the original source is preserved in the outer
+// header, 12 bytes otherwise. Minimal encapsulation cannot carry
+// already-fragmented packets.
+type MinEnc struct{}
+
+// Name implements Codec.
+func (MinEnc) Name() string { return "minenc" }
+
+// Proto implements Codec.
+func (MinEnc) Proto() uint8 { return ipv4.ProtoMinEnc }
+
+// Overhead implements Codec.
+func (MinEnc) Overhead() int { return 12 } // worst case: source present
+
+const minEncSrcPresent = 0x80
+
+// Encapsulate implements Codec.
+func (MinEnc) Encapsulate(inner ipv4.Packet, src, dst ipv4.Addr) (ipv4.Packet, error) {
+	if inner.MoreFrags || inner.FragOffset != 0 {
+		return ipv4.Packet{}, fmt.Errorf("encap/minenc: cannot encapsulate fragments")
+	}
+	if len(inner.Options) > 0 {
+		return ipv4.Packet{}, fmt.Errorf("encap/minenc: cannot carry IP options")
+	}
+	srcPresent := inner.Src != src
+	hlen := 8
+	if srcPresent {
+		hlen = 12
+	}
+	b := make([]byte, hlen+len(inner.Payload))
+	b[0] = inner.Protocol
+	if srcPresent {
+		b[1] = minEncSrcPresent
+	}
+	copy(b[4:8], inner.Dst[:])
+	if srcPresent {
+		copy(b[8:12], inner.Src[:])
+	}
+	copy(b[hlen:], inner.Payload)
+	binary.BigEndian.PutUint16(b[2:], ipv4.Checksum(b[:hlen]))
+	return ipv4.Packet{
+		Header: ipv4.Header{
+			Protocol: ipv4.ProtoMinEnc,
+			Src:      src,
+			Dst:      dst,
+			TTL:      inner.TTL,
+			TOS:      inner.TOS,
+			ID:       inner.ID,
+		},
+		Payload: b,
+		TraceID: inner.TraceID,
+	}, nil
+}
+
+// Decapsulate implements Codec.
+func (MinEnc) Decapsulate(outer ipv4.Packet) (ipv4.Packet, error) {
+	if outer.Protocol != ipv4.ProtoMinEnc {
+		return ipv4.Packet{}, fmt.Errorf("encap/minenc: outer protocol %d is not minimal encapsulation", outer.Protocol)
+	}
+	b := outer.Payload
+	if len(b) < 8 {
+		return ipv4.Packet{}, fmt.Errorf("encap/minenc: truncated header (%d bytes)", len(b))
+	}
+	srcPresent := b[1]&minEncSrcPresent != 0
+	hlen := 8
+	if srcPresent {
+		hlen = 12
+	}
+	if len(b) < hlen {
+		return ipv4.Packet{}, fmt.Errorf("encap/minenc: truncated header (%d bytes)", len(b))
+	}
+	if ipv4.Checksum(b[:hlen]) != 0 {
+		return ipv4.Packet{}, fmt.Errorf("encap/minenc: header checksum mismatch")
+	}
+	inner := ipv4.Packet{
+		Header: ipv4.Header{
+			Protocol: b[0],
+			TTL:      outer.TTL,
+			TOS:      outer.TOS,
+			ID:       outer.ID,
+			Src:      outer.Src,
+		},
+		Payload: b[hlen:],
+		TraceID: outer.TraceID,
+	}
+	copy(inner.Dst[:], b[4:8])
+	if srcPresent {
+		copy(inner.Src[:], b[8:12])
+	}
+	return inner, nil
+}
+
+// GRE is Generic Routing Encapsulation ([RFC1702]) with an optional key.
+// The base GRE header is 4 bytes; with the key present it is 8, for a
+// total overhead of 24 or 28 bytes over the inner packet.
+type GRE struct {
+	// Key, when non-zero, is carried in the GRE key field (tunnel
+	// multiplexing; the simulation uses it to label bindings).
+	Key uint32
+}
+
+// Name implements Codec.
+func (GRE) Name() string { return "gre" }
+
+// Proto implements Codec.
+func (GRE) Proto() uint8 { return ipv4.ProtoGRE }
+
+// Overhead implements Codec.
+func (g GRE) Overhead() int {
+	if g.Key != 0 {
+		return ipv4.HeaderLen + 8
+	}
+	return ipv4.HeaderLen + 4
+}
+
+const greKeyPresent = 0x2000
+
+// Encapsulate implements Codec.
+func (g GRE) Encapsulate(inner ipv4.Packet, src, dst ipv4.Addr) (ipv4.Packet, error) {
+	ib, err := inner.Marshal()
+	if err != nil {
+		return ipv4.Packet{}, fmt.Errorf("encap/gre: %w", err)
+	}
+	hlen := 4
+	var flags uint16
+	if g.Key != 0 {
+		hlen = 8
+		flags |= greKeyPresent
+	}
+	b := make([]byte, hlen+len(ib))
+	binary.BigEndian.PutUint16(b[0:], flags)
+	binary.BigEndian.PutUint16(b[2:], 0x0800) // protocol type: IPv4
+	if g.Key != 0 {
+		binary.BigEndian.PutUint32(b[4:], g.Key)
+	}
+	copy(b[hlen:], ib)
+	return ipv4.Packet{
+		Header: ipv4.Header{
+			Protocol: ipv4.ProtoGRE,
+			Src:      src,
+			Dst:      dst,
+			TTL:      inner.TTL,
+		},
+		Payload: b,
+		TraceID: inner.TraceID,
+	}, nil
+}
+
+// Decapsulate implements Codec.
+func (g GRE) Decapsulate(outer ipv4.Packet) (ipv4.Packet, error) {
+	if outer.Protocol != ipv4.ProtoGRE {
+		return ipv4.Packet{}, fmt.Errorf("encap/gre: outer protocol %d is not GRE", outer.Protocol)
+	}
+	b := outer.Payload
+	if len(b) < 4 {
+		return ipv4.Packet{}, fmt.Errorf("encap/gre: truncated header")
+	}
+	flags := binary.BigEndian.Uint16(b[0:])
+	if ptype := binary.BigEndian.Uint16(b[2:]); ptype != 0x0800 {
+		return ipv4.Packet{}, fmt.Errorf("encap/gre: unsupported protocol type %#04x", ptype)
+	}
+	hlen := 4
+	if flags&greKeyPresent != 0 {
+		hlen = 8
+		if len(b) < hlen {
+			return ipv4.Packet{}, fmt.Errorf("encap/gre: truncated key")
+		}
+		if g.Key != 0 && binary.BigEndian.Uint32(b[4:]) != g.Key {
+			return ipv4.Packet{}, fmt.Errorf("encap/gre: key mismatch")
+		}
+	}
+	inner, err := ipv4.Unmarshal(b[hlen:])
+	if err != nil {
+		return ipv4.Packet{}, fmt.Errorf("encap/gre: bad inner packet: %w", err)
+	}
+	inner.TraceID = outer.TraceID
+	return inner, nil
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+func TestAsymmetricPaths(t *testing.T) {
+	r := RunAsymmetry(41)
+	if !r.Delivered {
+		t.Fatalf("echo failed:\n%s", r.String())
+	}
+	// The inbound direction crosses the slow access link twice (in and
+	// out of the home domain); the outbound direction never touches it.
+	if r.Ratio < 3 {
+		t.Errorf("one-way asymmetry ratio = %.2f, want >= 3\n%s", r.Ratio, r.String())
+	}
+	if r.InboundBps == 0 || r.OutboundBps == 0 {
+		t.Fatalf("bulk transfers incomplete:\n%s", r.String())
+	}
+	// Outbound bulk throughput must be dramatically higher than inbound
+	// (the inbound stream is bottlenecked at 128 kbit/s = 16 kB/s).
+	if r.OutboundBps < 2*r.InboundBps {
+		t.Errorf("throughput asymmetry missing: in=%.0f out=%.0f", r.InboundBps, r.OutboundBps)
+	}
+	if r.InboundBps > 17_000 {
+		t.Errorf("inbound %.0f B/s exceeds the 16kB/s bottleneck", r.InboundBps)
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mob4x4/internal/core"
+	"mob4x4/internal/mobileip"
+	"mob4x4/internal/vtime"
+)
+
+// FAResult compares foreign-agent attachment against the paper's
+// preferred self-sufficient attachment (Section 2: "It is impractical for
+// mobile hosts to assume that foreign agent services will be available
+// everywhere ... they also restrict the freedom of the mobile host").
+type FAResult struct {
+	Attachment string // "self-sufficient" or "foreign-agent"
+	Registered bool
+	// PingRTT is a round trip from the far correspondent to the MH's
+	// home address.
+	PingRTT       vtime.Duration
+	PingDelivered bool
+	// OutDTAvailable reports whether the mobile host can bypass Mobile
+	// IP for short connections (the key freedom a foreign agent takes
+	// away in this design).
+	OutDTAvailable bool
+	// FADelivered counts packets the foreign agent relayed on-link.
+	FADelivered uint64
+}
+
+// RunForeignAgent executes the foreign-agent ablation.
+func RunForeignAgent(seed int64, viaFA bool) FAResult {
+	res := FAResult{Attachment: "self-sufficient"}
+	if viaFA {
+		res.Attachment = "foreign-agent"
+	}
+	s := Build(Options{Seed: seed, Selector: core.NewSelector(core.StartOptimistic)})
+
+	var fa *mobileip.ForeignAgent
+	if viaFA {
+		faHost := s.Net.AddHost("fa", s.VisitA)
+		s.Net.ComputeRoutes()
+		var err error
+		fa, err = mobileip.NewForeignAgent(faHost, faHost.Ifaces()[0], mobileip.ForeignAgentConfig{})
+		if err != nil {
+			panic(err)
+		}
+		s.MN.MoveToForeignAgent(s.VisitA.Seg, fa.Addr())
+		s.Net.RunFor(3 * Second)
+	} else {
+		s.Roam()
+	}
+	res.Registered = s.MN.Registered()
+
+	p := s.PingFrom(s.CHFarIC, s.CHFar, s.MN.Home(), 10*Second)
+	res.PingDelivered = p.Delivered
+	res.PingRTT = p.RTT
+
+	// Out-DT availability: can the MH source a packet from an address of
+	// its own that is topologically valid here? Self-sufficient: yes
+	// (the care-of address is its own). Via FA: no — the care-of address
+	// belongs to the agent.
+	res.OutDTAvailable = !s.MN.ViaForeignAgent() && s.MN.CareOf() != s.MN.Home()
+	if fa != nil {
+		res.FADelivered = fa.Stats.Delivered
+	}
+	return res
+}
+
+// FATable renders the comparison.
+func FATable(rows []FAResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 2 — attachment styles (self-sufficient vs foreign agent)\n")
+	fmt.Fprintf(&b, "  %-16s %11s %10s %12s %8s %12s\n",
+		"attachment", "registered", "ping ok", "ping RTT", "Out-DT?", "FA-relayed")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-16s %11v %10v %12v %8v %12d\n",
+			r.Attachment, r.Registered, r.PingDelivered, r.PingRTT, r.OutDTAvailable, r.FADelivered)
+	}
+	return b.String()
+}
+
+// CorrespondentTransitions is experiment E12: the correspondent-side
+// decision sequence of Section 7.2 exercised end to end.
+type CorrespondentTransitions struct {
+	// Steps lists the In-mode the correspondent used for each phase:
+	// before discovery, after an ICMP notice, after binding expiry.
+	BeforeDiscovery core.InMode
+	AfterNotice     core.InMode
+	AfterExpiry     core.InMode
+	// TempReply is the mode used when the MH initiated from its
+	// temporary address.
+	TempReply core.InMode
+}
+
+// RunCorrespondentTransitions executes E12.
+func RunCorrespondentTransitions(seed int64) CorrespondentTransitions {
+	s := Build(Options{Seed: seed, Notices: true, CHAware: true, CHDecap: true,
+		Selector: core.NewSelector(core.StartOptimistic)})
+	careOf := s.Roam()
+	var res CorrespondentTransitions
+
+	pol := s.CHFarC.Policy()
+	res.BeforeDiscovery = pol.ModeFor(s.MN.Home(), false)
+
+	// Ping once; the HA notice teaches the CH the binding.
+	s.PingFrom(s.CHFarIC, s.CHFar, s.MN.Home(), 10*Second)
+	res.AfterNotice = pol.ModeFor(s.MN.Home(), false)
+
+	// Let the binding lifetime (60s default notice lifetime) expire.
+	s.Net.RunFor(90 * Second)
+	res.AfterExpiry = pol.ModeFor(s.MN.Home(), false)
+
+	// Temporary-address initiation: the reply necessarily goes to the
+	// temporary address (In-DT), aware or not.
+	res.TempReply = pol.ModeFor(careOf, true)
+	_ = careOf
+	return res
+}
+
+// String renders E12.
+func (r CorrespondentTransitions) String() string {
+	return fmt.Sprintf(
+		"Section 7.2 — correspondent choices: before=%s afterNotice=%s afterExpiry=%s tempReply=%s",
+		r.BeforeDiscovery, r.AfterNotice, r.AfterExpiry, r.TempReply)
+}

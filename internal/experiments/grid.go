@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mob4x4/internal/core"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/stack"
+)
+
+// GridCell is one measured cell of the Figure 10 matrix.
+type GridCell struct {
+	Combo core.Combo
+	// Class is the paper's classification (core.Classify).
+	Class core.Class
+
+	// Measured behavior of one request/reply exchange run with the
+	// combination forced:
+	DeliveredIn  bool // CH's request reached the MH
+	DeliveredOut bool // MH's reply reached the CH
+	// Consistent reports endpoint consistency: the reply's source
+	// address is the address the CH originally targeted. TCP (and every
+	// two-way protocol keyed on addresses) requires this; the darkly
+	// shaded cells of Figure 10 are exactly the ones that fail it.
+	Consistent bool
+
+	InHops  int // router forwardings, CH -> MH (all wrappings included)
+	OutHops int // router forwardings, MH -> CH
+
+	// InOverheadBytes/OutOverheadBytes are the encapsulation bytes the
+	// mode adds to every packet in that direction (analytic, from the
+	// codec; Section 3.3).
+	InOverheadBytes  int
+	OutOverheadBytes int
+
+	// Requirements renders the cell's caption from Figure 10.
+	Requirements string
+}
+
+// WorksForTCP is the measured analogue of "would work correctly with
+// current protocols such as TCP": both directions delivered and the
+// endpoints consistent.
+func (c GridCell) WorksForTCP() bool {
+	return c.DeliveredIn && c.DeliveredOut && c.Consistent
+}
+
+const gridEchoPort = 7777
+
+// RunGrid executes experiment E8: every cell of the 4x4 grid is forced in
+// a fresh scenario and measured with a one-shot UDP echo whose reply
+// source is pinned to the column's address, mirroring how a transport
+// keyed to that address would behave.
+func RunGrid(seed int64) []GridCell {
+	var cells []GridCell
+	for _, combo := range core.AllCombos() {
+		cells = append(cells, runGridCell(seed, combo))
+	}
+	return cells
+}
+
+func runGridCell(seed int64, combo core.Combo) GridCell {
+	cell := GridCell{Combo: combo, Class: core.Classify(combo)}
+	var reqs []string
+	for _, r := range combo.Requirements() {
+		reqs = append(reqs, r.String())
+	}
+	cell.Requirements = strings.Join(reqs, "; ")
+
+	// Force the MH's outgoing mode for home-sourced traffic.
+	sel := core.NewSelector(core.StartPessimistic)
+	outMode := combo.Out
+	if outMode != core.OutDT {
+		m := outMode
+		sel.AddRule(core.Rule{Prefix: ipv4.MustParsePrefix("0.0.0.0/0"), ForceMode: &m})
+	}
+	aware := combo.In == core.InDE || combo.In == core.InDH
+	s := Build(Options{
+		Seed:     seed,
+		Selector: sel,
+		CHAware:  aware,
+		CHDecap:  true, // Out-DE must be answerable in every row
+	})
+	careOf := s.Roam()
+
+	// Pick the correspondent: same-segment for Row C, distant otherwise.
+	ch := s.CHFar
+	chC := s.CHFarC
+	if combo.In == core.InDH {
+		ch = s.CHNear
+		chC = s.CHNearC
+	}
+	if aware {
+		chC.LearnBinding(core.Binding{Home: s.MN.Home(), CareOf: careOf}, 0)
+	}
+
+	// The address the CH targets (the MH endpoint as the CH knows it).
+	target := s.MN.Home()
+	if combo.In == core.InDT {
+		target = careOf
+	}
+	// The source the MH's reply is keyed to (the column's address).
+	replySrc := s.MN.Home()
+	if combo.Out == core.OutDT {
+		replySrc = careOf
+	}
+
+	// MH echo service with the reply source pinned.
+	deliveredIn := false
+	var mhSock *stack.UDPSocket
+	mhSock, err := s.MHHost.OpenUDP(ipv4.Zero, gridEchoPort, func(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte) {
+		deliveredIn = true
+		_ = mhSock.SendToFrom(replySrc, src, srcPort, payload)
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	deliveredOut := false
+	var replyFrom ipv4.Addr
+	chSock, err := ch.OpenUDP(ipv4.Zero, 0, func(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte) {
+		deliveredOut = true
+		replyFrom = src
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	tr := s.Net.Sim.Trace
+	evStart := len(tr.Events())
+	_ = chSock.SendTo(target, gridEchoPort, []byte("grid-probe"))
+	s.Net.RunFor(10 * Second)
+
+	cell.DeliveredIn = deliveredIn
+	cell.DeliveredOut = deliveredOut
+	cell.Consistent = deliveredOut && replyFrom == target
+
+	// Hop counts from the trace: first send from the CH is the request,
+	// first send from the MH after that is the reply.
+	evs := tr.Events()[evStart:]
+	var reqID, repID uint64
+	for _, e := range evs {
+		if e.Kind == netsim.EventSend && e.Where == ch.Name() && reqID == 0 {
+			reqID = e.PktID
+		}
+		if e.Kind == netsim.EventSend && e.Where == s.MHHost.Name() && reqID != 0 && e.PktID > reqID && repID == 0 {
+			repID = e.PktID
+		}
+	}
+	cell.InHops = tr.Hops(reqID)
+	if repID != 0 {
+		cell.OutHops = tr.Hops(repID)
+	}
+
+	// Analytic per-packet overhead (Section 3.3): the tunnel header.
+	overhead := 20 // IPIP default
+	if s.Opts.Codec != nil {
+		overhead = s.Opts.Codec.Overhead()
+	}
+	if combo.In.Encapsulated() {
+		cell.InOverheadBytes = overhead
+	}
+	if combo.Out.Encapsulated() {
+		cell.OutOverheadBytes = overhead
+	}
+	return cell
+}
+
+// GridTable renders the measured matrix in Figure 10's layout.
+func GridTable(cells []GridCell) string {
+	byCombo := make(map[core.Combo]GridCell, len(cells))
+	for _, c := range cells {
+		byCombo[c.Combo] = c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10 — Internet Mobility 4x4 (measured)\n")
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, out := range core.OutModes() {
+		fmt.Fprintf(&b, " %-22s", out)
+	}
+	fmt.Fprintln(&b)
+	for _, in := range core.InModes() {
+		fmt.Fprintf(&b, "%-8s", in)
+		for _, out := range core.OutModes() {
+			c := byCombo[core.Combo{In: in, Out: out}]
+			status := "BROKEN"
+			if c.WorksForTCP() {
+				status = fmt.Sprintf("ok %d/%dh +%d/%dB", c.InHops, c.OutHops, c.InOverheadBytes, c.OutOverheadBytes)
+			}
+			mark := map[core.Class]string{
+				core.Useful: " ", core.ValidUnlikely: "~", core.Broken: "x",
+			}[c.Class]
+			fmt.Fprintf(&b, " %s%-21s", mark, status)
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "legend: ' '=useful  '~'=valid-but-unlikely  'x'=broken (paper classification)\n")
+	fmt.Fprintf(&b, "        cell shows in/out router hops and per-packet encapsulation bytes\n")
+	return b.String()
+}
+
+// GridAgreement compares the measured matrix against the paper's
+// classification and returns (matches, total, mismatches). A cell agrees
+// when WorksForTCP() is true exactly for non-Broken cells.
+func GridAgreement(cells []GridCell) (int, int, []GridCell) {
+	matches := 0
+	var mismatches []GridCell
+	for _, c := range cells {
+		expectWorks := c.Class != core.Broken
+		if c.WorksForTCP() == expectWorks {
+			matches++
+		} else {
+			mismatches = append(mismatches, c)
+		}
+	}
+	return matches, len(cells), mismatches
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import "testing"
+
+func TestMulticastLocalVsRelay(t *testing.T) {
+	local := RunMulticast(23, true, 5)
+	relay := RunMulticast(23, false, 5)
+
+	if local.PacketsGot != 5 || relay.PacketsGot != 5 {
+		t.Fatalf("delivery: local=%d relay=%d, want 5/5", local.PacketsGot, relay.PacketsGot)
+	}
+	// The paper's point: the local join involves no tunnel and no
+	// routers; the relay tunnels every packet across the internet.
+	if local.Tunneled != 0 || local.RouterForwards != 0 {
+		t.Errorf("local join cost: tunneled=%d forwards=%d, want 0/0",
+			local.Tunneled, local.RouterForwards)
+	}
+	if relay.Tunneled != 5 {
+		t.Errorf("relay tunneled = %d, want 5", relay.Tunneled)
+	}
+	if relay.RouterForwards == 0 {
+		t.Error("relay used no routers?")
+	}
+}
+
+func TestTraceroutesShowTunnelOpacity(t *testing.T) {
+	rows := RunTraceroutes(29)
+	if len(rows) != 2 {
+		t.Fatal("want 2 traceroutes")
+	}
+	home, roamed := rows[0], rows[1]
+
+	reached := func(r TraceResult) (bool, int, int) {
+		silent := 0
+		for _, h := range r.Hops {
+			if h.From.IsZero() {
+				silent++
+			}
+			if h.Reached {
+				return true, len(r.Hops), silent
+			}
+		}
+		return false, len(r.Hops), silent
+	}
+	homeOK, homeHops, homeSilent := reached(home)
+	roamOK, roamHops, roamSilent := reached(roamed)
+
+	if !homeOK || !roamOK {
+		t.Fatalf("traceroute did not reach: home=%v roamed=%v", homeOK, roamOK)
+	}
+	if homeSilent != 0 {
+		t.Errorf("at-home trace has %d silent hops", homeSilent)
+	}
+	// Roamed: the tunnel swallows the probes that expire inside it, so
+	// the trace shows silent hops and a longer total.
+	if roamSilent == 0 {
+		t.Error("roamed trace shows no silent hops; the tunnel should hide its interior")
+	}
+	if roamHops <= homeHops {
+		t.Errorf("roamed trace (%d hops) not longer than at-home (%d)", roamHops, homeHops)
+	}
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestSavingsOrdering(t *testing.T) {
+	rows := RunSavings(53)
+	if len(rows) != 3 {
+		t.Fatal("want 3 setups")
+	}
+	conv, aware, near := rows[0], rows[1], rows[2]
+	for _, r := range rows {
+		if r.Delivered != 20 {
+			t.Fatalf("%s: delivered %d/20", r.Setup, r.Delivered)
+		}
+	}
+	// The paper's ordering: every optimization level strictly reduces
+	// network work and latency.
+	if !(conv.RouterForwards > aware.RouterForwards && aware.RouterForwards > near.RouterForwards) {
+		t.Errorf("router forwards not decreasing: %d, %d, %d",
+			conv.RouterForwards, aware.RouterForwards, near.RouterForwards)
+	}
+	if !(conv.BackboneBytes > aware.BackboneBytes && aware.BackboneBytes > near.BackboneBytes) {
+		t.Errorf("backbone bytes not decreasing: %d, %d, %d",
+			conv.BackboneBytes, aware.BackboneBytes, near.BackboneBytes)
+	}
+	if !(conv.MeanRTT > aware.MeanRTT && aware.MeanRTT > near.MeanRTT) {
+		t.Errorf("mean RTT not decreasing: %.1f, %.1f, %.1f",
+			conv.MeanRTT, aware.MeanRTT, near.MeanRTT)
+	}
+	// Same-segment involves no routers at all after discovery.
+	if near.RouterForwards > 2 {
+		t.Errorf("same-segment conversation used %d forwards", near.RouterForwards)
+	}
+}

@@ -1,0 +1,167 @@
+package icmphost
+
+import (
+	"testing"
+
+	"mob4x4/internal/icmp"
+	"mob4x4/internal/inet"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/stack"
+)
+
+// chainNet builds src -- r0 -- r1 -- r2 -- dst with router errors enabled.
+func chainNet(t testing.TB) (*inet.Network, *ICMP, ipv4.Addr) {
+	t.Helper()
+	n := inet.New(9)
+	a := n.AddLAN("a", "10.1.0.0/24", netsim.SegmentOpts{Latency: 1e6})
+	b := n.AddLAN("b", "10.2.0.0/24", netsim.SegmentOpts{Latency: 1e6})
+	rs := n.Chain("r", 3, 1e6)
+	n.AttachRouter(rs[0], a)
+	n.AttachRouter(rs[2], b)
+	src := n.AddHost("src", a)
+	dst := n.AddHost("dst", b)
+	n.ComputeRoutes()
+	for _, r := range rs {
+		EnableRouterErrors(r)
+	}
+	ic := Install(src)
+	Install(dst)
+	if err := RespondToProbes(dst); err != nil {
+		t.Fatal(err)
+	}
+	return n, ic, dst.FirstAddr()
+}
+
+func TestTTLExpiryGeneratesTimeExceeded(t *testing.T) {
+	n, ic, dstAddr := chainNet(t)
+	var errs []icmp.Message
+	var errFrom []ipv4.Addr
+	ic.OnError = func(src ipv4.Addr, m icmp.Message) {
+		errs = append(errs, m)
+		errFrom = append(errFrom, src)
+	}
+	// TTL 1 dies at the first router.
+	srcHost := n.Host("src")
+	_ = srcHost.SendIP(ipv4.Packet{
+		Header:  ipv4.Header{Protocol: ipv4.ProtoUDP, TTL: 1, Dst: dstAddr},
+		Payload: []byte{0x9c, 0x40, 0x82, 0x9a, 0x00, 0x09, 0x00, 0x00, 0x55},
+	})
+	n.RunFor(3e9)
+	if len(errs) != 1 {
+		t.Fatalf("errors = %d", len(errs))
+	}
+	if errs[0].Type != icmp.TypeTimeExceeded {
+		t.Errorf("type = %v", errs[0].Type)
+	}
+	// The error comes from r0's address on LAN a.
+	if !ipv4.MustParsePrefix("10.1.0.0/24").Contains(errFrom[0]) {
+		t.Errorf("error source = %s, want on the arrival LAN", errFrom[0])
+	}
+}
+
+func TestTraceroute(t *testing.T) {
+	n, ic, dstAddr := chainNet(t)
+	var hops []TracerouteHop
+	finished := false
+	Traceroute(n.Host("src"), ic, dstAddr, 10, &hops, func() { finished = true })
+	n.RunFor(10e9)
+	if !finished {
+		t.Fatalf("traceroute never finished; hops: %+v", hops)
+	}
+	// Path: r0, r1, r2, then the destination answers.
+	if len(hops) != 4 {
+		t.Fatalf("hops = %+v", hops)
+	}
+	for i, h := range hops[:3] {
+		if h.Reached {
+			t.Errorf("hop %d marked reached", i+1)
+		}
+		if h.TTL != i+1 {
+			t.Errorf("hop %d TTL = %d", i+1, h.TTL)
+		}
+	}
+	last := hops[3]
+	if !last.Reached || last.From != dstAddr {
+		t.Errorf("final hop = %+v", last)
+	}
+}
+
+func TestTracerouteMaxTTLStops(t *testing.T) {
+	n, ic, dstAddr := chainNet(t)
+	var hops []TracerouteHop
+	finished := false
+	Traceroute(n.Host("src"), ic, dstAddr, 2, &hops, func() { finished = true })
+	n.RunFor(10e9)
+	if !finished {
+		t.Fatal("did not stop at maxTTL")
+	}
+	if len(hops) != 2 {
+		t.Errorf("hops = %+v", hops)
+	}
+	for _, h := range hops {
+		if h.Reached {
+			t.Error("reached within maxTTL=2 on a 3-router path")
+		}
+	}
+}
+
+func TestFragNeededError(t *testing.T) {
+	// A narrow link in the middle: r0--r1 link gets MTU 576.
+	n := inet.New(9)
+	a := n.AddLAN("a", "10.1.0.0/24", netsim.SegmentOpts{Latency: 1e6})
+	b := n.AddLAN("b", "10.2.0.0/24", netsim.SegmentOpts{Latency: 1e6})
+	r0 := n.AddRouter("r0")
+	r1 := n.AddRouter("r1")
+	n.AttachRouter(r0, a)
+	n.AttachRouter(r1, b)
+	// Manually build the narrow transfer net.
+	narrow := n.Sim.NewSegment("narrow", netsim.SegmentOpts{Latency: 1e6, MTU: 576})
+	p := ipv4.MustParsePrefix("10.200.0.0/30")
+	r0.AddIface("to-r1", narrow, p.Host(1), p)
+	r1.AddIface("to-r0", narrow, p.Host(2), p)
+	r0.Routes().Add(routeVia(r0, "10.2.0.0/24", p.Host(2)))
+	r1.Routes().Add(routeVia(r1, "10.1.0.0/24", p.Host(1)))
+	src := n.AddHost("src", a)
+	dst := n.AddHost("dst", b)
+	n.ComputeRoutes()
+	// ComputeRoutes does not know about the manual link; re-add.
+	r0.Routes().Add(routeVia(r0, "10.2.0.0/24", p.Host(2)))
+	r1.Routes().Add(routeVia(r1, "10.1.0.0/24", p.Host(1)))
+	EnableRouterErrors(r0)
+	EnableRouterErrors(r1)
+	ic := Install(src)
+	Install(dst)
+
+	var gotMTU int
+	ic.OnError = func(from ipv4.Addr, m icmp.Message) {
+		if m.Type == icmp.TypeDestUnreachable && m.Code == icmp.CodeFragNeeded {
+			gotMTU = int(m.MTU)
+		}
+	}
+	// A DF-marked packet bigger than the narrow link.
+	_ = src.SendIP(ipv4.Packet{
+		Header:  ipv4.Header{Protocol: ipv4.ProtoUDP, Dst: dst.FirstAddr(), DontFrag: true},
+		Payload: make([]byte, 1000),
+	})
+	n.RunFor(3e9)
+	if gotMTU != 576 {
+		t.Errorf("frag-needed MTU = %d, want 576", gotMTU)
+	}
+}
+
+// routeVia builds a route through the first interface of h that can reach
+// nexthop.
+func routeVia(h *stack.Host, prefix string, nexthop ipv4.Addr) stack.Route {
+	for _, ifc := range h.Ifaces() {
+		if ifc.Prefix().Contains(nexthop) {
+			return stack.Route{
+				Prefix:  ipv4.MustParsePrefix(prefix),
+				NextHop: nexthop,
+				Iface:   ifc,
+				Metric:  5,
+			}
+		}
+	}
+	panic("no interface reaches " + nexthop.String())
+}

@@ -1,0 +1,173 @@
+package ipv4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", Zero, true},
+		{"255.255.255.255", Broadcast, true},
+		{"36.1.1.3", Addr{36, 1, 1, 3}, true},
+		{"1.2.3", Addr{}, false},
+		{"1.2.3.4.5", Addr{}, false},
+		{"256.1.1.1", Addr{}, false},
+		{"-1.1.1.1", Addr{}, false},
+		{"01.1.1.1", Addr{}, false}, // leading zero rejected
+		{"a.b.c.d", Addr{}, false},
+		{"", Addr{}, false},
+		{"1..2.3", Addr{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseAddr(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := AddrFromUint32(v)
+		b, err := ParseAddr(a.String())
+		return err == nil && b == a && b.Uint32() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrPredicates(t *testing.T) {
+	if !MustParseAddr("224.0.0.1").IsMulticast() {
+		t.Error("224.0.0.1 should be multicast")
+	}
+	if MustParseAddr("223.255.255.255").IsMulticast() {
+		t.Error("223.255.255.255 should not be multicast")
+	}
+	if !MustParseAddr("239.255.255.255").IsMulticast() {
+		t.Error("239.255.255.255 should be multicast")
+	}
+	if MustParseAddr("240.0.0.1").IsMulticast() {
+		t.Error("240.0.0.1 (class E) should not be multicast")
+	}
+	if !MustParseAddr("127.0.0.1").IsLoopback() {
+		t.Error("127.0.0.1 should be loopback")
+	}
+	if MustParseAddr("128.0.0.1").IsLoopback() {
+		t.Error("128.0.0.1 should not be loopback")
+	}
+	if !Zero.IsZero() || Broadcast.IsZero() {
+		t.Error("IsZero misbehaves")
+	}
+	if !Broadcast.IsBroadcast() || Zero.IsBroadcast() {
+		t.Error("IsBroadcast misbehaves")
+	}
+}
+
+func TestAddrOrdering(t *testing.T) {
+	a := MustParseAddr("10.0.0.1")
+	b := MustParseAddr("10.0.0.2")
+	if !a.Less(b) || b.Less(a) || a.Less(a) {
+		t.Error("Less misbehaves")
+	}
+	if a.Next() != b {
+		t.Errorf("Next: got %v", a.Next())
+	}
+	if Broadcast.Next() != Zero {
+		t.Errorf("Next should wrap: got %v", Broadcast.Next())
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("36.1.1.0/24")
+	if p.Bits != 24 || p.Addr != MustParseAddr("36.1.1.0") {
+		t.Errorf("bad prefix %v", p)
+	}
+	// Host bits cleared on parse.
+	q := MustParsePrefix("36.1.1.77/24")
+	if q != p {
+		t.Errorf("host bits not masked: %v", q)
+	}
+	for _, bad := range []string{"36.1.1.0", "36.1.1.0/33", "36.1.1.0/-1", "x/24", "36.1.1.0/x"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("36.1.1.0/24")
+	for _, in := range []string{"36.1.1.0", "36.1.1.1", "36.1.1.255"} {
+		if !p.Contains(MustParseAddr(in)) {
+			t.Errorf("%s should contain %s", p, in)
+		}
+	}
+	for _, out := range []string{"36.1.2.0", "36.1.0.255", "37.1.1.1"} {
+		if p.Contains(MustParseAddr(out)) {
+			t.Errorf("%s should not contain %s", p, out)
+		}
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(Broadcast) || !all.Contains(Zero) {
+		t.Error("/0 should contain everything")
+	}
+	host := MustParsePrefix("36.1.1.3/32")
+	if !host.Contains(MustParseAddr("36.1.1.3")) || host.Contains(MustParseAddr("36.1.1.4")) {
+		t.Error("/32 misbehaves")
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.1.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("nested prefixes should overlap")
+	}
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Error("disjoint prefixes should not overlap")
+	}
+	if !a.Overlaps(a) {
+		t.Error("prefix should overlap itself")
+	}
+}
+
+func TestPrefixBroadcastAndHost(t *testing.T) {
+	p := MustParsePrefix("36.1.1.0/24")
+	if got := p.BroadcastAddr(); got != MustParseAddr("36.1.1.255") {
+		t.Errorf("broadcast = %v", got)
+	}
+	if got := p.Host(1); got != MustParseAddr("36.1.1.1") {
+		t.Errorf("Host(1) = %v", got)
+	}
+	if got := p.Host(254); got != MustParseAddr("36.1.1.254") {
+		t.Errorf("Host(254) = %v", got)
+	}
+	p30 := MustParsePrefix("10.200.0.4/30")
+	if got := p30.BroadcastAddr(); got != MustParseAddr("10.200.0.7") {
+		t.Errorf("/30 broadcast = %v", got)
+	}
+}
+
+func TestPrefixContainsConsistentWithMask(t *testing.T) {
+	// Property: p.Contains(a) iff masking a down to p.Bits yields p.Addr.
+	f := func(addr uint32, pfxAddr uint32, bitsRaw uint8) bool {
+		bits := int(bitsRaw % 33)
+		p := PrefixFrom(AddrFromUint32(pfxAddr), bits)
+		a := AddrFromUint32(addr)
+		want := PrefixFrom(a, bits).Addr == p.Addr
+		return p.Contains(a) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

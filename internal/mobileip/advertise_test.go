@@ -1,0 +1,110 @@
+package mobileip_test
+
+import (
+	"testing"
+
+	"mob4x4/internal/icmp"
+	"mob4x4/internal/icmphost"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/mobileip"
+)
+
+func TestAdvertisementRoundTrip(t *testing.T) {
+	adv := mobileip.Advertisement{
+		Agent:    ipv4.MustParseAddr("128.9.1.9"),
+		Flags:    mobileip.AdvFlagFA,
+		Lifetime: 300,
+		Sequence: 7,
+	}
+	got, err := mobileip.ParseAdvertisement(adv.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != adv {
+		t.Errorf("round trip: %+v vs %+v", got, adv)
+	}
+	if _, err := mobileip.ParseAdvertisement([]byte{1, 2}); err == nil {
+		t.Error("truncated accepted")
+	}
+	if _, err := mobileip.ParseAdvertisement(make([]byte, 10)); err == nil {
+		t.Error("wrong type byte accepted")
+	}
+}
+
+func TestAgentDiscoveryAutoRegisters(t *testing.T) {
+	w := buildWorld(t, worldOpts{})
+
+	// A foreign agent on the visited LAN, beaconing every second.
+	faHost := w.net.AddHost("fa", w.visitLAN)
+	w.net.ComputeRoutes()
+	fa, err := mobileip.NewForeignAgent(faHost, faHost.Ifaces()[0], mobileip.ForeignAgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := fa.Advertise(1e9)
+	defer cancel()
+
+	// The mobile node listens for agents, then wanders onto the visited
+	// segment with no configuration at all: no care-of address, no
+	// gateway, nothing.
+	cancelListen, err := w.mn.ListenForAgents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelListen()
+	w.mn.Detach()
+	w.mhIfc.Attach(w.visitLAN.Seg)
+	w.net.RunFor(10e9)
+
+	if !w.mn.Registered() {
+		t.Fatal("node did not auto-register via the advertised agent")
+	}
+	if !w.mn.ViaForeignAgent() || w.mn.CareOf() != fa.Addr() {
+		t.Errorf("attachment: viaFA=%v careOf=%s", w.mn.ViaForeignAgent(), w.mn.CareOf())
+	}
+	if got, _ := w.ha.CareOf(w.mn.Home()); got != fa.Addr() {
+		t.Errorf("HA binding = %s, want the agent's address", got)
+	}
+
+	// End-to-end check: a ping to the home address arrives through the
+	// discovered agent.
+	ic := icmphost.Install(w.chFar)
+	delivered := false
+	ic.OnEchoReply = func(src ipv4.Addr, msg icmp.Message) { delivered = true }
+	_ = ic.Ping(ipv4.Zero, w.mn.Home(), 1, 1, nil)
+	w.net.RunFor(3e9)
+	if !delivered {
+		t.Error("ping via discovered agent failed")
+	}
+	if fa.Stats.Delivered == 0 {
+		t.Error("agent relayed nothing")
+	}
+}
+
+func TestReplayedRegistrationRejected(t *testing.T) {
+	w := buildWorld(t, worldOpts{})
+	careOf := w.roam(t)
+
+	// Capture-and-replay: an attacker resends the mobile host's old
+	// registration with a hijacked care-of address but a stale ID.
+	req := mobileip.Request{
+		Lifetime:  300,
+		Home:      w.mn.Home(),
+		HomeAgent: w.haHost.FirstAddr(),
+		CareOf:    w.chFar.FirstAddr(), // hijack attempt
+		ID:        1,                   // the node's counter is already past this
+	}
+	sock, err := w.chFar.OpenUDP(ipv4.Zero, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sock.SendTo(w.haHost.FirstAddr(), 434, req.Marshal())
+	w.net.RunFor(3e9)
+
+	if got, _ := w.ha.CareOf(w.mn.Home()); got != careOf {
+		t.Errorf("binding hijacked: %s", got)
+	}
+	if w.ha.Stats.StaleRequests != 1 {
+		t.Errorf("stale requests = %d", w.ha.Stats.StaleRequests)
+	}
+}

@@ -1,0 +1,214 @@
+package mobileip
+
+import (
+	"fmt"
+
+	"mob4x4/internal/core"
+	"mob4x4/internal/encap"
+	"mob4x4/internal/icmp"
+	"mob4x4/internal/icmphost"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/stack"
+	"mob4x4/internal/vtime"
+)
+
+// CorrespondentConfig configures a correspondent host's mobility
+// awareness.
+type CorrespondentConfig struct {
+	// Codec selects tunnel encapsulation for In-DE (default IPIP).
+	Codec encap.Codec
+	// CanDecapsulate gives the host the "recent versions of Linux"
+	// capability of Section 6.1: it accepts tunneled packets addressed
+	// to itself (enabling the mobile host's Out-DE) without being
+	// otherwise mobile-aware.
+	CanDecapsulate bool
+	// MobileAware enables the full Section 7.2 behavior: learn bindings
+	// from ICMP notices (and DNS), encapsulate directly to care-of
+	// addresses (In-DE), detect same-segment mobile hosts (In-DH).
+	MobileAware bool
+}
+
+// CorrespondentStats counts correspondent-side mobility activity.
+type CorrespondentStats struct {
+	BindingsLearned uint64
+	BindingsExpired uint64
+	SentInDE        uint64
+	SentInDH        uint64
+	Decapsulated    uint64
+}
+
+// Correspondent wraps a host with the correspondent-side choices of
+// Section 7.2. A conventional 1996 host is a Correspondent with both
+// capability flags false (the wrapper then does nothing at all).
+type Correspondent struct {
+	host   *stack.Host
+	cfg    CorrespondentConfig
+	policy *core.CorrespondentPolicy
+	expiry map[ipv4.Addr]*vtime.Timer
+
+	Stats CorrespondentStats
+}
+
+// NewCorrespondent installs correspondent-side mobility support on host.
+// ic may be nil when the host has no ICMP endpoint; binding notices are
+// then never learned.
+func NewCorrespondent(host *stack.Host, ic *icmphost.ICMP, cfg CorrespondentConfig) *Correspondent {
+	if cfg.Codec == nil {
+		cfg.Codec = encap.IPIP{}
+	}
+	c := &Correspondent{
+		host:   host,
+		cfg:    cfg,
+		policy: core.NewCorrespondentPolicy(cfg.MobileAware),
+		expiry: make(map[ipv4.Addr]*vtime.Timer),
+	}
+	if cfg.CanDecapsulate || cfg.MobileAware {
+		host.Handle(cfg.Codec.Proto(), c.handleTunneled)
+	}
+	if cfg.MobileAware {
+		host.RouteOverride = c.routeOverride
+		if ic != nil {
+			ic.OnBinding = func(src ipv4.Addr, msg icmp.Message) {
+				c.LearnBinding(core.Binding{Home: msg.Home, CareOf: msg.CareOf}, msg.Lifetime)
+			}
+		}
+	}
+	return c
+}
+
+// Host returns the wrapped host.
+func (c *Correspondent) Host() *stack.Host { return c.host }
+
+// Policy exposes the Section 7.2 decision state.
+func (c *Correspondent) Policy() *core.CorrespondentPolicy { return c.policy }
+
+// LearnBinding records a mobile host's location with a lifetime in
+// seconds (from an ICMP binding notice, a DNS CA record, or test setup).
+func (c *Correspondent) LearnBinding(b core.Binding, lifetimeSec uint16) {
+	if !c.cfg.MobileAware {
+		return
+	}
+	c.policy.LearnBinding(b)
+	c.Stats.BindingsLearned++
+	// Same-segment detection: if the care-of address is on one of our
+	// own links, In-DH beats In-DE.
+	onLink := false
+	for _, ifc := range c.host.Ifaces() {
+		if ifc.Prefix().Bits > 0 && ifc.Prefix().Contains(b.CareOf) && ifc.NIC().Attached() {
+			onLink = true
+			break
+		}
+	}
+	c.policy.NoteOnLink(b.Home, onLink)
+	if t := c.expiry[b.Home]; t != nil {
+		t.Stop()
+	}
+	if lifetimeSec > 0 {
+		home := b.Home
+		c.expiry[home] = c.host.Sched().After(vtime.Duration(lifetimeSec)*1e9, func() {
+			c.policy.ForgetBinding(home)
+			c.policy.NoteOnLink(home, false)
+			c.Stats.BindingsExpired++
+		})
+	}
+	c.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventRegister, Time: c.host.Sim().Now(), Where: c.host.Name(),
+		Detail: fmt.Sprintf("learned binding %s -> %s (on-link=%v)", b.Home, b.CareOf, onLink),
+	})
+}
+
+// ForgetBinding drops what we know about a mobile host (delivery failure).
+func (c *Correspondent) ForgetBinding(home ipv4.Addr) {
+	if t := c.expiry[home]; t != nil {
+		t.Stop()
+		delete(c.expiry, home)
+	}
+	c.policy.ForgetBinding(home)
+	c.policy.NoteOnLink(home, false)
+}
+
+// handleTunneled accepts packets tunneled directly to us by a mobile host
+// (Out-DE) and re-injects the inner packet. The inner destination is one
+// of our own addresses, so it is delivered locally. This is the
+// "automatic decapsulation" capability whose spoofing risk Section 6.1
+// flags — the simulation exposes exactly that property in its tests.
+func (c *Correspondent) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
+	inner, err := c.cfg.Codec.Decapsulate(outer)
+	if err != nil {
+		return
+	}
+	c.Stats.Decapsulated++
+	c.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventDecap, Time: c.host.Sim().Now(), Where: c.host.Name(),
+		PktID:  inner.TraceID,
+		Detail: fmt.Sprintf("decap from %s: inner %s > %s", outer.Src, inner.Src, inner.Dst),
+	})
+	_ = c.host.Resubmit(inner)
+}
+
+// routeOverride implements the smart correspondent's send path: if we
+// know the destination is a mobile host, bypass the home agent (Figure 5).
+func (c *Correspondent) routeOverride(pkt *ipv4.Packet) (stack.Route, bool) {
+	mode := c.policy.ModeFor(pkt.Dst, false)
+	switch mode {
+	case core.InDH:
+		// Same segment: plain packet to the home address, link-
+		// delivered to the care-of MAC. "The only difference is in the
+		// link-layer destination."
+		b, ok := c.policy.Binding(pkt.Dst)
+		if !ok {
+			return stack.Route{}, false
+		}
+		c.Stats.SentInDH++
+		host := c.host
+		careOf := b.CareOf
+		return stack.Route{
+			Name: "mip-ch-samelink",
+			Output: func(p ipv4.Packet) {
+				for _, ifc := range host.Ifaces() {
+					if ifc.Prefix().Bits > 0 && ifc.Prefix().Contains(careOf) {
+						_ = host.SendIPLinkDirect(ifc, careOf, p)
+						return
+					}
+				}
+				// Segment changed underneath us: fall back to plain IP.
+				p2 := p
+				p2.TraceID = 0
+				_ = host.SendIP(p2)
+			},
+		}, true
+	case core.InDE:
+		b, ok := c.policy.Binding(pkt.Dst)
+		if !ok {
+			return stack.Route{}, false
+		}
+		c.Stats.SentInDE++
+		if pkt.Src.IsZero() {
+			pkt.Src = c.host.SourceForDestinationPlain(pkt.Dst)
+		}
+		codec := c.cfg.Codec
+		host := c.host
+		careOf := b.CareOf
+		return stack.Route{
+			Name: "mip-ch-tunnel",
+			Output: func(inner ipv4.Packet) {
+				if inner.TTL == 0 {
+					inner.TTL = ipv4.DefaultTTL
+				}
+				outer, err := codec.Encapsulate(inner, inner.Src, careOf)
+				if err != nil {
+					return
+				}
+				host.Sim().Trace.Record(netsim.Event{
+					Kind: netsim.EventEncap, Time: host.Sim().Now(), Where: host.Name(),
+					PktID:  inner.TraceID,
+					Detail: fmt.Sprintf("CH tunnel %s > %s (inner dst %s)", inner.Src, careOf, inner.Dst),
+				})
+				_ = host.Resubmit(outer)
+			},
+		}, true
+	default:
+		return stack.Route{}, false // In-IE: plain IP, the HA does the work
+	}
+}

@@ -1,0 +1,168 @@
+package mobileip
+
+import (
+	"fmt"
+
+	"mob4x4/internal/encap"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/stack"
+	"mob4x4/internal/udp"
+	"mob4x4/internal/vtime"
+)
+
+// ForeignAgentConfig tunes a foreign agent.
+type ForeignAgentConfig struct {
+	// Codec must match the home agents' tunnel encapsulation (default
+	// IPIP).
+	Codec encap.Codec
+	// VisitorLifetime bounds how long a visitor entry survives without
+	// re-registration, in seconds (default 300).
+	VisitorLifetime uint16
+}
+
+// ForeignAgentStats counts agent activity.
+type ForeignAgentStats struct {
+	Relayed     uint64 // registration requests relayed to home agents
+	Replies     uint64 // registration replies relayed back
+	Delivered   uint64 // decapsulated packets delivered to visitors
+	BadRequests uint64
+}
+
+// ForeignAgent implements the IETF-style agent the paper contrasts its
+// self-sufficient design with (Section 2): visiting mobile hosts keep
+// their home address, register through the agent, and receive their
+// tunneled packets via the agent, which "decapsulates them and delivers
+// the enclosed packet to the mobile host" over the final link-layer hop
+// (the In-DH delivery technique, Section 5).
+//
+// The paper's critique — agents restrict the mobile host's options (no
+// Out-DT, no choice of decapsulator) — is what BenchmarkForeignAgent
+// quantifies.
+type ForeignAgent struct {
+	host  *stack.Host
+	iface *stack.Iface
+	cfg   ForeignAgentConfig
+	sock  *stack.UDPSocket
+
+	visitors map[ipv4.Addr]*visitor // keyed by home address
+
+	Stats ForeignAgentStats
+}
+
+type visitor struct {
+	homeAgent ipv4.Addr
+	port      uint16 // visitor's registration source port, for the reply
+	expiry    *vtime.Timer
+}
+
+// NewForeignAgent starts a foreign agent on host serving the segment of
+// iface.
+func NewForeignAgent(host *stack.Host, iface *stack.Iface, cfg ForeignAgentConfig) (*ForeignAgent, error) {
+	if cfg.Codec == nil {
+		cfg.Codec = encap.IPIP{}
+	}
+	if cfg.VisitorLifetime == 0 {
+		cfg.VisitorLifetime = 300
+	}
+	fa := &ForeignAgent{
+		host:     host,
+		iface:    iface,
+		cfg:      cfg,
+		visitors: make(map[ipv4.Addr]*visitor),
+	}
+	// A foreign agent routes on behalf of its visitors: their outgoing
+	// packets use it as the default gateway, so the host must forward.
+	host.Forwarding = true
+	sock, err := host.OpenUDP(ipv4.Zero, udp.PortRegistration, fa.handleRegistration)
+	if err != nil {
+		return nil, fmt.Errorf("mobileip: foreign agent: %w", err)
+	}
+	fa.sock = sock
+	host.Handle(cfg.Codec.Proto(), fa.handleTunneled)
+	return fa, nil
+}
+
+// Addr returns the agent's address — the care-of address its visitors
+// share.
+func (fa *ForeignAgent) Addr() ipv4.Addr { return fa.iface.Addr() }
+
+// Visitors returns the number of registered visitors.
+func (fa *ForeignAgent) Visitors() int { return len(fa.visitors) }
+
+// handleRegistration relays visitor registrations to their home agents
+// and home-agent replies back to the visitors.
+func (fa *ForeignAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte) {
+	msg, err := ParseMessage(payload)
+	if err != nil {
+		fa.Stats.BadRequests++
+		return
+	}
+	switch m := msg.(type) {
+	case *Request:
+		// A visitor on our segment: substitute our address as the
+		// care-of address and relay to the home agent.
+		m.CareOf = fa.Addr()
+		m.Flags |= FlagViaForeignAgent
+		v := fa.visitors[m.Home]
+		if v == nil {
+			v = &visitor{}
+			fa.visitors[m.Home] = v
+		} else if v.expiry != nil {
+			v.expiry.Stop()
+		}
+		v.homeAgent = m.HomeAgent
+		v.port = srcPort
+		home := m.Home
+		v.expiry = fa.host.Sched().After(vtime.Duration(fa.cfg.VisitorLifetime)*1e9, func() {
+			delete(fa.visitors, home)
+		})
+		if m.IsDeregistration() {
+			v.expiry.Stop()
+			delete(fa.visitors, home)
+		}
+		fa.Stats.Relayed++
+		_ = fa.sock.SendToFrom(fa.Addr(), m.HomeAgent, udp.PortRegistration, m.Marshal())
+	case *Reply:
+		// From a home agent: forward to the visitor over the local
+		// link. The visitor's home address is not routable here, so the
+		// delivery is link-direct (ARP resolves the visitor's answer
+		// for its own home address on this segment).
+		v, known := fa.visitors[m.Home]
+		if !known {
+			// Reply for a visitor we never saw; ignore.
+			fa.Stats.BadRequests++
+			return
+		}
+		fa.Stats.Replies++
+		d := udp.Datagram{SrcPort: udp.PortRegistration, DstPort: v.port, Payload: payload}
+		b, err := d.Marshal(fa.Addr(), m.Home)
+		if err != nil {
+			return
+		}
+		_ = fa.host.SendIPLinkDirect(fa.iface, m.Home, ipv4.Packet{
+			Header:  ipv4.Header{Protocol: ipv4.ProtoUDP, Src: fa.Addr(), Dst: m.Home},
+			Payload: b,
+		})
+	}
+}
+
+// handleTunneled decapsulates packets tunneled to the agent and delivers
+// the inner packet to the visiting mobile host in a single link-layer
+// hop.
+func (fa *ForeignAgent) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
+	inner, err := fa.cfg.Codec.Decapsulate(outer)
+	if err != nil {
+		return
+	}
+	if _, known := fa.visitors[inner.Dst]; !known {
+		return // not one of our visitors
+	}
+	fa.Stats.Delivered++
+	fa.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventDecap, Time: fa.host.Sim().Now(), Where: fa.host.Name(),
+		PktID:  inner.TraceID,
+		Detail: fmt.Sprintf("FA delivers inner %s > %s on-link", inner.Src, inner.Dst),
+	})
+	_ = fa.host.SendIPLinkDirect(fa.iface, inner.Dst, inner)
+}

@@ -1,0 +1,307 @@
+package mobileip
+
+import (
+	"fmt"
+
+	"mob4x4/internal/encap"
+	"mob4x4/internal/icmp"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/stack"
+	"mob4x4/internal/udp"
+	"mob4x4/internal/vtime"
+)
+
+// HomeAgentConfig tunes a home agent.
+type HomeAgentConfig struct {
+	// Codec selects the tunnel encapsulation (default IPIP).
+	Codec encap.Codec
+	// SendBindingNotices makes the agent send the ICMP care-of
+	// notification of Section 3.2 to correspondents whose packets it
+	// forwards, so smart correspondents can switch to In-DE.
+	SendBindingNotices bool
+	// NoticeLifetime is the lifetime advertised in binding notices
+	// (seconds; default 60).
+	NoticeLifetime uint16
+	// MaxBindings bounds the binding table (0 = unlimited).
+	MaxBindings int
+}
+
+// binding is one mobile host's registration.
+type binding struct {
+	careOf ipv4.Addr
+	flags  uint8
+	expiry *vtime.Timer
+	lastID uint64
+	// noticed tracks which correspondents already got a binding notice
+	// for this binding generation (simple rate limit: one per source
+	// per registration).
+	noticed map[ipv4.Addr]bool
+}
+
+// HomeAgentStats counts agent activity.
+type HomeAgentStats struct {
+	Registrations    uint64
+	Deregistrations  uint64
+	Expiries         uint64
+	Forwarded        uint64 // packets tunneled to mobile hosts
+	ReverseRelayed   uint64 // reverse-tunneled packets forwarded for MHs
+	NoticesSent      uint64
+	BadRequests      uint64
+	StaleRequests    uint64
+	MulticastRelayed uint64
+}
+
+// HomeAgent is "a machine on the mobile host's home network that acts as a
+// proxy on behalf of the mobile host for the duration of its absence"
+// (Section 2). It captures packets for registered mobile hosts with proxy
+// ARP, tunnels them to the current care-of address, relays reverse-
+// tunneled packets, and optionally tells smart correspondents where the
+// mobile host is.
+type HomeAgent struct {
+	host  *stack.Host
+	iface *stack.Iface // home-network interface used for proxy ARP
+	cfg   HomeAgentConfig
+	sock  *stack.UDPSocket
+
+	bindings map[ipv4.Addr]*binding // keyed by home address
+
+	// relayGroups maps multicast groups to the home addresses of mobile
+	// hosts subscribed through this agent (Section 6.4 relay mode).
+	relayGroups map[ipv4.Addr][]ipv4.Addr
+
+	Stats HomeAgentStats
+}
+
+// NewHomeAgent starts a home agent on host, using iface as the
+// home-network interface (the one on whose segment it proxy-ARPs for
+// absent mobile hosts).
+func NewHomeAgent(host *stack.Host, iface *stack.Iface, cfg HomeAgentConfig) (*HomeAgent, error) {
+	if cfg.Codec == nil {
+		cfg.Codec = encap.IPIP{}
+	}
+	if cfg.NoticeLifetime == 0 {
+		cfg.NoticeLifetime = 60
+	}
+	ha := &HomeAgent{
+		host:     host,
+		iface:    iface,
+		cfg:      cfg,
+		bindings: make(map[ipv4.Addr]*binding),
+	}
+	sock, err := host.OpenUDP(ipv4.Zero, udp.PortRegistration, ha.handleRegistration)
+	if err != nil {
+		return nil, fmt.Errorf("mobileip: home agent: %w", err)
+	}
+	ha.sock = sock
+	// Reverse tunnel: decapsulate tunneled packets addressed to us and
+	// forward the inner packet on behalf of the mobile host (Figure 3).
+	host.Handle(cfg.Codec.Proto(), ha.handleTunneled)
+	return ha, nil
+}
+
+// Host returns the agent's host.
+func (ha *HomeAgent) Host() *stack.Host { return ha.host }
+
+// Addr returns the agent's address on the home network.
+func (ha *HomeAgent) Addr() ipv4.Addr { return ha.iface.Addr() }
+
+// Bindings returns the number of active bindings.
+func (ha *HomeAgent) Bindings() int { return len(ha.bindings) }
+
+// CareOf returns the registered care-of address for a home address.
+func (ha *HomeAgent) CareOf(home ipv4.Addr) (ipv4.Addr, bool) {
+	b, ok := ha.bindings[home]
+	if !ok {
+		return ipv4.Zero, false
+	}
+	return b.careOf, true
+}
+
+// handleRegistration serves UDP 434.
+func (ha *HomeAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte) {
+	msg, err := ParseMessage(payload)
+	if err != nil {
+		ha.Stats.BadRequests++
+		return
+	}
+	req, ok := msg.(*Request)
+	if !ok {
+		ha.Stats.BadRequests++
+		return
+	}
+	reply := Reply{
+		Code:      CodeAccepted,
+		Lifetime:  req.Lifetime,
+		Home:      req.Home,
+		HomeAgent: ha.Addr(),
+		ID:        req.ID,
+	}
+	switch {
+	case req.HomeAgent != ha.Addr():
+		reply.Code = CodeDeniedNotHomeAgent
+	case !ha.iface.Prefix().Contains(req.Home):
+		// We can only proxy for hosts that actually live on our
+		// home network segment.
+		reply.Code = CodeDeniedNotHomeAgent
+	case ha.isStale(req):
+		// Replay protection: the identification must advance with
+		// every request for the binding ([Per96a] uses timestamps or
+		// nonces; the simulation's mobile nodes use a counter).
+		reply.Code = CodeDeniedStaleID
+		ha.Stats.StaleRequests++
+	case req.IsDeregistration():
+		ha.deregister(req.Home)
+		ha.Stats.Deregistrations++
+	default:
+		if ha.cfg.MaxBindings > 0 && len(ha.bindings) >= ha.cfg.MaxBindings {
+			if _, exists := ha.bindings[req.Home]; !exists {
+				reply.Code = CodeDeniedUnreachable
+			}
+		}
+		if reply.Code == CodeAccepted {
+			ha.register(req)
+			ha.Stats.Registrations++
+		}
+	}
+	rb := reply.Marshal()
+	if err := ha.sock.SendToFrom(ha.Addr(), src, srcPort, rb); err != nil {
+		// Reply undeliverable; the mobile host will retransmit.
+		_ = err
+	}
+}
+
+// isStale reports whether the request's identification fails to advance
+// past the binding's last accepted one.
+func (ha *HomeAgent) isStale(req *Request) bool {
+	b, ok := ha.bindings[req.Home]
+	return ok && req.ID <= b.lastID
+}
+
+func (ha *HomeAgent) register(req *Request) {
+	b := ha.bindings[req.Home]
+	if b == nil {
+		b = &binding{noticed: make(map[ipv4.Addr]bool)}
+		ha.bindings[req.Home] = b
+		// Claim the home address: packets for the mobile host arriving
+		// at this host are diverted to the tunnel forwarder.
+		home := req.Home
+		ha.host.Claim(home, func(ifc *stack.Iface, pkt ipv4.Packet) {
+			ha.forwardToMobile(home, pkt)
+		})
+		// Gratuitous proxy ARP ([RFC1027]): neighbours on the home
+		// segment now deliver the mobile host's frames to us.
+		ha.iface.Proxy().Add(req.Home)
+		ha.iface.GratuitousARP(req.Home)
+	} else if b.expiry != nil {
+		b.expiry.Stop()
+	}
+	b.careOf = req.CareOf
+	b.flags = req.Flags
+	b.lastID = req.ID
+	b.noticed = make(map[ipv4.Addr]bool) // new binding generation
+	home := req.Home
+	lifetime := vtime.Duration(req.Lifetime) * 1e9
+	b.expiry = ha.host.Sched().After(lifetime, func() {
+		ha.Stats.Expiries++
+		ha.deregister(home)
+	})
+	ha.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventRegister, Time: ha.host.Sim().Now(), Where: ha.host.Name(),
+		Detail: fmt.Sprintf("binding %s -> %s lifetime=%ds", req.Home, req.CareOf, req.Lifetime),
+	})
+}
+
+func (ha *HomeAgent) deregister(home ipv4.Addr) {
+	b, ok := ha.bindings[home]
+	if !ok {
+		return
+	}
+	if b.expiry != nil {
+		b.expiry.Stop()
+	}
+	delete(ha.bindings, home)
+	ha.host.Unclaim(home)
+	ha.iface.Proxy().Remove(home)
+	ha.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventRegister, Time: ha.host.Sim().Now(), Where: ha.host.Name(),
+		Detail: fmt.Sprintf("binding %s cleared", home),
+	})
+}
+
+// forwardToMobile implements Figure 1's thick arrow: encapsulate the
+// intercepted packet and send it to the care-of address.
+func (ha *HomeAgent) forwardToMobile(home ipv4.Addr, pkt ipv4.Packet) {
+	b, ok := ha.bindings[home]
+	if !ok {
+		return // binding raced away; packet is lost (higher layers recover)
+	}
+	outer, err := ha.cfg.Codec.Encapsulate(pkt, ha.Addr(), b.careOf)
+	if err != nil {
+		return
+	}
+	ha.Stats.Forwarded++
+	ha.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventEncap, Time: ha.host.Sim().Now(), Where: ha.host.Name(),
+		PktID:  pkt.TraceID,
+		Detail: fmt.Sprintf("tunnel %s > %s (inner %s > %s)", ha.Addr(), b.careOf, pkt.Src, pkt.Dst),
+	})
+	_ = ha.host.Resubmit(outer)
+
+	if ha.cfg.SendBindingNotices && !b.noticed[pkt.Src] {
+		b.noticed[pkt.Src] = true
+		ha.sendBindingNotice(pkt.Src, home, b.careOf)
+	}
+}
+
+// sendBindingNotice tells a correspondent the mobile host's care-of
+// address (Section 3.2's first discovery mechanism: "when the home agent
+// forwards a packet to the mobile host, it may also send an ICMP message
+// back to the packet's source").
+func (ha *HomeAgent) sendBindingNotice(to, home, careOf ipv4.Addr) {
+	msg := icmp.BindingNotice(home, careOf, ha.cfg.NoticeLifetime)
+	ha.Stats.NoticesSent++
+	_ = ha.host.SendIP(ipv4.Packet{
+		Header:  ipv4.Header{Protocol: ipv4.ProtoICMP, Src: ha.Addr(), Dst: to},
+		Payload: msg.Marshal(),
+	})
+}
+
+// handleTunneled serves the reverse tunnel (Out-IE, Figure 3): packets
+// tunneled to the agent are decapsulated and the inner packet forwarded.
+// Only inner sources belonging to registered mobile hosts are relayed —
+// an open decapsulator would be exactly the spoofing hole Section 6.1
+// warns about.
+func (ha *HomeAgent) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
+	inner, err := ha.cfg.Codec.Decapsulate(outer)
+	if err != nil {
+		return
+	}
+	b, registered := ha.bindings[inner.Src]
+	if !registered {
+		// Not one of ours. If the inner destination is a registered
+		// mobile host this is a correspondent's tunnel that happened to
+		// target us — forward it on; otherwise drop.
+		if _, isForMH := ha.bindings[inner.Dst]; !isForMH {
+			return
+		}
+	} else {
+		if outer.Src != b.careOf {
+			// Tunnel source does not match the registered care-of
+			// address; treat as stale or forged and drop.
+			return
+		}
+		if b.flags&FlagReverseTunnel == 0 {
+			// The binding did not ask for reverse tunneling; accept
+			// anyway (the paper's agents are permissive about their own
+			// hosts) but count it separately would be noise — relay.
+		}
+	}
+	ha.Stats.ReverseRelayed++
+	ha.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventDecap, Time: ha.host.Sim().Now(), Where: ha.host.Name(),
+		PktID:  inner.TraceID,
+		Detail: fmt.Sprintf("reverse tunnel: inner %s > %s", inner.Src, inner.Dst),
+	})
+	_ = ha.host.Resubmit(inner)
+}

@@ -1,0 +1,137 @@
+// Package mobileip implements the Mobile IP machinery of Section 2 of the
+// paper, in the style of the Draft IETF protocol ([Per96a]) with the
+// paper's MosquitoNet emphasis on self-sufficient mobile hosts: a mobile
+// host connects directly to visited networks, acquires its own care-of
+// address, and registers it with its home agent over UDP; no foreign
+// agent is required (one is provided anyway, for the comparison
+// benchmark).
+//
+// The package executes the routing modes that package core selects: the
+// home agent implements In-IE capture-and-tunnel (gratuitous proxy ARP +
+// encapsulation) and the reverse tunnel of Out-IE; the mobile node
+// implements all four Out modes behind the stack's route-lookup override;
+// the correspondent agent implements the smart-CH behavior (In-DE, In-DH)
+// of Sections 3.2 and 7.2.
+package mobileip
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mob4x4/internal/ipv4"
+)
+
+// Registration message types (UDP port 434, after [Per96a]).
+const (
+	TypeRegistrationRequest uint8 = 1
+	TypeRegistrationReply   uint8 = 3
+)
+
+// Registration reply codes.
+const (
+	CodeAccepted           uint8 = 0
+	CodeDeniedUnreachable  uint8 = 64 // reason unspecified / delivery failure
+	CodeDeniedBadRequest   uint8 = 70
+	CodeDeniedStaleID      uint8 = 133 // identification mismatch (replayed/old request)
+	CodeDeniedNotHomeAgent uint8 = 136 // we are not a home agent for this host
+)
+
+// Request flags.
+const (
+	// FlagReverseTunnel asks the home agent to accept reverse-tunneled
+	// (Out-IE) packets from this binding ([Mon96] bi-directional
+	// tunneling).
+	FlagReverseTunnel uint8 = 1 << 0
+	// FlagViaForeignAgent marks a registration relayed by a foreign
+	// agent (the care-of address is the agent's, not the mobile
+	// host's own).
+	FlagViaForeignAgent uint8 = 1 << 1
+)
+
+// Request is a registration request. Lifetime zero with CareOf equal to
+// the home address is a deregistration (the mobile host came home).
+type Request struct {
+	Flags     uint8
+	Lifetime  uint16 // seconds
+	Home      ipv4.Addr
+	HomeAgent ipv4.Addr
+	CareOf    ipv4.Addr
+	ID        uint64 // matches replies to requests; replay ordering
+}
+
+const requestLen = 1 + 1 + 2 + 4 + 4 + 4 + 8
+
+// Marshal serializes the request.
+func (r *Request) Marshal() []byte {
+	b := make([]byte, requestLen)
+	b[0] = TypeRegistrationRequest
+	b[1] = r.Flags
+	binary.BigEndian.PutUint16(b[2:], r.Lifetime)
+	copy(b[4:8], r.Home[:])
+	copy(b[8:12], r.HomeAgent[:])
+	copy(b[12:16], r.CareOf[:])
+	binary.BigEndian.PutUint64(b[16:], r.ID)
+	return b
+}
+
+// Reply is a registration reply.
+type Reply struct {
+	Code      uint8
+	Lifetime  uint16
+	Home      ipv4.Addr
+	HomeAgent ipv4.Addr
+	ID        uint64
+}
+
+const replyLen = 1 + 1 + 2 + 4 + 4 + 8
+
+// Marshal serializes the reply.
+func (r *Reply) Marshal() []byte {
+	b := make([]byte, replyLen)
+	b[0] = TypeRegistrationReply
+	b[1] = r.Code
+	binary.BigEndian.PutUint16(b[2:], r.Lifetime)
+	copy(b[4:8], r.Home[:])
+	copy(b[8:12], r.HomeAgent[:])
+	binary.BigEndian.PutUint64(b[12:], r.ID)
+	return b
+}
+
+// ParseMessage decodes a registration datagram into *Request or *Reply.
+func ParseMessage(b []byte) (any, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("mobileip: empty message")
+	}
+	switch b[0] {
+	case TypeRegistrationRequest:
+		if len(b) < requestLen {
+			return nil, fmt.Errorf("mobileip: truncated request (%d bytes)", len(b))
+		}
+		r := &Request{
+			Flags:    b[1],
+			Lifetime: binary.BigEndian.Uint16(b[2:]),
+			ID:       binary.BigEndian.Uint64(b[16:]),
+		}
+		copy(r.Home[:], b[4:8])
+		copy(r.HomeAgent[:], b[8:12])
+		copy(r.CareOf[:], b[12:16])
+		return r, nil
+	case TypeRegistrationReply:
+		if len(b) < replyLen {
+			return nil, fmt.Errorf("mobileip: truncated reply (%d bytes)", len(b))
+		}
+		r := &Reply{
+			Code:     b[1],
+			Lifetime: binary.BigEndian.Uint16(b[2:]),
+			ID:       binary.BigEndian.Uint64(b[12:]),
+		}
+		copy(r.Home[:], b[4:8])
+		copy(r.HomeAgent[:], b[8:12])
+		return r, nil
+	default:
+		return nil, fmt.Errorf("mobileip: unknown message type %d", b[0])
+	}
+}
+
+// IsDeregistration reports whether the request asks to clear the binding.
+func (r *Request) IsDeregistration() bool { return r.Lifetime == 0 }

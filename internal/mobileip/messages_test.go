@@ -1,0 +1,98 @@
+package mobileip
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mob4x4/internal/ipv4"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := Request{
+		Flags:     FlagReverseTunnel,
+		Lifetime:  300,
+		Home:      ipv4.MustParseAddr("36.1.1.3"),
+		HomeAgent: ipv4.MustParseAddr("36.1.1.2"),
+		CareOf:    ipv4.MustParseAddr("128.9.1.4"),
+		ID:        0xdeadbeefcafe,
+	}
+	msg, err := ParseMessage(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := msg.(*Request)
+	if !ok {
+		t.Fatalf("parsed %T", msg)
+	}
+	if *got != req {
+		t.Errorf("round trip: %+v vs %+v", *got, req)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	rep := Reply{
+		Code:      CodeAccepted,
+		Lifetime:  120,
+		Home:      ipv4.MustParseAddr("36.1.1.3"),
+		HomeAgent: ipv4.MustParseAddr("36.1.1.2"),
+		ID:        42,
+	}
+	msg, err := ParseMessage(rep.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := msg.(*Reply)
+	if !ok {
+		t.Fatalf("parsed %T", msg)
+	}
+	if *got != rep {
+		t.Errorf("round trip: %+v vs %+v", *got, rep)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseMessage(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := ParseMessage([]byte{TypeRegistrationRequest, 0, 0}); err == nil {
+		t.Error("truncated request accepted")
+	}
+	if _, err := ParseMessage([]byte{TypeRegistrationReply, 0, 0}); err == nil {
+		t.Error("truncated reply accepted")
+	}
+	if _, err := ParseMessage([]byte{99, 0, 0, 0}); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestIsDeregistration(t *testing.T) {
+	r := Request{Lifetime: 0}
+	if !r.IsDeregistration() {
+		t.Error("lifetime 0 should be deregistration")
+	}
+	r.Lifetime = 1
+	if r.IsDeregistration() {
+		t.Error("lifetime 1 is not deregistration")
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(flags uint8, lifetime uint16, home, ha, coa uint32, id uint64) bool {
+		req := Request{
+			Flags: flags, Lifetime: lifetime,
+			Home:      ipv4.AddrFromUint32(home),
+			HomeAgent: ipv4.AddrFromUint32(ha),
+			CareOf:    ipv4.AddrFromUint32(coa),
+			ID:        id,
+		}
+		msg, err := ParseMessage(req.Marshal())
+		if err != nil {
+			return false
+		}
+		got, ok := msg.(*Request)
+		return ok && *got == req
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,484 @@
+package mobileip
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mob4x4/internal/core"
+	"mob4x4/internal/encap"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/stack"
+	"mob4x4/internal/udp"
+	"mob4x4/internal/vtime"
+)
+
+// MobileNodeConfig configures a mobile host's mobility support software.
+type MobileNodeConfig struct {
+	// Home is the permanent home address; HomePrefix its home network.
+	Home       ipv4.Addr
+	HomePrefix ipv4.Prefix
+	// HomeAgent is the agent's address on the home network.
+	HomeAgent ipv4.Addr
+	// Codec selects tunnel encapsulation (default IPIP).
+	Codec encap.Codec
+	// Lifetime is the registration lifetime requested, in seconds
+	// (default 120).
+	Lifetime uint16
+	// RegRetryInterval is the registration retransmission interval
+	// (default 1s); RegMaxRetries bounds attempts per registration
+	// (default 5).
+	RegRetryInterval vtime.Duration
+	RegMaxRetries    int
+	// Selector is the outgoing-mode decision engine (default: a
+	// pessimistic selector). Ports is the Out-DT port heuristic
+	// (default: the paper's HTTP+DNS set; set to an empty heuristic to
+	// disable).
+	Selector *core.Selector
+	Ports    *core.PortHeuristic
+	// Privacy forces all home-address traffic through Out-IE regardless
+	// of the selector (the location-privacy motivation of Section 4).
+	Privacy bool
+	// AnnouncePresence broadcasts a same-segment presence announcement
+	// after every move, so aware hosts on the visited LAN switch to
+	// In-DH (Row C discovery). Off when Privacy is set — announcing
+	// location defeats the point.
+	AnnouncePresence bool
+	// ReverseTunnelFlag is advertised in registrations.
+	ReverseTunnelFlag bool
+}
+
+// MobileNodeStats counts mobility events and per-mode traffic.
+type MobileNodeStats struct {
+	Moves             uint64
+	Registrations     uint64
+	RegistrationFails uint64
+	Renewals          uint64
+	OutByMode         [core.NumOutModes]uint64
+	InTunneled        uint64 // packets received through the tunnel
+	InDirect          uint64 // plain packets to the home address (In-DH)
+}
+
+// MobileNode is the mobile host's mobility support: it owns the policy
+// decision for every outgoing packet (via the stack's route-lookup
+// override), runs the registration protocol with the home agent, and
+// decapsulates incoming tunneled packets. It corresponds to the Linux
+// kernel modification plus user-level daemon described in Section 7.
+type MobileNode struct {
+	host *stack.Host
+	ifc  *stack.Iface
+	cfg  MobileNodeConfig
+
+	careOf     ipv4.Addr
+	atHome     bool
+	registered bool
+	// viaFA marks foreign-agent attachment: the care-of address is the
+	// agent's, the node keeps its home address on the local link, and —
+	// as the paper stresses — the agent "restrict[s] the freedom of the
+	// mobile host to choose from the full range of possible
+	// optimizations": outgoing traffic is Out-DH only.
+	viaFA bool
+
+	regID      uint64
+	regTimer   *vtime.Timer
+	renewTimer *vtime.Timer
+	regTries   int
+	sock       *stack.UDPSocket
+
+	// OnRegistered, when non-nil, fires when a registration (not a
+	// renewal) is accepted.
+	OnRegistered func()
+
+	Stats MobileNodeStats
+}
+
+// NewMobileNode installs mobility support on host. The host must already
+// have its physical interface configured at home (address == cfg.Home).
+func NewMobileNode(host *stack.Host, ifc *stack.Iface, cfg MobileNodeConfig) (*MobileNode, error) {
+	if cfg.Codec == nil {
+		cfg.Codec = encap.IPIP{}
+	}
+	if cfg.Lifetime == 0 {
+		cfg.Lifetime = 120
+	}
+	if cfg.RegRetryInterval == 0 {
+		cfg.RegRetryInterval = vtime.Duration(1e9)
+	}
+	if cfg.RegMaxRetries == 0 {
+		cfg.RegMaxRetries = 5
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = core.NewSelector(core.StartPessimistic)
+	}
+	if cfg.Ports == nil {
+		cfg.Ports = core.DefaultPortHeuristic()
+	}
+	mn := &MobileNode{
+		host:   host,
+		ifc:    ifc,
+		cfg:    cfg,
+		careOf: cfg.Home,
+		atHome: true,
+	}
+	// The home address is always ours, wherever we are.
+	host.Claim(cfg.Home, nil)
+	// Tunnel decapsulation: packets tunneled to our care-of address.
+	host.Handle(cfg.Codec.Proto(), mn.handleTunneled)
+	// The mobility policy consults us before the route table.
+	host.RouteOverride = mn.routeOverride
+	sock, err := host.OpenUDP(ipv4.Zero, 0, mn.handleRegistrationReply)
+	if err != nil {
+		return nil, fmt.Errorf("mobileip: mobile node: %w", err)
+	}
+	mn.sock = sock
+	return mn, nil
+}
+
+// Host returns the underlying host.
+func (mn *MobileNode) Host() *stack.Host { return mn.host }
+
+// Home returns the permanent home address.
+func (mn *MobileNode) Home() ipv4.Addr { return mn.cfg.Home }
+
+// CareOf returns the current care-of address (== Home when at home).
+func (mn *MobileNode) CareOf() ipv4.Addr { return mn.careOf }
+
+// AtHome reports whether the node is on its home network.
+func (mn *MobileNode) AtHome() bool { return mn.atHome }
+
+// Registered reports whether the current care-of address is registered
+// with the home agent.
+func (mn *MobileNode) Registered() bool { return mn.registered }
+
+// Selector exposes the outgoing-mode engine (experiments feed it
+// retransmission signals).
+func (mn *MobileNode) Selector() *core.Selector { return mn.cfg.Selector }
+
+// SetPrivacy toggles location privacy at runtime.
+func (mn *MobileNode) SetPrivacy(v bool) { mn.cfg.Privacy = v }
+
+// MoveTo attaches the node to a visited segment with the given care-of
+// address, on-link prefix and default gateway, then registers the new
+// location with the home agent ("If the mobile host moves again ... it
+// must again inform its home agent of its new location").
+func (mn *MobileNode) MoveTo(seg *netsim.Segment, careOf ipv4.Addr, prefix ipv4.Prefix, gateway ipv4.Addr) {
+	mn.cancelTimers()
+	mn.registered = false
+	mn.atHome = false
+	mn.viaFA = false
+	mn.careOf = careOf
+	mn.Stats.Moves++
+	mn.ifc.Attach(seg)
+	mn.ifc.SetAddr(careOf, prefix)
+	mn.host.Routes().Remove(ipv4.Prefix{}) // old default route
+	if !gateway.IsZero() {
+		mn.host.Routes().AddDefault(mn.ifc, gateway)
+	}
+	// History built at the old location may be wrong here (different
+	// filters on the path); start conversations fresh.
+	mn.cfg.Selector.Reset()
+	if mn.cfg.AnnouncePresence && !mn.cfg.Privacy {
+		mn.AnnouncePresence()
+	}
+	mn.register()
+}
+
+// MoveToForeignAgent attaches the node to a visited segment served by a
+// foreign agent (the IETF attachment style of Section 2). The node keeps
+// its home address on the local link; the agent's address becomes the
+// care-of address; registration is relayed through the agent.
+func (mn *MobileNode) MoveToForeignAgent(seg *netsim.Segment, faAddr ipv4.Addr) {
+	mn.cancelTimers()
+	mn.registered = false
+	mn.atHome = false
+	mn.viaFA = true
+	mn.careOf = faAddr
+	mn.Stats.Moves++
+	mn.ifc.Attach(seg)
+	// Keep the home address; no on-link prefix is configured because the
+	// home address is not topologically valid here. The node answers ARP
+	// for its home address, which is how the agent link-delivers to it.
+	mn.ifc.SetAddr(mn.cfg.Home, ipv4.Prefix{})
+	mn.host.Routes().Remove(ipv4.Prefix{})
+	mn.host.Routes().AddDefault(mn.ifc, faAddr)
+	mn.cfg.Selector.Reset()
+	mn.register()
+}
+
+// ViaForeignAgent reports whether the node is attached through a foreign
+// agent.
+func (mn *MobileNode) ViaForeignAgent() bool { return mn.viaFA }
+
+// GoHome reattaches the node to its home segment and clears the binding
+// ("When the mobile host is at home, it ... functions like a normal
+// non-mobile Internet host").
+func (mn *MobileNode) GoHome(seg *netsim.Segment, gateway ipv4.Addr) {
+	mn.cancelTimers()
+	mn.Stats.Moves++
+	mn.ifc.Attach(seg)
+	mn.ifc.SetAddr(mn.cfg.Home, mn.cfg.HomePrefix)
+	mn.host.Routes().Remove(ipv4.Prefix{})
+	if !gateway.IsZero() {
+		mn.host.Routes().AddDefault(mn.ifc, gateway)
+	}
+	mn.careOf = mn.cfg.Home
+	mn.atHome = true
+	mn.viaFA = false
+	mn.registered = false
+	mn.cfg.Selector.Reset()
+	// Deregister and reclaim our address on the home segment.
+	mn.sendRegistration(0, mn.cfg.Home)
+	mn.ifc.GratuitousARP(mn.cfg.Home)
+}
+
+// Detach models the laptop going to sleep mid-move: connected to nothing.
+// A detached node no longer assumes it is home — wherever it wakes up, it
+// either discovers an agent (ListenForAgents), acquires an address
+// (MoveTo/DHCP), or is explicitly returned home (GoHome).
+func (mn *MobileNode) Detach() {
+	mn.cancelTimers()
+	mn.registered = false
+	mn.atHome = false
+	mn.ifc.Detach()
+}
+
+func (mn *MobileNode) cancelTimers() {
+	if mn.regTimer != nil {
+		mn.regTimer.Stop()
+		mn.regTimer = nil
+	}
+	if mn.renewTimer != nil {
+		mn.renewTimer.Stop()
+		mn.renewTimer = nil
+	}
+}
+
+// register starts (or restarts) the registration exchange.
+func (mn *MobileNode) register() {
+	mn.regTries = 0
+	mn.sendRegistration(mn.cfg.Lifetime, mn.careOf)
+	mn.armRegRetry()
+}
+
+func (mn *MobileNode) sendRegistration(lifetime uint16, careOf ipv4.Addr) {
+	mn.regID++
+	var flags uint8
+	if mn.cfg.ReverseTunnelFlag {
+		flags |= FlagReverseTunnel
+	}
+	req := Request{
+		Flags:     flags,
+		Lifetime:  lifetime,
+		Home:      mn.cfg.Home,
+		HomeAgent: mn.cfg.HomeAgent,
+		CareOf:    careOf,
+		ID:        mn.regID,
+	}
+	if mn.viaFA {
+		// Via a foreign agent: the request goes to the agent (one
+		// link-layer hop) from the home address; the agent substitutes
+		// its own address as the care-of address and relays.
+		req.Flags |= FlagViaForeignAgent
+		_ = mn.sock.SendToFrom(mn.cfg.Home, mn.careOf, udp.PortRegistration, req.Marshal())
+		return
+	}
+	// Self-sufficient: registration always travels Out-DT — "It has no
+	// choice, since until it has registered with the home agent the
+	// other Mobile IP delivery services are not available" (Section 6.4).
+	_ = mn.sock.SendToFrom(mn.careOf, mn.cfg.HomeAgent, udp.PortRegistration, req.Marshal())
+}
+
+func (mn *MobileNode) armRegRetry() {
+	mn.regTimer = mn.host.Sched().After(mn.cfg.RegRetryInterval, func() {
+		if mn.registered || mn.atHome {
+			return
+		}
+		mn.regTries++
+		if mn.regTries >= mn.cfg.RegMaxRetries {
+			mn.Stats.RegistrationFails++
+			return
+		}
+		mn.sendRegistration(mn.cfg.Lifetime, mn.careOf)
+		mn.armRegRetry()
+	})
+}
+
+func (mn *MobileNode) handleRegistrationReply(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte) {
+	msg, err := ParseMessage(payload)
+	if err != nil {
+		return
+	}
+	rep, ok := msg.(*Reply)
+	if !ok || rep.ID != mn.regID || rep.Home != mn.cfg.Home {
+		return
+	}
+	if rep.Code != CodeAccepted {
+		mn.Stats.RegistrationFails++
+		return
+	}
+	if rep.Lifetime == 0 {
+		return // deregistration confirmed
+	}
+	if mn.regTimer != nil {
+		mn.regTimer.Stop()
+		mn.regTimer = nil
+	}
+	first := !mn.registered
+	mn.registered = true
+	mn.Stats.Registrations++
+	mn.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventRegister, Time: mn.host.Sim().Now(), Where: mn.host.Name(),
+		Detail: fmt.Sprintf("registered %s -> %s lifetime=%ds", mn.cfg.Home, mn.careOf, rep.Lifetime),
+	})
+	// Renew at 80% of the granted lifetime.
+	renewAt := vtime.Duration(rep.Lifetime) * 1e9 * 8 / 10
+	mn.renewTimer = mn.host.Sched().After(renewAt, func() {
+		if mn.atHome || !mn.registered {
+			return
+		}
+		mn.Stats.Renewals++
+		mn.sendRegistration(mn.cfg.Lifetime, mn.careOf)
+		mn.armRegRetry()
+	})
+	if first && mn.OnRegistered != nil {
+		mn.OnRegistered()
+	}
+}
+
+// handleTunneled decapsulates packets tunneled to our care-of address and
+// re-injects the inner packet (addressed to the home address, which we
+// claim, so it is delivered locally).
+func (mn *MobileNode) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
+	inner, err := mn.cfg.Codec.Decapsulate(outer)
+	if err != nil {
+		return
+	}
+	mn.Stats.InTunneled++
+	if inner.Dst.IsMulticast() {
+		// Group traffic relayed by the home agent (Section 6.4's
+		// tunneled alternative): deliver to our own subscribers.
+		mn.host.InjectLocal(inner)
+		return
+	}
+	mn.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventDecap, Time: mn.host.Sim().Now(), Where: mn.host.Name(),
+		PktID:  inner.TraceID,
+		Detail: fmt.Sprintf("detunnel: inner %s > %s", inner.Src, inner.Dst),
+	})
+	_ = mn.host.Resubmit(inner)
+}
+
+// transportDstPort extracts the destination port from a UDP or TCP
+// payload (both carry it at offset 2).
+func transportDstPort(pkt *ipv4.Packet) (uint16, bool) {
+	if pkt.Protocol != ipv4.ProtoUDP && pkt.Protocol != ipv4.ProtoTCP {
+		return 0, false
+	}
+	if len(pkt.Payload) < 4 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(pkt.Payload[2:4]), true
+}
+
+// routeOverride is the paper's policy-table-before-route-table hook. It
+// decides, per packet, which of the four outgoing modes to use and either
+// routes the packet onto the tunnel virtual interface (encapsulated
+// modes) or pins the source address and falls through to normal routing.
+func (mn *MobileNode) routeOverride(pkt *ipv4.Packet) (stack.Route, bool) {
+	if mn.atHome {
+		return stack.Route{}, false // normal host at home: normal routing
+	}
+	if mn.viaFA {
+		// Foreign-agent attachment: the full menu is unavailable. All
+		// outgoing traffic is plain IP from the home address, routed
+		// via the agent (the restriction Section 2 criticizes).
+		pkt.Src = mn.cfg.Home
+		mn.Stats.OutByMode[core.OutDH]++
+		return stack.Route{}, false
+	}
+	// Never intercept our own registration/tunnel machinery, and honor
+	// explicit bindings: a packet sourced from the care-of address — or
+	// from the address of ANY physical interface ("If the application
+	// binds its socket to the source address of (any of) the machine's
+	// physical interface(s), then the packets sent through that socket
+	// are sent directly", §7.1.1) — is Out-DT by application request.
+	if pkt.Src == mn.careOf {
+		mn.Stats.OutByMode[core.OutDT]++
+		return stack.Route{}, false
+	}
+	if !pkt.Src.IsZero() && pkt.Src != mn.cfg.Home {
+		for _, ifc := range mn.host.Ifaces() {
+			if ifc.Addr() == pkt.Src {
+				mn.Stats.OutByMode[core.OutDT]++
+				return stack.Route{}, false
+			}
+		}
+	}
+
+	pref := core.PreferAuto
+	if pkt.Src == mn.cfg.Home {
+		pref = core.PreferHome
+	}
+	dstPort, _ := transportDstPort(pkt)
+
+	_, ruleForced := mn.cfg.Selector.ForcedMode(pkt.Dst)
+	var mode core.OutMode
+	switch {
+	case mn.cfg.Privacy:
+		mode = core.OutIE
+	case !ruleForced && mn.ifc.Prefix().Bits > 0 && mn.ifc.Prefix().Contains(pkt.Dst):
+		// Same-segment correspondent (Row C): deliver directly with the
+		// home source address; no router — and so no filter — is
+		// involved. This also satisfies a socket pinned to the home
+		// address: Out-DH keeps the home address as the endpoint. An
+		// explicit user rule for the destination overrides the shortcut.
+		mode = core.OutDH
+	default:
+		mode = core.Decide(mn.cfg.Selector, mn.cfg.Ports, pref, pkt.Dst, dstPort).Mode
+	}
+	mn.Stats.OutByMode[mode]++
+
+	switch mode {
+	case core.OutDT:
+		pkt.Src = mn.careOf
+		return stack.Route{}, false
+	case core.OutDH:
+		pkt.Src = mn.cfg.Home
+		return stack.Route{}, false
+	case core.OutDE:
+		return mn.tunnelRoute(pkt, pkt.Dst), true
+	default: // core.OutIE
+		return mn.tunnelRoute(pkt, mn.cfg.HomeAgent), true
+	}
+}
+
+// tunnelRoute builds the virtual-interface route that encapsulates pkt
+// toward decapsulator ("the routine directs IP to send the packet to our
+// virtual interface, which encapsulates the packet and resubmits it to
+// IP").
+func (mn *MobileNode) tunnelRoute(pkt *ipv4.Packet, decapsulator ipv4.Addr) stack.Route {
+	if pkt.Src.IsZero() {
+		pkt.Src = mn.cfg.Home
+	}
+	codec := mn.cfg.Codec
+	host := mn.host
+	careOf := mn.careOf
+	return stack.Route{
+		Name: "mip-tunnel",
+		Output: func(inner ipv4.Packet) {
+			if inner.TTL == 0 {
+				inner.TTL = ipv4.DefaultTTL
+			}
+			outer, err := codec.Encapsulate(inner, careOf, decapsulator)
+			if err != nil {
+				return
+			}
+			host.Sim().Trace.Record(netsim.Event{
+				Kind: netsim.EventEncap, Time: host.Sim().Now(), Where: host.Name(),
+				PktID:  inner.TraceID,
+				Detail: fmt.Sprintf("tunnel %s > %s (inner %s > %s)", careOf, decapsulator, inner.Src, inner.Dst),
+			})
+			_ = host.Resubmit(outer)
+		},
+	}
+}

@@ -1,0 +1,60 @@
+package mobileip
+
+import (
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/vtime"
+)
+
+// AutoProber completes the pessimistic strategy of Section 7.1.2: "start
+// with the most conservative (Out-IE), and then over the lifetime of the
+// conversation tentatively try each of the more aggressive options
+// (Out-DE and Out-DH), at each stage being prepared to return to the
+// conservative method if the more aggressive method fails." It
+// periodically asks the selector to probe one step up the ladder for
+// every active correspondent; the transport feedback loop confirms or
+// rolls back each probe.
+type AutoProber struct {
+	mn       *MobileNode
+	interval vtime.Duration
+	active   map[ipv4.Addr]bool
+	stopped  bool
+	// Probes counts upgrade attempts started.
+	Probes uint64
+}
+
+// NewAutoProber starts probing every interval for correspondents
+// registered with Track. Stop it with Stop.
+func NewAutoProber(mn *MobileNode, interval vtime.Duration) *AutoProber {
+	p := &AutoProber{
+		mn:       mn,
+		interval: interval,
+		active:   make(map[ipv4.Addr]bool),
+	}
+	p.arm()
+	return p
+}
+
+// Track adds a correspondent to the probing set (call when a conversation
+// starts). Untrack removes it (conversation over — no point probing).
+func (p *AutoProber) Track(dst ipv4.Addr)   { p.active[dst] = true }
+func (p *AutoProber) Untrack(dst ipv4.Addr) { delete(p.active, dst) }
+
+// Stop halts probing.
+func (p *AutoProber) Stop() { p.stopped = true }
+
+func (p *AutoProber) arm() {
+	p.mn.host.Sched().After(p.interval, func() {
+		if p.stopped {
+			return
+		}
+		if !p.mn.AtHome() {
+			sel := p.mn.Selector()
+			for dst := range p.active {
+				if ok, _ := sel.TryUpgrade(dst); ok {
+					p.Probes++
+				}
+			}
+		}
+		p.arm()
+	})
+}

@@ -1,0 +1,129 @@
+package mobileip_test
+
+import (
+	"testing"
+
+	"mob4x4/internal/core"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/mobileip"
+	"mob4x4/internal/tcplite"
+)
+
+// TestAutoProberUpgradesPessimisticStart wires the full §7.1.2 loop: a
+// pessimistic conversation starts at Out-IE, the prober tentatively
+// upgrades, transport progress confirms each step, and the conversation
+// ends up direct (Out-DH) with no filters in the way.
+func TestAutoProberUpgradesPessimisticStart(t *testing.T) {
+	sel := core.NewSelector(core.StartPessimistic)
+	w := buildWorld(t, worldOpts{selector: sel, chDecap: true})
+	w.roam(t)
+
+	// Transport feedback drives confirm/rollback.
+	fb := &mobileip.SelectorFeedback{Selector: sel}
+	mhTCP := tcplite.New(w.mhHost)
+	mhTCP.Feedback = fb
+	chTCP := tcplite.New(w.chFar)
+	if _, err := chTCP.Listen(7, func(c *tcplite.Conn) {
+		c.OnData = func(p []byte) { _ = c.Write(p) }
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	prober := mobileip.NewAutoProber(w.mn, 3e9)
+	defer prober.Stop()
+	target := w.chFar.FirstAddr()
+	prober.Track(target)
+
+	conn, err := mhTCP.Dial(w.mn.Home(), target, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoes := 0
+	conn.OnData = func(p []byte) { echoes++ }
+	conn.OnEstablished = func() { _ = conn.Write([]byte("k")) }
+	tick := func() {}
+	tick = func() {
+		if conn.State() == tcplite.StateClosed {
+			return
+		}
+		_ = conn.Write([]byte("k"))
+		w.net.Sched().After(1e9, tick)
+	}
+	w.net.Sched().After(1e9, tick)
+
+	if got := sel.ModeFor(target); got != core.OutIE {
+		t.Fatalf("initial mode = %s", got)
+	}
+	w.net.RunFor(30e9)
+
+	if echoes == 0 {
+		t.Fatal("conversation made no progress")
+	}
+	if got := sel.ModeFor(target); got != core.OutDH {
+		t.Errorf("mode after probing = %s, want Out-DH", got)
+	}
+	if prober.Probes < 2 {
+		t.Errorf("probes = %d, want >= 2 (IE->DE->DH)", prober.Probes)
+	}
+}
+
+// TestAutoProberRollsBackUnderFiltering: with the home boundary
+// filtering, Out-DH probes fail and the conversation settles back to a
+// working tunneled mode instead of dying.
+func TestAutoProberRollsBackUnderFiltering(t *testing.T) {
+	sel := core.NewSelector(core.StartPessimistic)
+	w := buildWorld(t, worldOpts{selector: sel, homeFilter: true, chDecap: false})
+	w.roam(t)
+
+	fb := &mobileip.SelectorFeedback{Selector: sel}
+	sel.CHCanDecapsulate = func(a ipv4.Addr) bool { return false }
+	mhTCP := tcplite.New(w.mhHost)
+	mhTCP.Feedback = fb
+	chTCP := tcplite.New(w.chHome)
+	if _, err := chTCP.Listen(7, func(c *tcplite.Conn) {
+		c.OnData = func(p []byte) { _ = c.Write(p) }
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	prober := mobileip.NewAutoProber(w.mn, 5e9)
+	defer prober.Stop()
+	target := w.chHome.FirstAddr()
+	prober.Track(target)
+
+	conn, err := mhTCP.Dial(w.mn.Home(), target, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoes := 0
+	dead := false
+	conn.OnData = func(p []byte) { echoes++ }
+	conn.OnError = func(error) { dead = true }
+	conn.OnEstablished = func() { _ = conn.Write([]byte("k")) }
+	tick := func() {}
+	tick = func() {
+		if dead || conn.State() == tcplite.StateClosed {
+			return
+		}
+		_ = conn.Write([]byte("k"))
+		w.net.Sched().After(1e9, tick)
+	}
+	w.net.Sched().After(1e9, tick)
+
+	w.net.RunFor(120e9)
+
+	if dead {
+		t.Fatal("conversation died; probe rollback failed")
+	}
+	if echoes == 0 {
+		t.Fatal("no progress")
+	}
+	// Probes to Out-DH were tried and rolled back: the final mode is the
+	// conservative one, and the selector recorded fallback moves.
+	if got := sel.ModeFor(target); got != core.OutIE {
+		t.Errorf("final mode = %s, want Out-IE (DH fails through the filter)", got)
+	}
+	if sel.FallbackMoves == 0 {
+		t.Error("no rollbacks recorded despite failing probes")
+	}
+}

@@ -1,0 +1,322 @@
+// Package netsim provides the simulated link layer and the simulation
+// container. A Sim owns a deterministic virtual-time scheduler, a packet
+// tracer and a set of Segments — broadcast link-layer domains analogous to
+// Ethernet segments. Hosts and routers (package stack) attach NICs to
+// segments; everything above the link layer is built on top of this
+// package.
+//
+// The original paper ran on real Ethernets, PPP links and a modified Linux
+// kernel. This package is the substitution: a deterministic in-process
+// topology with per-segment latency, MTU and loss, which preserves the
+// properties the paper's arguments depend on (who can hear whom, how many
+// hops a path takes, where filters sit, and what the MTU does to
+// encapsulated packets).
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"mob4x4/internal/vtime"
+)
+
+// MAC is a simulated link-layer address.
+type MAC uint64
+
+// BroadcastMAC is the all-ones link-layer broadcast address.
+const BroadcastMAC MAC = 0xffffffffffff
+
+func (m MAC) String() string {
+	if m == BroadcastMAC {
+		return "ff:ff:ff:ff:ff:ff"
+	}
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+		byte(m>>40), byte(m>>32), byte(m>>24), byte(m>>16), byte(m>>8), byte(m))
+}
+
+// EtherType values used on simulated segments.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+// Frame is a link-layer frame. TraceID is simulation metadata (a capture
+// annotation, not wire content): it identifies the logical packet across
+// hops and through encapsulation so the tracer can reconstruct paths.
+type Frame struct {
+	Src     MAC
+	Dst     MAC
+	Type    uint16
+	Payload []byte
+	TraceID uint64
+}
+
+// FrameHeaderLen approximates an Ethernet header (dst+src+type) for size
+// accounting; the simulation does not serialize frames to bytes.
+const FrameHeaderLen = 14
+
+// Sim is the simulation container: scheduler, tracer, and allocation of
+// unique identifiers. Create one per experiment.
+type Sim struct {
+	Sched    *vtime.Scheduler
+	Trace    *Tracer
+	nextMAC  MAC
+	segments []*Segment
+}
+
+// NewSim returns a fresh simulation with the given RNG seed.
+func NewSim(seed int64) *Sim {
+	return &Sim{
+		Sched:   vtime.NewScheduler(seed),
+		Trace:   NewTracer(),
+		nextMAC: 0x0200_0000_0001, // locally administered range
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() vtime.Time { return s.Sched.Now() }
+
+// AllocMAC returns a fresh unique MAC address.
+func (s *Sim) AllocMAC() MAC {
+	m := s.nextMAC
+	s.nextMAC++
+	return m
+}
+
+// Segments returns the segments created in this simulation, in creation
+// order.
+func (s *Sim) Segments() []*Segment { return s.segments }
+
+// SegmentOpts configures a Segment.
+type SegmentOpts struct {
+	// Latency is the one-way propagation delay for every frame on the
+	// segment. Zero is allowed (frames still go through the scheduler, so
+	// ordering stays deterministic).
+	Latency vtime.Duration
+	// MTU is the maximum IP packet size (link payload) the segment
+	// carries. Frames with larger payloads are dropped and counted.
+	// Zero means DefaultMTU.
+	MTU int
+	// LossRate drops that fraction of frames uniformly at random
+	// (deterministic given the Sim seed). 0 means lossless.
+	LossRate float64
+	// BandwidthBps, when non-zero, models transmission time: each frame
+	// occupies the medium for size*8/bandwidth, and frames queue behind
+	// one another (a busy segment delays later senders). Zero means
+	// infinite bandwidth — frames experience latency only. The paper's
+	// §2 observes that a mobile host's two path directions "may be
+	// significantly different" in both latency and bandwidth; this knob
+	// reproduces that.
+	BandwidthBps int64
+	// JitterMax, when non-zero, adds a uniformly random extra delay in
+	// [0, JitterMax) per frame. Frames can overtake one another —
+	// deliberate reordering, which transports must tolerate.
+	JitterMax vtime.Duration
+}
+
+// DefaultMTU is the Ethernet-like default segment MTU.
+const DefaultMTU = 1500
+
+// Segment is a broadcast link-layer domain. Every attached NIC receives
+// frames addressed to its MAC or to the broadcast MAC.
+type Segment struct {
+	sim  *Sim
+	name string
+	opts SegmentOpts
+	nics []*NIC
+	// busyUntil is when the medium finishes transmitting the last queued
+	// frame (bandwidth modeling).
+	busyUntil vtime.Time
+	// Stats
+	Delivered     uint64
+	DroppedMTU    uint64
+	DroppedLoss   uint64
+	DroppedNoDest uint64
+	BytesCarried  uint64
+	// QueueDelayTotal accumulates time frames spent waiting for the
+	// medium (serialization queueing), for utilization analysis.
+	QueueDelayTotal vtime.Duration
+}
+
+// NewSegment creates a broadcast segment.
+func (s *Sim) NewSegment(name string, opts SegmentOpts) *Segment {
+	if opts.MTU == 0 {
+		opts.MTU = DefaultMTU
+	}
+	seg := &Segment{sim: s, name: name, opts: opts}
+	s.segments = append(s.segments, seg)
+	return seg
+}
+
+// Name returns the segment's name.
+func (seg *Segment) Name() string { return seg.name }
+
+// MTU returns the segment MTU.
+func (seg *Segment) MTU() int { return seg.opts.MTU }
+
+// Latency returns the one-way propagation delay.
+func (seg *Segment) Latency() vtime.Duration { return seg.opts.Latency }
+
+// NICs returns the currently attached NICs.
+func (seg *Segment) NICs() []*NIC { return seg.nics }
+
+func (seg *Segment) attach(n *NIC) {
+	seg.nics = append(seg.nics, n)
+}
+
+func (seg *Segment) detach(n *NIC) {
+	for i, x := range seg.nics {
+		if x == n {
+			seg.nics = append(seg.nics[:i], seg.nics[i+1:]...)
+			return
+		}
+	}
+}
+
+// send transmits a frame on the segment. Delivery is scheduled after the
+// segment latency; unicast frames go to the owning NIC only, broadcast to
+// all NICs except the sender.
+func (seg *Segment) send(from *NIC, f Frame) {
+	if len(f.Payload) > seg.opts.MTU {
+		seg.DroppedMTU++
+		seg.sim.Trace.record(Event{
+			Kind: EventDropMTU, Time: seg.sim.Now(), Where: seg.name,
+			Detail: fmt.Sprintf("payload %d > mtu %d", len(f.Payload), seg.opts.MTU),
+		})
+		return
+	}
+	if seg.opts.LossRate > 0 && seg.sim.Sched.Rand().Float64() < seg.opts.LossRate {
+		seg.DroppedLoss++
+		seg.sim.Trace.record(Event{Kind: EventDropLoss, Time: seg.sim.Now(), Where: seg.name})
+		return
+	}
+	wireBytes := len(f.Payload) + FrameHeaderLen
+	seg.BytesCarried += uint64(wireBytes)
+	// Snapshot receivers now; attach/detach during flight should not
+	// retroactively affect this frame.
+	var dests []*NIC
+	for _, n := range seg.nics {
+		if n == from {
+			continue
+		}
+		if f.Dst == BroadcastMAC || f.Dst == n.mac || n.promiscuous {
+			dests = append(dests, n)
+		}
+	}
+	if len(dests) == 0 {
+		seg.DroppedNoDest++
+		return
+	}
+	// Bandwidth model: the frame must wait for the medium, then occupies
+	// it for its serialization time; propagation latency follows.
+	delay := seg.opts.Latency
+	if seg.opts.JitterMax > 0 {
+		delay += vtime.Duration(seg.sim.Sched.Rand().Int63n(int64(seg.opts.JitterMax)))
+	}
+	if seg.opts.BandwidthBps > 0 {
+		now := seg.sim.Now()
+		start := seg.busyUntil
+		if start.Before(now) {
+			start = now
+		}
+		seg.QueueDelayTotal += start.Sub(now)
+		txTime := vtime.Duration(int64(wireBytes) * 8 * 1e9 / seg.opts.BandwidthBps)
+		seg.busyUntil = start.Add(txTime)
+		delay = seg.busyUntil.Sub(now) + seg.opts.Latency
+	}
+	seg.sim.Sched.After(delay, func() {
+		for _, n := range dests {
+			if n.segment != seg {
+				continue // detached mid-flight
+			}
+			seg.Delivered++
+			if n.recv != nil {
+				n.recv(n, f)
+			}
+		}
+	})
+}
+
+// NIC is a network interface attached to (at most) one segment. The
+// owning stack provides the receive callback.
+type NIC struct {
+	sim         *Sim
+	name        string
+	mac         MAC
+	segment     *Segment
+	recv        func(*NIC, Frame)
+	promiscuous bool
+	// Stats
+	TxFrames, RxFrames uint64
+	TxBytes            uint64
+}
+
+// NewNIC allocates a NIC with a fresh MAC. It starts detached.
+func (s *Sim) NewNIC(name string) *NIC {
+	return &NIC{sim: s, name: name, mac: s.AllocMAC()}
+}
+
+// Name returns the interface name.
+func (n *NIC) Name() string { return n.name }
+
+// MAC returns the interface's link-layer address.
+func (n *NIC) MAC() MAC { return n.mac }
+
+// Segment returns the segment the NIC is attached to, or nil.
+func (n *NIC) Segment() *Segment { return n.segment }
+
+// Attached reports whether the NIC is connected to a segment.
+func (n *NIC) Attached() bool { return n.segment != nil }
+
+// MTU returns the MTU of the attached segment, or DefaultMTU if detached.
+func (n *NIC) MTU() int {
+	if n.segment == nil {
+		return DefaultMTU
+	}
+	return n.segment.MTU()
+}
+
+// SetReceiver installs the frame receive callback (called by the owning
+// stack exactly once during setup).
+func (n *NIC) SetReceiver(fn func(*NIC, Frame)) { n.recv = fn }
+
+// SetPromiscuous makes the NIC receive all frames on its segment.
+func (n *NIC) SetPromiscuous(v bool) { n.promiscuous = v }
+
+// Attach connects the NIC to a segment, detaching from any previous one —
+// this is the "mobile host moves" primitive.
+func (n *NIC) Attach(seg *Segment) {
+	if n.segment != nil {
+		n.segment.detach(n)
+	}
+	n.segment = seg
+	if seg != nil {
+		seg.attach(n)
+	}
+}
+
+// Detach disconnects the NIC (mobile host in transit / laptop asleep).
+func (n *NIC) Detach() { n.Attach(nil) }
+
+// Send transmits a frame from this NIC onto its segment. Sending while
+// detached silently drops the frame (the cable is unplugged).
+func (n *NIC) Send(f Frame) {
+	f.Src = n.mac
+	if n.segment == nil {
+		return
+	}
+	n.TxFrames++
+	n.TxBytes += uint64(len(f.Payload) + FrameHeaderLen)
+	n.segment.send(n, f)
+}
+
+// SortedSegmentNames is a test/debug helper returning segment names in
+// lexical order.
+func (s *Sim) SortedSegmentNames() []string {
+	names := make([]string, 0, len(s.segments))
+	for _, seg := range s.segments {
+		names = append(names, seg.name)
+	}
+	sort.Strings(names)
+	return names
+}

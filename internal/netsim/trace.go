@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+
+	"mob4x4/internal/vtime"
+)
+
+// EventKind classifies tracer events.
+type EventKind int
+
+// Tracer event kinds. The per-hop events (EventForward, EventDeliver,
+// EventDropFilter, ...) are what the experiment harness uses to count hops,
+// verify which router dropped a packet, and render paper-figure paths.
+const (
+	EventSend        EventKind = iota + 1 // host originated a packet
+	EventForward                          // router forwarded a packet
+	EventDeliver                          // packet delivered to final destination stack
+	EventDropFilter                       // filter policy discarded the packet
+	EventDropTTL                          // TTL expired
+	EventDropNoRoute                      // no route to destination
+	EventDropMTU                          // exceeded segment MTU
+	EventDropLoss                         // random loss
+	EventEncap                            // packet entered a tunnel
+	EventDecap                            // packet exited a tunnel
+	EventMove                             // mobile host changed attachment
+	EventRegister                         // mobile host (de)registered with an agent
+	EventNote                             // free-form annotation
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventSend:
+		return "send"
+	case EventForward:
+		return "forward"
+	case EventDeliver:
+		return "deliver"
+	case EventDropFilter:
+		return "drop-filter"
+	case EventDropTTL:
+		return "drop-ttl"
+	case EventDropNoRoute:
+		return "drop-noroute"
+	case EventDropMTU:
+		return "drop-mtu"
+	case EventDropLoss:
+		return "drop-loss"
+	case EventEncap:
+		return "encap"
+	case EventDecap:
+		return "decap"
+	case EventMove:
+		return "move"
+	case EventRegister:
+		return "register"
+	case EventNote:
+		return "note"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one tracer record.
+type Event struct {
+	Kind   EventKind
+	Time   vtime.Time
+	Where  string // node or segment name
+	PktID  uint64 // simulation-wide packet trace id (0 if not applicable)
+	Detail string
+}
+
+func (e Event) String() string {
+	if e.PktID != 0 {
+		return fmt.Sprintf("%10v %-12s %-14s pkt=%d %s", e.Time, e.Kind, e.Where, e.PktID, e.Detail)
+	}
+	return fmt.Sprintf("%10v %-12s %-14s %s", e.Time, e.Kind, e.Where, e.Detail)
+}
+
+// Tracer collects events. Recording can be disabled for benchmarks (counts
+// are still kept).
+type Tracer struct {
+	Enabled bool
+	events  []Event
+	counts  map[EventKind]uint64
+	nextPkt uint64
+}
+
+// NewTracer returns an enabled tracer.
+func NewTracer() *Tracer {
+	return &Tracer{Enabled: true, counts: make(map[EventKind]uint64)}
+}
+
+// NextPacketID allocates a trace id for a new packet entering the network.
+func (t *Tracer) NextPacketID() uint64 {
+	t.nextPkt++
+	return t.nextPkt
+}
+
+func (t *Tracer) record(e Event) {
+	t.counts[e.Kind]++
+	if t.Enabled {
+		t.events = append(t.events, e)
+	}
+}
+
+// Record appends an event (exported for packages stack/mobileip).
+func (t *Tracer) Record(e Event) { t.record(e) }
+
+// Count returns how many events of the given kind were recorded since the
+// last Reset, regardless of Enabled.
+func (t *Tracer) Count(kind EventKind) uint64 { return t.counts[kind] }
+
+// Events returns all recorded events.
+func (t *Tracer) Events() []Event { return t.events }
+
+// PacketEvents returns the events for one packet trace id, in order.
+func (t *Tracer) PacketEvents(pktID uint64) []Event {
+	var out []Event
+	for _, e := range t.events {
+		if e.PktID == pktID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Hops returns the number of forwarding hops (EventForward) for a packet.
+func (t *Tracer) Hops(pktID uint64) int {
+	n := 0
+	for _, e := range t.events {
+		if e.PktID == pktID && e.Kind == EventForward {
+			n++
+		}
+	}
+	return n
+}
+
+// Path renders a packet's journey as "A -> B -> C" using the Where fields
+// of its send/forward/deliver events.
+func (t *Tracer) Path(pktID uint64) string {
+	var parts []string
+	for _, e := range t.events {
+		if e.PktID != pktID {
+			continue
+		}
+		switch e.Kind {
+		case EventSend, EventForward, EventDeliver, EventEncap, EventDecap:
+			label := e.Where
+			if e.Kind == EventEncap {
+				label += "[encap]"
+			}
+			if e.Kind == EventDecap {
+				label += "[decap]"
+			}
+			if len(parts) == 0 || parts[len(parts)-1] != label {
+				parts = append(parts, label)
+			}
+		case EventDropFilter, EventDropTTL, EventDropNoRoute, EventDropMTU, EventDropLoss:
+			parts = append(parts, fmt.Sprintf("X(%s@%s)", e.Kind, e.Where))
+		}
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// Reset clears events and counts.
+func (t *Tracer) Reset() {
+	t.events = t.events[:0]
+	t.counts = make(map[EventKind]uint64)
+}

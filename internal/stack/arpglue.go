@@ -1,0 +1,157 @@
+package stack
+
+import (
+	"mob4x4/internal/arp"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/vtime"
+)
+
+// resolveJob tracks packets queued while an address resolution is in
+// flight on an interface.
+type resolveJob struct {
+	pkts    []ipv4.Packet
+	retries int
+	timer   *vtime.Timer
+}
+
+// resolveAndSend link-transmits pkt out of the interface, resolving
+// nexthop to a MAC first. Broadcast and multicast destinations bypass ARP.
+func (i *Iface) resolveAndSend(nexthop ipv4.Addr, pkt ipv4.Packet) {
+	if nexthop.IsBroadcast() || (i.prefix.Bits > 0 && nexthop == i.prefix.BroadcastAddr()) || nexthop.IsMulticast() {
+		i.sendIPFrame(netsim.BroadcastMAC, pkt)
+		return
+	}
+	now := int64(i.host.sim.Now())
+	if mac, ok := i.cache.Lookup(nexthop, now, int64(i.host.ARPCacheTTL)); ok {
+		i.sendIPFrame(mac, pkt)
+		return
+	}
+	job, inFlight := i.pending[nexthop]
+	if !inFlight {
+		job = &resolveJob{retries: i.host.ARPRetries}
+		i.pending[nexthop] = job
+		i.sendARPRequest(nexthop)
+		i.armARPTimer(nexthop, job)
+	}
+	job.pkts = append(job.pkts, pkt)
+}
+
+func (i *Iface) armARPTimer(target ipv4.Addr, job *resolveJob) {
+	job.timer = i.host.sim.Sched.After(i.host.ARPTimeout, func() {
+		cur, ok := i.pending[target]
+		if !ok || cur != job {
+			return
+		}
+		job.retries--
+		if job.retries > 0 {
+			i.sendARPRequest(target)
+			i.armARPTimer(target, job)
+			return
+		}
+		delete(i.pending, target)
+		i.host.Stats.DropNoARP += uint64(len(job.pkts))
+		for _, p := range job.pkts {
+			i.host.sim.Trace.Record(netsim.Event{
+				Kind: netsim.EventDropNoRoute, Time: i.host.sim.Now(),
+				Where: i.host.name, PktID: p.TraceID,
+				Detail: "ARP resolution failed for " + target.String(),
+			})
+		}
+	})
+}
+
+func (i *Iface) sendARPRequest(target ipv4.Addr) {
+	msg := arp.Message{
+		Op:        arp.OpRequest,
+		SenderMAC: i.nic.MAC(),
+		SenderIP:  i.addr,
+		TargetIP:  target,
+	}
+	i.nic.Send(netsim.Frame{
+		Dst:     netsim.BroadcastMAC,
+		Type:    netsim.EtherTypeARP,
+		Payload: msg.Marshal(),
+	})
+}
+
+// GratuitousARP broadcasts a gratuitous request for addr from this
+// interface, updating neighbours' caches. A home agent issues this when it
+// starts (or stops) proxying for a mobile host, and a returning mobile
+// host issues it to reclaim its address ([RFC1027]).
+func (i *Iface) GratuitousARP(addr ipv4.Addr) {
+	msg := arp.GratuitousRequest(i.nic.MAC(), addr)
+	i.nic.Send(netsim.Frame{
+		Dst:     netsim.BroadcastMAC,
+		Type:    netsim.EtherTypeARP,
+		Payload: msg.Marshal(),
+	})
+}
+
+func (i *Iface) receiveARP(f netsim.Frame) {
+	msg, err := arp.Unmarshal(f.Payload)
+	if err != nil {
+		return
+	}
+	now := int64(i.host.sim.Now())
+	// Learn (or refresh) the sender's mapping unless it is a conflicting
+	// claim for our own address.
+	if !msg.SenderIP.IsZero() && msg.SenderIP != i.addr {
+		i.cache.Learn(msg.SenderIP, msg.SenderMAC, now)
+		i.drainPending(msg.SenderIP, msg.SenderMAC)
+	}
+	if msg.Op != arp.OpRequest {
+		return
+	}
+	// Answer for our own address or any proxied address.
+	answer := msg.TargetIP == i.addr && !i.addr.IsZero()
+	if !answer && i.proxy.Contains(msg.TargetIP) {
+		answer = true
+	}
+	// Never answer a gratuitous announcement (sender==target): that is a
+	// cache update, not a question.
+	if msg.SenderIP == msg.TargetIP {
+		answer = false
+	}
+	if !answer {
+		return
+	}
+	reply := arp.Message{
+		Op:        arp.OpReply,
+		SenderMAC: i.nic.MAC(),
+		SenderIP:  msg.TargetIP, // proxy replies claim the proxied address
+		TargetMAC: msg.SenderMAC,
+		TargetIP:  msg.SenderIP,
+	}
+	i.nic.Send(netsim.Frame{
+		Dst:     msg.SenderMAC,
+		Type:    netsim.EtherTypeARP,
+		Payload: reply.Marshal(),
+	})
+}
+
+func (i *Iface) drainPending(ip ipv4.Addr, mac netsim.MAC) {
+	job, ok := i.pending[ip]
+	if !ok {
+		return
+	}
+	delete(i.pending, ip)
+	job.timer.Stop()
+	for _, pkt := range job.pkts {
+		i.sendIPFrame(mac, pkt)
+	}
+}
+
+func (i *Iface) sendIPFrame(dst netsim.MAC, pkt ipv4.Packet) {
+	b, err := pkt.Marshal()
+	if err != nil {
+		i.host.Stats.DropMalformed++
+		return
+	}
+	i.nic.Send(netsim.Frame{
+		Dst:     dst,
+		Type:    netsim.EtherTypeIPv4,
+		Payload: b,
+		TraceID: pkt.TraceID,
+	})
+}

@@ -1,0 +1,312 @@
+package stack
+
+import (
+	"fmt"
+
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
+)
+
+// SendIP routes and transmits a locally-generated packet. Zero-valued
+// fields are completed: TTL (DefaultTTL), ID (fresh), TraceID (fresh), and
+// Src (address of the output interface — unless the caller pinned it,
+// which is exactly how the mobility code chooses between the home address
+// and the care-of address).
+func (h *Host) SendIP(pkt ipv4.Packet) error {
+	if pkt.TTL == 0 {
+		pkt.TTL = ipv4.DefaultTTL
+	}
+	if pkt.ID == 0 {
+		pkt.ID = h.NextIPID()
+	}
+	if pkt.TraceID == 0 {
+		pkt.TraceID = h.sim.Trace.NextPacketID()
+	}
+	h.Stats.IPSent++
+	h.sim.Trace.Record(netsim.Event{
+		Kind: netsim.EventSend, Time: h.sim.Now(), Where: h.name, PktID: pkt.TraceID,
+		Detail: fmt.Sprintf("%s > %s proto=%d len=%d", pkt.Src, pkt.Dst, pkt.Protocol, pkt.TotalLen()),
+	})
+	return h.output(pkt, true)
+}
+
+// Resubmit re-enters a packet into the IP output path without consulting
+// the route override again. Virtual (tunnel) interfaces call this with the
+// encapsulated packet, mirroring the paper's "encapsulates the packet and
+// resubmits it to IP".
+func (h *Host) Resubmit(pkt ipv4.Packet) error {
+	if pkt.TTL == 0 {
+		pkt.TTL = ipv4.DefaultTTL
+	}
+	if pkt.ID == 0 {
+		pkt.ID = h.NextIPID()
+	}
+	return h.output(pkt, false)
+}
+
+// output routes pkt and hands it to an interface. useOverride selects
+// whether the mobility policy hook is consulted (true only for the first
+// pass over locally-generated packets).
+func (h *Host) output(pkt ipv4.Packet, useOverride bool) error {
+	// Local destination: deliver without touching the network. Delivery
+	// is posted through the scheduler so synchronous call chains cannot
+	// recurse (send → deliver → send → ...).
+	if h.Claimed(pkt.Dst) || pkt.Dst.IsLoopback() {
+		p := pkt
+		h.sim.Sched.Post(func() { h.deliverLocal(nil, p) })
+		return nil
+	}
+
+	// Limited broadcast: transmit on the first attached interface (DHCP
+	// and other link-scoped chatter).
+	if pkt.Dst.IsBroadcast() {
+		for _, ifc := range h.ifaces {
+			if ifc.nic.Attached() {
+				return h.transmit(ifc, pkt.Dst, pkt)
+			}
+		}
+		return fmt.Errorf("%s: no attached interface for broadcast", h.name)
+	}
+
+	var rt Route
+	var ok bool
+	if useOverride && h.RouteOverride != nil {
+		rt, ok = h.RouteOverride(&pkt)
+	}
+	if !ok {
+		rt, ok = h.routes.Lookup(pkt.Dst)
+	}
+	if !ok {
+		h.Stats.DropNoRoute++
+		h.sim.Trace.Record(netsim.Event{
+			Kind: netsim.EventDropNoRoute, Time: h.sim.Now(), Where: h.name, PktID: pkt.TraceID,
+			Detail: fmt.Sprintf("dst=%s", pkt.Dst),
+		})
+		return fmt.Errorf("%s: no route to %s", h.name, pkt.Dst)
+	}
+
+	if rt.IsVirtual() {
+		rt.Output(pkt)
+		return nil
+	}
+
+	if pkt.Src.IsZero() {
+		pkt.Src = rt.Iface.addr
+	}
+	nexthop := rt.NextHop
+	if nexthop.IsZero() {
+		nexthop = pkt.Dst
+	}
+	return h.transmit(rt.Iface, nexthop, pkt)
+}
+
+// transmit applies the egress filter, fragments to the interface MTU, and
+// resolves the link-layer destination.
+func (h *Host) transmit(ifc *Iface, nexthop ipv4.Addr, pkt ipv4.Packet) error {
+	if h.Filter != nil && !h.Filter.checkEgress(ifc, &pkt) {
+		h.traceFilterDrop("egress", ifc, &pkt)
+		return fmt.Errorf("%s: egress filter dropped packet src=%s", h.name, pkt.Src)
+	}
+	mtu := ifc.nic.MTU()
+	frags, err := ipv4.Fragment(pkt, mtu)
+	if err != nil {
+		if err == ipv4.ErrFragNeeded {
+			h.Stats.DropFragSet++
+			if h.FragNeeded != nil {
+				h.FragNeeded(ifc, pkt, mtu)
+			}
+		} else {
+			h.Stats.DropMalformed++
+		}
+		return err
+	}
+	if len(frags) > 1 {
+		h.Stats.FragsCreated += uint64(len(frags))
+	}
+	for _, f := range frags {
+		ifc.resolveAndSend(nexthop, f)
+	}
+	return nil
+}
+
+// SendIPLinkDirect transmits pkt out of ifc with the link-layer
+// destination resolved for linkDst rather than for the packet's IP
+// destination. This is the In-DH mechanism of Section 5: "the only
+// difference is in the link-layer destination to which the packet is
+// addressed" — a correspondent host sends an ordinary packet addressed to
+// the mobile host's home address, but link-delivers it to the mobile
+// host's interface on the shared segment.
+func (h *Host) SendIPLinkDirect(ifc *Iface, linkDst ipv4.Addr, pkt ipv4.Packet) error {
+	if pkt.TTL == 0 {
+		pkt.TTL = ipv4.DefaultTTL
+	}
+	if pkt.ID == 0 {
+		pkt.ID = h.NextIPID()
+	}
+	if pkt.TraceID == 0 {
+		pkt.TraceID = h.sim.Trace.NextPacketID()
+	}
+	if pkt.Src.IsZero() {
+		pkt.Src = ifc.addr
+	}
+	h.Stats.IPSent++
+	h.sim.Trace.Record(netsim.Event{
+		Kind: netsim.EventSend, Time: h.sim.Now(), Where: h.name, PktID: pkt.TraceID,
+		Detail: fmt.Sprintf("%s > %s proto=%d link-direct via %s", pkt.Src, pkt.Dst, pkt.Protocol, linkDst),
+	})
+	return h.transmit(ifc, linkDst, pkt)
+}
+
+// InjectLocal delivers a packet to this host's own protocol handlers as
+// if it had arrived addressed to us — the decapsulation path for tunneled
+// multicast uses it (the inner destination is a group, not one of our
+// addresses). Delivery is posted through the scheduler.
+func (h *Host) InjectLocal(pkt ipv4.Packet) {
+	p := pkt
+	h.sim.Sched.Post(func() { h.deliverLocal(nil, p) })
+}
+
+// receiveFrame is the NIC receive callback.
+func (ifc *Iface) receiveFrame(n *netsim.NIC, f netsim.Frame) {
+	h := ifc.host
+	switch f.Type {
+	case netsim.EtherTypeARP:
+		ifc.receiveARP(f)
+	case netsim.EtherTypeIPv4:
+		pkt, err := ipv4.Unmarshal(f.Payload)
+		if err != nil {
+			h.Stats.DropMalformed++
+			return
+		}
+		pkt.TraceID = f.TraceID
+		h.receiveIP(ifc, pkt)
+	}
+}
+
+// receiveIP is the IP input path: ingress filter, local delivery or
+// forwarding.
+func (h *Host) receiveIP(ifc *Iface, pkt ipv4.Packet) {
+	h.Stats.IPReceived++
+
+	if h.Filter != nil && !h.Filter.checkIngress(ifc, &pkt) {
+		h.traceFilterDrop("ingress", ifc, &pkt)
+		return
+	}
+
+	local := h.Claimed(pkt.Dst) ||
+		pkt.Dst.IsBroadcast() ||
+		(ifc.prefix.Bits > 0 && pkt.Dst == ifc.prefix.BroadcastAddr()) ||
+		(pkt.Dst.IsMulticast() && ifc.InGroup(pkt.Dst))
+
+	// In-DH: a packet can be link-delivered to us even though its IP
+	// destination is not one of our addresses (same-segment delivery to
+	// our home address is the Claimed case above; but a correspondent
+	// that is itself the target of such delivery needs nothing special).
+	if local {
+		h.deliverLocal(ifc, pkt)
+		return
+	}
+
+	if pkt.Dst.IsMulticast() {
+		// Not joined on this interface; multicast is never unicast-
+		// forwarded here (inter-network multicast routing is out of
+		// scope — see internal/stack/multicast.go).
+		return
+	}
+	if !h.Forwarding {
+		// Not ours, not forwarding: quietly drop (a host is not a router).
+		return
+	}
+	h.forward(ifc, pkt)
+}
+
+func (h *Host) forward(in *Iface, pkt ipv4.Packet) {
+	if pkt.TTL <= 1 {
+		h.Stats.DropTTL++
+		h.sim.Trace.Record(netsim.Event{
+			Kind: netsim.EventDropTTL, Time: h.sim.Now(), Where: h.name, PktID: pkt.TraceID,
+		})
+		if h.TTLExceeded != nil {
+			h.TTLExceeded(in, pkt)
+		}
+		return
+	}
+	pkt.TTL--
+
+	rt, ok := h.routes.Lookup(pkt.Dst)
+	if !ok {
+		h.Stats.DropNoRoute++
+		h.sim.Trace.Record(netsim.Event{
+			Kind: netsim.EventDropNoRoute, Time: h.sim.Now(), Where: h.name, PktID: pkt.TraceID,
+			Detail: fmt.Sprintf("dst=%s", pkt.Dst),
+		})
+		return
+	}
+	if rt.IsVirtual() {
+		rt.Output(pkt)
+		return
+	}
+	nexthop := rt.NextHop
+	if nexthop.IsZero() {
+		nexthop = pkt.Dst
+	}
+	h.Stats.IPForwarded++
+	h.sim.Trace.Record(netsim.Event{
+		Kind: netsim.EventForward, Time: h.sim.Now(), Where: h.name, PktID: pkt.TraceID,
+		Detail: fmt.Sprintf("%s > %s ttl=%d", pkt.Src, pkt.Dst, pkt.TTL),
+	})
+	_ = h.transmit(rt.Iface, nexthop, pkt)
+}
+
+// deliverLocal reassembles and demultiplexes a packet destined for this
+// host.
+func (h *Host) deliverLocal(ifc *Iface, pkt ipv4.Packet) {
+	full, done, err := h.reasm.Add(pkt)
+	if err != nil {
+		h.Stats.DropMalformed++
+		return
+	}
+	if !done {
+		h.armReassemblyTimer()
+		return
+	}
+	if full.MoreFrags || full.FragOffset != 0 {
+		// Cannot happen: Add returns only whole packets. Defensive.
+		h.Stats.DropMalformed++
+		return
+	}
+	if full.TraceID == 0 {
+		full.TraceID = pkt.TraceID
+	}
+	if pkt.FragOffset != 0 || pkt.MoreFrags {
+		h.Stats.Reassembled++
+	}
+	h.Stats.IPDelivered++
+	h.sim.Trace.Record(netsim.Event{
+		Kind: netsim.EventDeliver, Time: h.sim.Now(), Where: h.name, PktID: full.TraceID,
+		Detail: fmt.Sprintf("%s > %s proto=%d len=%d", full.Src, full.Dst, full.Protocol, full.TotalLen()),
+	})
+
+	if full.Dst.IsMulticast() && h.MulticastTap != nil && h.MulticastTap(ifc, full) {
+		return // consumed by the tap (e.g. a home agent's group relay)
+	}
+	if override, ok := h.claimed[full.Dst]; ok && override != nil {
+		override(ifc, full)
+		return
+	}
+	if handler, ok := h.protoHandlers[full.Protocol]; ok {
+		handler(ifc, full)
+		return
+	}
+	h.Stats.DropNoProto++
+}
+
+func (h *Host) armReassemblyTimer() {
+	if h.reasmTimer != nil {
+		return
+	}
+	h.reasmTimer = h.sim.Sched.After(ReassemblyTimeout, func() {
+		h.reasmTimer = nil
+		h.reasm.Expire()
+	})
+}

@@ -1,0 +1,154 @@
+package stack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mob4x4/internal/ipv4"
+)
+
+// Route is one routing table entry. Exactly one of two behaviors applies
+// on selection:
+//
+//   - Output == nil: the packet leaves via Iface, link-addressed to NextHop
+//     (or to the destination itself when NextHop is zero — an on-link
+//     route).
+//   - Output != nil: the packet is handed to Output, a virtual interface.
+//     Package mobileip uses this for its encapsulating tunnel interface,
+//     exactly as the paper describes ("the routine directs IP to send the
+//     packet to our virtual interface, which encapsulates the packet and
+//     resubmits it to IP").
+type Route struct {
+	Prefix  ipv4.Prefix
+	NextHop ipv4.Addr // zero = on-link
+	Iface   *Iface
+	Output  func(pkt ipv4.Packet) // virtual interface hook
+	Metric  int
+	// Name labels virtual routes in debug output.
+	Name string
+}
+
+// IsVirtual reports whether the route points at a virtual interface.
+func (r Route) IsVirtual() bool { return r.Output != nil }
+
+func (r Route) String() string {
+	dev := "(none)"
+	if r.Iface != nil {
+		dev = r.Iface.nic.Name()
+	}
+	switch {
+	case r.IsVirtual():
+		return fmt.Sprintf("%s via virtual(%s) metric %d", r.Prefix, r.Name, r.Metric)
+	case r.NextHop.IsZero():
+		return fmt.Sprintf("%s dev %s metric %d", r.Prefix, dev, r.Metric)
+	default:
+		return fmt.Sprintf("%s via %s dev %s metric %d", r.Prefix, r.NextHop, dev, r.Metric)
+	}
+}
+
+// RouteTable is a longest-prefix-match routing table with metric
+// tie-breaking. Lookup cost is O(n) over entries; tables in the simulation
+// are small and the benchmark suite measures this cost explicitly
+// (BenchmarkRouteLookup).
+type RouteTable struct {
+	routes []Route
+	// Lookups counts queries (benchmark instrumentation).
+	Lookups uint64
+}
+
+// NewRouteTable returns an empty table.
+func NewRouteTable() *RouteTable { return &RouteTable{} }
+
+// Add inserts a route.
+func (t *RouteTable) Add(r Route) {
+	t.routes = append(t.routes, r)
+}
+
+// AddDefault installs a default route (0.0.0.0/0) via nexthop on ifc.
+func (t *RouteTable) AddDefault(ifc *Iface, nexthop ipv4.Addr) {
+	t.Add(Route{Prefix: ipv4.Prefix{}, NextHop: nexthop, Iface: ifc, Metric: 100})
+}
+
+// Remove deletes all routes exactly matching prefix.
+func (t *RouteTable) Remove(prefix ipv4.Prefix) {
+	out := t.routes[:0]
+	for _, r := range t.routes {
+		if r.Prefix != prefix {
+			out = append(out, r)
+		}
+	}
+	t.routes = out
+}
+
+// RemoveConnected deletes the connected (on-link, metric-0) routes bound
+// to the given interface.
+func (t *RouteTable) RemoveConnected(ifc *Iface) {
+	out := t.routes[:0]
+	for _, r := range t.routes {
+		if r.Iface == ifc && r.NextHop.IsZero() && !r.IsVirtual() && r.Metric == 0 {
+			continue
+		}
+		out = append(out, r)
+	}
+	t.routes = out
+}
+
+// RemoveVirtual deletes virtual routes with the given name.
+func (t *RouteTable) RemoveVirtual(name string) {
+	out := t.routes[:0]
+	for _, r := range t.routes {
+		if r.IsVirtual() && r.Name == name {
+			continue
+		}
+		out = append(out, r)
+	}
+	t.routes = out
+}
+
+// Clear removes every route.
+func (t *RouteTable) Clear() { t.routes = nil }
+
+// Len returns the number of routes.
+func (t *RouteTable) Len() int { return len(t.routes) }
+
+// Lookup returns the best route for dst: longest prefix wins, then lowest
+// metric, then insertion order.
+func (t *RouteTable) Lookup(dst ipv4.Addr) (Route, bool) {
+	t.Lookups++
+	best := -1
+	for i, r := range t.routes {
+		if !r.Prefix.Contains(dst) {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := t.routes[best]
+		if r.Prefix.Bits > b.Prefix.Bits ||
+			(r.Prefix.Bits == b.Prefix.Bits && r.Metric < b.Metric) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Route{}, false
+	}
+	return t.routes[best], true
+}
+
+// Dump renders the table for debugging, most-specific first.
+func (t *RouteTable) Dump() string {
+	rs := append([]Route(nil), t.routes...)
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].Prefix.Bits != rs[j].Prefix.Bits {
+			return rs[i].Prefix.Bits > rs[j].Prefix.Bits
+		}
+		return rs[i].Metric < rs[j].Metric
+	})
+	var sb strings.Builder
+	for _, r := range rs {
+		fmt.Fprintln(&sb, r)
+	}
+	return sb.String()
+}

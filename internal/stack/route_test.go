@@ -1,0 +1,188 @@
+package stack
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mob4x4/internal/ipv4"
+)
+
+func TestLookupLongestPrefixWins(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Add(Route{Prefix: ipv4.MustParsePrefix("0.0.0.0/0"), Metric: 100, Name: "default"})
+	rt.Add(Route{Prefix: ipv4.MustParsePrefix("10.0.0.0/8"), Metric: 10, Name: "net10"})
+	rt.Add(Route{Prefix: ipv4.MustParsePrefix("10.1.0.0/16"), Metric: 10, Name: "net10-1"})
+	rt.Add(Route{Prefix: ipv4.MustParsePrefix("10.1.2.0/24"), Metric: 10, Name: "net10-1-2"})
+
+	cases := map[string]string{
+		"10.1.2.3": "net10-1-2",
+		"10.1.9.9": "net10-1",
+		"10.9.9.9": "net10",
+		"11.0.0.1": "default",
+	}
+	for addr, want := range cases {
+		r, ok := rt.Lookup(ipv4.MustParseAddr(addr))
+		if !ok || r.Name != want {
+			t.Errorf("Lookup(%s) = %q,%v, want %q", addr, r.Name, ok, want)
+		}
+	}
+}
+
+func TestLookupMetricTieBreak(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Add(Route{Prefix: ipv4.MustParsePrefix("10.0.0.0/8"), Metric: 20, Name: "worse"})
+	rt.Add(Route{Prefix: ipv4.MustParsePrefix("10.0.0.0/8"), Metric: 5, Name: "better"})
+	r, ok := rt.Lookup(ipv4.MustParseAddr("10.1.1.1"))
+	if !ok || r.Name != "better" {
+		t.Errorf("got %q", r.Name)
+	}
+}
+
+func TestLookupInsertionOrderTieBreak(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Add(Route{Prefix: ipv4.MustParsePrefix("10.0.0.0/8"), Metric: 5, Name: "first"})
+	rt.Add(Route{Prefix: ipv4.MustParsePrefix("10.0.0.0/8"), Metric: 5, Name: "second"})
+	r, _ := rt.Lookup(ipv4.MustParseAddr("10.1.1.1"))
+	if r.Name != "first" {
+		t.Errorf("got %q, want first-inserted", r.Name)
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Add(Route{Prefix: ipv4.MustParsePrefix("10.0.0.0/8")})
+	if _, ok := rt.Lookup(ipv4.MustParseAddr("11.0.0.1")); ok {
+		t.Error("miss reported as hit")
+	}
+	if rt.Lookups != 1 {
+		t.Errorf("lookup counter = %d", rt.Lookups)
+	}
+}
+
+func TestRemoveVariants(t *testing.T) {
+	rt := NewRouteTable()
+	p := ipv4.MustParsePrefix("10.0.0.0/8")
+	rt.Add(Route{Prefix: p, Name: "a"})
+	rt.Add(Route{Prefix: p, Name: "b"})
+	rt.Add(Route{Prefix: ipv4.MustParsePrefix("11.0.0.0/8"), Name: "keep"})
+	rt.Remove(p)
+	if rt.Len() != 1 {
+		t.Errorf("len = %d after Remove", rt.Len())
+	}
+	rt.Add(Route{Prefix: p, Output: func(ipv4.Packet) {}, Name: "virt"})
+	rt.RemoveVirtual("virt")
+	if rt.Len() != 1 {
+		t.Errorf("len = %d after RemoveVirtual", rt.Len())
+	}
+	rt.Clear()
+	if rt.Len() != 0 {
+		t.Error("Clear incomplete")
+	}
+}
+
+func TestDumpSortsBySpecificity(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Add(Route{Prefix: ipv4.MustParsePrefix("0.0.0.0/0"), Metric: 100})
+	rt.Add(Route{Prefix: ipv4.MustParsePrefix("10.1.2.0/24"), Metric: 10})
+	dump := rt.Dump()
+	if !strings.Contains(dump, "10.1.2.0/24") {
+		t.Errorf("dump missing route:\n%s", dump)
+	}
+	if strings.Index(dump, "10.1.2.0/24") > strings.Index(dump, "0.0.0.0/0") {
+		t.Error("dump not most-specific-first")
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	virt := Route{Prefix: ipv4.MustParsePrefix("0.0.0.0/0"), Output: func(ipv4.Packet) {}, Name: "tun"}
+	if !strings.Contains(virt.String(), "virtual(tun)") {
+		t.Errorf("virtual route string: %s", virt)
+	}
+	if !virt.IsVirtual() {
+		t.Error("IsVirtual false for virtual route")
+	}
+}
+
+// TestLookupMatchesBruteForce is the route-table property test: for random
+// tables and random addresses, Lookup agrees with a straightforward
+// brute-force evaluation of the longest-prefix-match-then-metric rule.
+func TestLookupMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	brute := func(rt *RouteTable, dst ipv4.Addr) (Route, bool) {
+		best := -1
+		for i, r := range rt.routes {
+			if !r.Prefix.Contains(dst) {
+				continue
+			}
+			if best < 0 ||
+				r.Prefix.Bits > rt.routes[best].Prefix.Bits ||
+				(r.Prefix.Bits == rt.routes[best].Prefix.Bits && r.Metric < rt.routes[best].Metric) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return Route{}, false
+		}
+		return rt.routes[best], true
+	}
+	f := func(seedRoutes []uint32, dstU uint32) bool {
+		rt := NewRouteTable()
+		for i, v := range seedRoutes {
+			if i >= 32 {
+				break
+			}
+			bits := int(v % 33)
+			rt.Add(Route{
+				Prefix: ipv4.PrefixFrom(ipv4.AddrFromUint32(v*2654435761), bits),
+				Metric: int(v % 7),
+				Name:   string(rune('a' + i%26)),
+			})
+		}
+		dst := ipv4.AddrFromUint32(dstU ^ rng.Uint32())
+		got, okGot := rt.Lookup(dst)
+		want, okWant := brute(rt, dst)
+		if okGot != okWant {
+			return false
+		}
+		if !okGot {
+			return true
+		}
+		return got.Prefix == want.Prefix && got.Metric == want.Metric
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkRouteLookup is the DESIGN.md route-lookup ablation: cost of a
+// lookup in a realistic-size table, with and without a mobility override
+// layered in front.
+func BenchmarkRouteLookup(b *testing.B) {
+	rt := NewRouteTable()
+	for i := 0; i < 32; i++ {
+		rt.Add(Route{
+			Prefix: ipv4.PrefixFrom(ipv4.AddrFromUint32(uint32(i)<<24), 8),
+			Metric: i,
+		})
+	}
+	dst := ipv4.MustParseAddr("17.5.0.2")
+	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rt.Lookup(dst)
+		}
+	})
+	b.Run("with-policy-override", func(b *testing.B) {
+		// The paper's design: a policy consultation before the table.
+		override := func(pkt *ipv4.Packet) (Route, bool) { return Route{}, false }
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pkt := ipv4.Packet{Header: ipv4.Header{Dst: dst}}
+			if _, ok := override(&pkt); !ok {
+				rt.Lookup(dst)
+			}
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package stack
+
+import (
+	"fmt"
+
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/udp"
+)
+
+// UDPHandler receives datagrams delivered to a socket.
+type UDPHandler func(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte)
+
+// UDPSocket is a bound UDP port on a host. The bind address semantics
+// follow Section 7.1.1 of the paper: a socket bound to a specific local
+// address pins that address as the source of everything it sends (a
+// mobile-aware application binding to the care-of address gets plain
+// Out-DT delivery and bypasses Mobile IP); a socket bound to the zero
+// address lets the routing code — including the mobility policy — choose.
+type UDPSocket struct {
+	host      *Host
+	bindAddr  ipv4.Addr // zero = let routing choose
+	port      uint16
+	handler   UDPHandler
+	closed    bool
+	Delivered uint64
+	Sent      uint64
+}
+
+// OpenUDP binds a UDP socket. port 0 allocates an ephemeral port.
+// bindAddr zero means "any": received datagrams match by port alone, and
+// sends let the routing code pick the source address.
+func (h *Host) OpenUDP(bindAddr ipv4.Addr, port uint16, handler UDPHandler) (*UDPSocket, error) {
+	if port == 0 {
+		for {
+			h.ephemeral++
+			if h.ephemeral < 49152 {
+				h.ephemeral = 49152
+			}
+			if _, used := h.udpSocks[h.ephemeral]; !used {
+				port = h.ephemeral
+				break
+			}
+		}
+	}
+	if _, used := h.udpSocks[port]; used {
+		return nil, fmt.Errorf("%s: udp port %d already bound", h.name, port)
+	}
+	s := &UDPSocket{host: h, bindAddr: bindAddr, port: port, handler: handler}
+	h.udpSocks[port] = s
+	h.ensureUDPDemux()
+	return s, nil
+}
+
+// Port returns the bound port.
+func (s *UDPSocket) Port() uint16 { return s.port }
+
+// BindAddr returns the bound local address (zero for any).
+func (s *UDPSocket) BindAddr() ipv4.Addr { return s.bindAddr }
+
+// Rebind changes the socket's pinned local address (a mobile-aware
+// application updating its preference after a move).
+func (s *UDPSocket) Rebind(addr ipv4.Addr) { s.bindAddr = addr }
+
+// Close releases the port.
+func (s *UDPSocket) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(s.host.udpSocks, s.port)
+}
+
+// SendTo transmits a datagram to dst:dstPort. The source address is the
+// socket's bind address if set, otherwise zero (filled by routing).
+func (s *UDPSocket) SendTo(dst ipv4.Addr, dstPort uint16, payload []byte) error {
+	return s.sendFrom(s.bindAddr, dst, dstPort, payload)
+}
+
+// SendToFrom transmits a datagram with an explicit source address,
+// overriding the bind address. The mobility code uses this to emit
+// registration requests from the care-of address (Out-DT: "our Mobile IP
+// support software itself communicates using the temporary address when
+// registering with the home agent").
+func (s *UDPSocket) SendToFrom(src, dst ipv4.Addr, dstPort uint16, payload []byte) error {
+	return s.sendFrom(src, dst, dstPort, payload)
+}
+
+func (s *UDPSocket) sendFrom(src, dst ipv4.Addr, dstPort uint16, payload []byte) error {
+	if s.closed {
+		return fmt.Errorf("udp: socket closed")
+	}
+	d := udp.Datagram{SrcPort: s.port, DstPort: dstPort, Payload: payload}
+	// The checksum covers the pseudo-header, so the final source address
+	// must be known here. When the socket is unbound we resolve the
+	// source the way the kernel does: ask routing which interface would
+	// carry the packet. The mobility override participates via
+	// SourceForDestination.
+	// A zero source is legitimate for broadcasts: a host with no address
+	// yet (DHCP DISCOVER) sends from 0.0.0.0.
+	if src.IsZero() && !dst.IsBroadcast() {
+		src = s.host.SourceForDestination(dst)
+		if src.IsZero() {
+			return fmt.Errorf("%s: no source address for %s", s.host.name, dst)
+		}
+	}
+	b, err := d.Marshal(src, dst)
+	if err != nil {
+		return err
+	}
+	s.Sent++
+	return s.host.SendIP(ipv4.Packet{
+		Header:  ipv4.Header{Protocol: ipv4.ProtoUDP, Src: src, Dst: dst},
+		Payload: b,
+	})
+}
+
+// SourceForDestination returns the source address the host would use for a
+// packet to dst: the mobility override's choice if one is installed, else
+// the address of the output interface. It mirrors the paper's observation
+// that the source/encapsulation decision "must also be made when TCP
+// decides what address to use as the endpoint identifier" — transports
+// call this at connection setup.
+func (h *Host) SourceForDestination(dst ipv4.Addr) ipv4.Addr {
+	probe := ipv4.Packet{Header: ipv4.Header{Dst: dst}}
+	if h.RouteOverride != nil {
+		rt, ok := h.RouteOverride(&probe)
+		// The override may pin a source address even when it falls
+		// through to normal routing (the Out-DT and Out-DH cases).
+		if !probe.Src.IsZero() {
+			return probe.Src
+		}
+		if ok && rt.Iface != nil {
+			return rt.Iface.addr
+		}
+	}
+	if h.Claimed(dst) {
+		return dst
+	}
+	if rt, ok := h.routes.Lookup(dst); ok && rt.Iface != nil {
+		return rt.Iface.addr
+	}
+	return ipv4.Zero
+}
+
+// SourceForDestinationPlain is SourceForDestination ignoring any route
+// override: the source address the plain route table implies. Mobility
+// components use it to pick outer tunnel sources without recursing into
+// their own policy.
+func (h *Host) SourceForDestinationPlain(dst ipv4.Addr) ipv4.Addr {
+	if h.Claimed(dst) {
+		return dst
+	}
+	if rt, ok := h.routes.Lookup(dst); ok && rt.Iface != nil {
+		return rt.Iface.addr
+	}
+	return ipv4.Zero
+}
+
+func (h *Host) ensureUDPDemux() {
+	if _, ok := h.protoHandlers[ipv4.ProtoUDP]; ok {
+		return
+	}
+	h.Handle(ipv4.ProtoUDP, func(ifc *Iface, pkt ipv4.Packet) {
+		d, err := udp.Unmarshal(pkt.Src, pkt.Dst, pkt.Payload)
+		if err != nil {
+			h.Stats.DropMalformed++
+			return
+		}
+		sock, ok := h.udpSocks[d.DstPort]
+		if !ok {
+			h.Stats.DropNoProto++
+			return
+		}
+		// A socket bound to a specific address only accepts datagrams
+		// addressed to it (broadcast excepted).
+		if !sock.bindAddr.IsZero() && pkt.Dst != sock.bindAddr && !pkt.Dst.IsBroadcast() {
+			h.Stats.DropNoProto++
+			return
+		}
+		sock.Delivered++
+		if sock.handler != nil {
+			sock.handler(pkt.Src, d.SrcPort, pkt.Dst, d.Payload)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package tcplite
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"mob4x4/internal/ipv4"
+)
+
+var (
+	segSrc = ipv4.MustParseAddr("10.0.0.1")
+	segDst = ipv4.MustParseAddr("10.0.0.2")
+)
+
+func TestSegmentRoundTrip(t *testing.T) {
+	s := segment{
+		srcPort: 40001, dstPort: 23,
+		seq: 0xdeadbeef, ack: 0xcafebabe,
+		flags: flagACK | flagPSH, window: 8,
+		payload: []byte("keystroke"),
+	}
+	got, err := parseSegment(segSrc, segDst, s.marshal(segSrc, segDst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.srcPort != s.srcPort || got.dstPort != s.dstPort ||
+		got.seq != s.seq || got.ack != s.ack ||
+		got.flags != s.flags || got.window != s.window {
+		t.Errorf("fields: %+v", got)
+	}
+	if !bytes.Equal(got.payload, s.payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestSegmentChecksumBindsAddresses(t *testing.T) {
+	s := segment{srcPort: 1, dstPort: 2, flags: flagSYN}
+	b := s.marshal(segSrc, segDst)
+	// A different pseudo-header must fail: this is exactly why the
+	// broken grid cells cannot carry TCP — a reply keyed to a different
+	// address cannot even checksum correctly at the receiver.
+	if _, err := parseSegment(ipv4.MustParseAddr("10.9.9.9"), segDst, b); err == nil {
+		t.Error("segment accepted under the wrong source address")
+	}
+}
+
+func TestSegmentCorruptionRejected(t *testing.T) {
+	s := segment{srcPort: 1, dstPort: 2, flags: flagACK, payload: []byte("data")}
+	good := s.marshal(segSrc, segDst)
+	for i := range good {
+		b := append([]byte(nil), good...)
+		b[i] ^= 0x10
+		if _, err := parseSegment(segSrc, segDst, b); err == nil {
+			// A flip in the data-offset upper nibble could still parse
+			// if... no: any flip must break the checksum or the offset
+			// bounds.
+			t.Fatalf("corruption at byte %d accepted", i)
+		}
+	}
+}
+
+func TestSegmentTruncatedRejected(t *testing.T) {
+	if _, err := parseSegment(segSrc, segDst, make([]byte, 10)); err == nil {
+		t.Error("truncated segment accepted")
+	}
+	s := segment{flags: flagSYN}
+	b := s.marshal(segSrc, segDst)
+	b[12] = 15 << 4 // data offset beyond segment
+	if _, err := parseSegment(segSrc, segDst, b); err == nil {
+		t.Error("bad offset accepted")
+	}
+}
+
+func TestSegmentString(t *testing.T) {
+	s := segment{srcPort: 1, dstPort: 2, flags: flagSYN | flagACK}
+	if s.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestSegmentRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags uint8, payload []byte) bool {
+		if len(payload) > 30000 {
+			payload = payload[:30000]
+		}
+		s := segment{
+			srcPort: sp, dstPort: dp, seq: seq, ack: ack,
+			flags: flags, window: 4, payload: payload,
+		}
+		got, err := parseSegment(segSrc, segDst, s.marshal(segSrc, segDst))
+		return err == nil && got.seq == seq && got.ack == ack &&
+			got.flags == flags && bytes.Equal(got.payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqArithmetic(t *testing.T) {
+	cases := []struct {
+		a, b   uint32
+		lt, le bool
+	}{
+		{0, 1, true, true},
+		{1, 0, false, false},
+		{5, 5, false, true},
+		// Wraparound: 0xffffffff is "before" 0 in sequence space.
+		{0xffffffff, 0, true, true},
+		{0, 0xffffffff, false, false},
+		{0xfffffff0, 0x10, true, true},
+	}
+	for _, c := range cases {
+		if seqLT(c.a, c.b) != c.lt {
+			t.Errorf("seqLT(%#x,%#x) = %v", c.a, c.b, !c.lt)
+		}
+		if seqLE(c.a, c.b) != c.le {
+			t.Errorf("seqLE(%#x,%#x) = %v", c.a, c.b, !c.le)
+		}
+	}
+}
+
+func TestSeqOrderingProperty(t *testing.T) {
+	// Within half the sequence space, seqLT agrees with a+delta logic.
+	f := func(a uint32, deltaRaw uint32) bool {
+		delta := deltaRaw % (1 << 30) // well under half the space
+		if delta == 0 {
+			return !seqLT(a, a) && seqLE(a, a)
+		}
+		b := a + delta
+		return seqLT(a, b) && !seqLT(b, a) && seqLE(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for _, s := range []State{StateSynSent, StateSynReceived, StateEstablished,
+		StateFinWait, StateCloseWait, StateLastAck, StateClosed} {
+		if s.String() == "" {
+			t.Errorf("state %d has no string", s)
+		}
+	}
+	if State(99).String() == "" {
+		t.Error("unknown state should render")
+	}
+}

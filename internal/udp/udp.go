@@ -1,0 +1,75 @@
+// Package udp implements the UDP wire format (RFC 768) used by the
+// simulated stack: registration protocol, DNS, DHCP and application
+// datagrams all ride on it.
+package udp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mob4x4/internal/ipv4"
+)
+
+// HeaderLen is the UDP header size.
+const HeaderLen = 8
+
+// Datagram is a parsed UDP datagram.
+type Datagram struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// Marshal serializes the datagram, computing the checksum over the
+// pseudo-header for the given IP endpoints.
+func (d *Datagram) Marshal(src, dst ipv4.Addr) ([]byte, error) {
+	total := HeaderLen + len(d.Payload)
+	if total > 65535 {
+		return nil, fmt.Errorf("udp: datagram too large (%d bytes)", total)
+	}
+	b := make([]byte, total)
+	binary.BigEndian.PutUint16(b[0:], d.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], d.DstPort)
+	binary.BigEndian.PutUint16(b[4:], uint16(total))
+	copy(b[HeaderLen:], d.Payload)
+	binary.BigEndian.PutUint16(b[6:], ipv4.TransportChecksum(src, dst, ipv4.ProtoUDP, b))
+	return b, nil
+}
+
+// Unmarshal parses and validates a UDP datagram received between the given
+// IP endpoints. A zero checksum (checksumming disabled by the sender) is
+// accepted, per RFC 768.
+func Unmarshal(src, dst ipv4.Addr, b []byte) (Datagram, error) {
+	var d Datagram
+	if len(b) < HeaderLen {
+		return d, fmt.Errorf("udp: truncated datagram (%d bytes)", len(b))
+	}
+	length := int(binary.BigEndian.Uint16(b[4:]))
+	if length < HeaderLen || length > len(b) {
+		return d, fmt.Errorf("udp: bad length %d (have %d)", length, len(b))
+	}
+	if cs := binary.BigEndian.Uint16(b[6:]); cs != 0 {
+		if ipv4.TransportChecksum(src, dst, ipv4.ProtoUDP, zeroChecksum(b[:length])) != cs {
+			return d, fmt.Errorf("udp: checksum mismatch")
+		}
+	}
+	d.SrcPort = binary.BigEndian.Uint16(b[0:])
+	d.DstPort = binary.BigEndian.Uint16(b[2:])
+	d.Payload = b[HeaderLen:length]
+	return d, nil
+}
+
+func zeroChecksum(b []byte) []byte {
+	c := append([]byte(nil), b...)
+	c[6], c[7] = 0, 0
+	return c
+}
+
+// Well-known ports used in the simulation.
+const (
+	PortDNS          = 53
+	PortDHCPServer   = 67
+	PortDHCPClient   = 68
+	PortHTTP         = 80  // used by the paper's port-number heuristic
+	PortRegistration = 434 // Mobile IP registration (IETF assignment)
+)

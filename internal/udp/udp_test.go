@@ -1,0 +1,132 @@
+package udp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"mob4x4/internal/ipv4"
+)
+
+var (
+	src = ipv4.MustParseAddr("10.0.0.1")
+	dst = ipv4.MustParseAddr("10.0.0.2")
+)
+
+func TestRoundTrip(t *testing.T) {
+	d := Datagram{SrcPort: 4321, DstPort: 53, Payload: []byte("query")}
+	b, err := d.Marshal(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != HeaderLen+5 {
+		t.Fatalf("length %d", len(b))
+	}
+	got, err := Unmarshal(src, dst, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != d.SrcPort || got.DstPort != d.DstPort || !bytes.Equal(got.Payload, d.Payload) {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestChecksumBindsAddresses(t *testing.T) {
+	d := Datagram{SrcPort: 1, DstPort: 2, Payload: []byte("x")}
+	b, _ := d.Marshal(src, dst)
+	// Same bytes presented as if from a different source must fail: the
+	// pseudo-header protects against exactly the address-rewriting
+	// confusion the paper's modes must avoid.
+	other := ipv4.MustParseAddr("10.0.0.9")
+	if _, err := Unmarshal(other, dst, b); err == nil {
+		t.Error("wrong pseudo-header accepted")
+	}
+}
+
+func TestZeroChecksumAccepted(t *testing.T) {
+	d := Datagram{SrcPort: 1, DstPort: 2, Payload: []byte("nochecksum")}
+	b, _ := d.Marshal(src, dst)
+	b[6], b[7] = 0, 0 // checksum disabled per RFC 768
+	if _, err := Unmarshal(src, dst, b); err != nil {
+		t.Errorf("zero checksum rejected: %v", err)
+	}
+}
+
+func TestCorruptionRejected(t *testing.T) {
+	d := Datagram{SrcPort: 1, DstPort: 2, Payload: []byte("payload!")}
+	b, _ := d.Marshal(src, dst)
+	b[HeaderLen] ^= 0xff
+	if _, err := Unmarshal(src, dst, b); err == nil {
+		t.Error("corrupted payload accepted")
+	}
+}
+
+func TestLengthValidation(t *testing.T) {
+	if _, err := Unmarshal(src, dst, []byte{0, 1, 0}); err == nil {
+		t.Error("truncated accepted")
+	}
+	d := Datagram{SrcPort: 1, DstPort: 2, Payload: []byte("abc")}
+	b, _ := d.Marshal(src, dst)
+	binary.BigEndian.PutUint16(b[4:], 4) // below header length
+	if _, err := Unmarshal(src, dst, b); err == nil {
+		t.Error("bad length accepted")
+	}
+	b2, _ := d.Marshal(src, dst)
+	binary.BigEndian.PutUint16(b2[4:], uint16(len(b2)+5))
+	if _, err := Unmarshal(src, dst, b2); err == nil {
+		t.Error("overlong length accepted")
+	}
+}
+
+func TestLengthTrailingBytesIgnored(t *testing.T) {
+	// IP may deliver padding after the datagram; the length field rules.
+	d := Datagram{SrcPort: 9, DstPort: 10, Payload: []byte("data")}
+	b, _ := d.Marshal(src, dst)
+	padded := append(b, 0, 0, 0)
+	got, err := Unmarshal(src, dst, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, d.Payload) {
+		t.Errorf("payload = %q", got.Payload)
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	d := Datagram{Payload: make([]byte, 65536)}
+	if _, err := d.Marshal(src, dst); err == nil {
+		t.Error("oversize datagram accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte, s, d uint32) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		dg := Datagram{SrcPort: sp, DstPort: dp, Payload: payload}
+		a, b := ipv4.AddrFromUint32(s), ipv4.AddrFromUint32(d)
+		buf, err := dg.Marshal(a, b)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(a, b, buf)
+		return err == nil && got.SrcPort == sp && got.DstPort == dp &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	d := Datagram{SrcPort: 1, DstPort: 2, Payload: make([]byte, 1400)}
+	b.ReportAllocs()
+	b.SetBytes(1400)
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Marshal(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package vtime implements a deterministic discrete-event virtual-time
+// scheduler. All simulated network activity in this repository is driven by
+// a single Scheduler: links, retransmission timers, lease expiries and
+// registration lifetimes all schedule callbacks at virtual instants, and the
+// scheduler executes them in strict (time, sequence) order. Runs are fully
+// reproducible: given the same seed and the same sequence of scheduled
+// events, every experiment produces identical traces.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant in virtual time, measured as a duration since the start
+// of the simulation. The zero Time is the simulation epoch.
+type Time time.Duration
+
+// Duration re-exports time.Duration for readability at call sites.
+type Duration = time.Duration
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// An event is a callback scheduled at a virtual instant. The seq field
+// breaks ties so that events scheduled earlier run earlier, keeping the
+// simulation deterministic.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled callback. Cancelling a Timer that has
+// already fired (or was already cancelled) is a harmless no-op.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the callback was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fn == nil {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Scheduler is a discrete-event executor. It is not safe for concurrent use;
+// the simulation is single-threaded by design (determinism beats parallelism
+// for a reproduction harness).
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+	// Processed counts events executed since construction; useful as a
+	// cheap progress/cost metric in benchmarks.
+	Processed uint64
+}
+
+// NewScheduler returns a scheduler positioned at the epoch, with a
+// deterministic random source derived from seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual instant.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at instant t. Scheduling in the past (before Now)
+// panics: it is always a logic error in a discrete-event simulation.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("vtime: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("vtime: nil event function")
+	}
+	s.seq++
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current instant.
+func (s *Scheduler) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Post schedules fn to run at the current instant, after all callbacks
+// already queued for this instant. It is the simulation's equivalent of
+// "go fn()": useful to break deep synchronous call chains.
+func (s *Scheduler) Post(fn func()) *Timer { return s.At(s.now, fn) }
+
+// Stop makes the currently executing Run return after the active callback
+// finishes. Pending events remain queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns the final virtual instant.
+func (s *Scheduler) Run() Time {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		s.step()
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay queued.
+func (s *Scheduler) RunUntil(deadline Time) Time {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		if s.events[0].at > deadline {
+			break
+		}
+		s.step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (s *Scheduler) RunFor(d Duration) Time { return s.RunUntil(s.now.Add(d)) }
+
+// Pending reports how many events are queued (including cancelled ones not
+// yet reaped).
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+func (s *Scheduler) step() {
+	ev := heap.Pop(&s.events).(*event)
+	if ev.canceled {
+		return
+	}
+	if ev.at > s.now {
+		s.now = ev.at
+	}
+	fn := ev.fn
+	ev.fn = nil
+	s.Processed++
+	fn()
+}
