@@ -1,0 +1,43 @@
+# The canonical local gate, mirrored by .github/workflows/ci.yml.
+# `make check` is what CI runs (minus the fuzz smoke); run it before
+# pushing.
+
+GO ?= go
+
+FUZZ_TIME ?= 10s
+FUZZ_TARGETS = \
+	./internal/ipv4:FuzzHeaderParse \
+	./internal/encap:FuzzDecapsulateIPIP \
+	./internal/encap:FuzzDecapsulateMinEnc \
+	./internal/encap:FuzzDecapsulateGRE \
+	./internal/encap:FuzzDecapsulateGREKeyed \
+	./internal/encap:FuzzEncapRoundTrip
+
+.PHONY: check build vet lint test race fuzz-smoke
+
+check: build vet lint test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The repo-specific analyzer suite; see DESIGN.md "Static analysis".
+lint:
+	$(GO) run ./cmd/mob4x4vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over every target; CI runs this on every push, longer
+# runs are manual (`make fuzz-smoke FUZZ_TIME=5m`).
+fuzz-smoke:
+	@set -e; for entry in $(FUZZ_TARGETS); do \
+		pkg=$${entry%%:*}; target=$${entry##*:}; \
+		echo "fuzz $$pkg $$target ($(FUZZ_TIME))"; \
+		$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZ_TIME); \
+	done

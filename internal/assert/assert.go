@@ -1,0 +1,29 @@
+// Package assert centralizes the repository's invariant failures. Library
+// code must not call panic directly (the panicpolicy analyzer in
+// internal/lint enforces this); instead it routes genuine
+// cannot-happen conditions through Unreachable and impossible errors
+// through NoError. Keeping every deliberate panic behind one tiny,
+// grep-able package separates "a programmer broke an invariant" from
+// "hostile or malformed input reached the wrong layer" — the latter must
+// always surface as a returned error, never as a crash.
+package assert
+
+import "fmt"
+
+// Unreachable reports a broken invariant: a state the surrounding logic
+// guarantees cannot occur. It always panics. Callers should phrase the
+// format string as a statement of the violated invariant, e.g.
+// "vtime: scheduling event at %v before now %v".
+func Unreachable(format string, args ...any) {
+	panic("invariant violated: " + fmt.Sprintf(format, args...))
+}
+
+// NoError panics if err is non-nil. It is for errors that the caller has
+// already made impossible (marshalling a packet it just built, parsing a
+// literal it controls) where propagating an error return would only add
+// dead code paths. context names the operation that "cannot fail".
+func NoError(err error, context string) {
+	if err != nil {
+		panic("invariant violated: " + context + ": " + err.Error())
+	}
+}

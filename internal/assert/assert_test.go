@@ -1,0 +1,41 @@
+package assert
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panicked with %T, want string", r)
+		}
+		if !strings.HasPrefix(msg, "invariant violated: ") {
+			t.Errorf("panic %q lacks the invariant prefix", msg)
+		}
+		if !strings.Contains(msg, want) {
+			t.Errorf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+func TestUnreachable(t *testing.T) {
+	mustPanic(t, "mode 7 out of range", func() {
+		Unreachable("mode %d out of range", 7)
+	})
+}
+
+func TestNoError(t *testing.T) {
+	NoError(nil, "never fails") // must not panic
+	mustPanic(t, "building packet: boom", func() {
+		NoError(errors.New("boom"), "building packet")
+	})
+}

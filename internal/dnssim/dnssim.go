@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/stack"
 	"mob4x4/internal/udp"
@@ -65,9 +66,15 @@ type message struct {
 	records  []Record
 }
 
+// maxNameLen is the longest name the one-byte wire length field can
+// carry. Resolver.send rejects longer names before a message is built, so
+// by the time marshal runs the bound is an invariant.
+const maxNameLen = 255
+
 func (m *message) marshal() []byte {
-	if len(m.name) > 255 {
-		panic("dnssim: name too long")
+	if len(m.name) > maxNameLen || len(m.records) > 255 {
+		assert.Unreachable("dnssim: message exceeds wire limits (name %d bytes, %d records)",
+			len(m.name), len(m.records))
 	}
 	b := make([]byte, 0, 8+len(m.name)+len(m.records)*9)
 	var hdr [4]byte
@@ -265,6 +272,14 @@ func (r *Resolver) UpdateCA(name string, careOf ipv4.Addr, ttlSec uint32, done f
 }
 
 func (r *Resolver) send(m message, done func([]Record, error)) {
+	if len(m.name) > maxNameLen {
+		// A caller-supplied name is input, not an invariant: fail the
+		// query instead of crashing the simulation.
+		if done != nil {
+			done(nil, fmt.Errorf("dnssim: name too long (%d bytes, max %d)", len(m.name), maxNameLen))
+		}
+		return
+	}
 	r.nextID++
 	m.id = r.nextID
 	q := &query{msg: m, done: done}

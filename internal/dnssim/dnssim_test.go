@@ -185,3 +185,27 @@ func TestRTypeString(t *testing.T) {
 		t.Error("record type strings")
 	}
 }
+
+func TestQueryNameTooLong(t *testing.T) {
+	_, _, res := dnsWorld(t, 0)
+	long := make([]byte, maxNameLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+
+	var gotErr error
+	called := false
+	res.Query(string(long), func(recs []Record, err error) { called, gotErr = true, err })
+
+	// The rejection is synchronous: no packet is built, nothing is
+	// pending, and the callback has already fired with an error.
+	if !called {
+		t.Fatal("done callback not invoked for oversized name")
+	}
+	if gotErr == nil {
+		t.Fatal("expected an error for a name beyond the wire limit")
+	}
+	if len(res.pending) != 0 {
+		t.Errorf("rejected query left %d pending entries", len(res.pending))
+	}
+}

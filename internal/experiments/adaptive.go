@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/core"
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/mobileip"
@@ -90,13 +91,11 @@ func RunAdaptive(seed int64, filtering bool) []AdaptiveRow {
 				}
 			}
 		}); err != nil {
-			panic(err)
+			assert.Unreachable("adaptive: start echo server: %v", err)
 		}
 
 		conn, err := s.MHTCP.Dial(s.MN.Home(), target, 7001)
-		if err != nil {
-			panic(err)
-		}
+		assert.NoError(err, "adaptive: dial echo server")
 		conn.OnEstablished = func() { _ = conn.Write(make([]byte, payload)) }
 		s.Net.RunFor(120 * Second)
 

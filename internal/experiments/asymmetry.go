@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/core"
 	"mob4x4/internal/inet"
 	"mob4x4/internal/ipv4"
@@ -84,15 +85,13 @@ func RunAsymmetry(seed int64) AsymmetryResult {
 	for _, gw := range []*stack.Host{visitGW, farGW} {
 		ifc := gw.IfaceByName("to-bb")
 		if ifc == nil {
-			panic("asymmetry: missing backbone interface")
+			assert.Unreachable("asymmetry: missing backbone interface")
 		}
 		addVia(gw, "36.1.1.0/24", ifc.Prefix().Host(2))
 	}
 
 	ha, err := mobileip.NewHomeAgent(haHost, haHost.Ifaces()[0], mobileip.HomeAgentConfig{})
-	if err != nil {
-		panic(err)
-	}
+	assert.NoError(err, "asymmetry: create home agent")
 	_ = ha
 	mhTCP := tcplite.New(mhHost)
 	mn, err := mobileip.NewMobileNode(mhHost, mhIfc, mobileip.MobileNodeConfig{
@@ -101,14 +100,12 @@ func RunAsymmetry(seed int64) AsymmetryResult {
 		HomeAgent:  haHost.Ifaces()[0].Addr(),
 		Selector:   core.NewSelector(core.StartOptimistic), // direct replies
 	})
-	if err != nil {
-		panic(err)
-	}
+	assert.NoError(err, "asymmetry: create mobile node")
 	careOf := visit.NextAddr()
 	mn.MoveTo(visit.Seg, careOf, visit.Prefix, visit.Gateway)
 	n.RunFor(5 * Second)
 	if !mn.Registered() {
-		panic("asymmetry: registration failed")
+		assert.Unreachable("asymmetry: registration failed")
 	}
 
 	var res AsymmetryResult
@@ -121,16 +118,12 @@ func RunAsymmetry(seed int64) AsymmetryResult {
 	chSock, err := chHost.OpenUDP(ipv4.Zero, 0, func(src ipv4.Addr, sp uint16, dst ipv4.Addr, pl []byte) {
 		echoGot = true
 	})
-	if err != nil {
-		panic(err)
-	}
+	assert.NoError(err, "asymmetry: open CH socket")
 	var mhSock *stack.UDPSocket
 	mhSock, err = mhHost.OpenUDP(ipv4.Zero, 4242, func(src ipv4.Addr, sp uint16, dst ipv4.Addr, pl []byte) {
 		_ = mhSock.SendToFrom(mn.Home(), src, sp, pl)
 	})
-	if err != nil {
-		panic(err)
-	}
+	assert.NoError(err, "asymmetry: open MH socket")
 	_ = chSock.SendTo(mn.Home(), 4242, []byte("probe"))
 	n.RunFor(10 * Second)
 	res.Delivered = echoGot
@@ -178,13 +171,11 @@ func RunAsymmetry(seed int64) AsymmetryResult {
 				}
 			}
 		}); err != nil {
-			panic(err)
+			assert.Unreachable("asymmetry: start sink server: %v", err)
 		}
 		start := n.Sim.Now()
 		conn, err := clientEP.Dial(clientLocal, target, port)
-		if err != nil {
-			panic(err)
-		}
+		assert.NoError(err, "asymmetry: dial sink server")
 		conn.OnEstablished = func() { _ = conn.Write(make([]byte, bulk)) }
 		n.RunFor(120 * Second)
 		if rx < bulk || doneAt.Before(start) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/core"
 	"mob4x4/internal/tcplite"
 )
@@ -41,15 +42,13 @@ func RunDualMobile(seed int64) DualMobileResult {
 	if _, err := s.MH2TCP.Listen(7, func(c *tcplite.Conn) {
 		c.OnData = func(p []byte) { _ = c.Write(p) }
 	}); err != nil {
-		panic(err)
+		assert.Unreachable("dualmobile: start echo server on MH2: %v", err)
 	}
 
 	echoes := 0
 	alive := true
 	conn, err := s.MHTCP.Dial(s.MN.Home(), s.MN2.Home(), 7)
-	if err != nil {
-		panic(err)
-	}
+	assert.NoError(err, "dualmobile: dial MH2 echo server")
 	conn.OnData = func(p []byte) { echoes++ }
 	conn.OnError = func(error) { alive = false }
 	conn.OnEstablished = func() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/core"
 	"mob4x4/internal/tcplite"
 	"mob4x4/internal/vtime"
@@ -45,7 +46,7 @@ func RunDurability(seed int64, useHomeAddress bool, moves int) DurabilityResult 
 	if _, err := s.CHFarTCP.Listen(23, func(c *tcplite.Conn) {
 		c.OnData = func(p []byte) { _ = c.Write(p) }
 	}); err != nil {
-		panic(err)
+		assert.Unreachable("durability: start echo server: %v", err)
 	}
 
 	local := s.MN.CareOf()
@@ -53,9 +54,7 @@ func RunDurability(seed int64, useHomeAddress bool, moves int) DurabilityResult 
 		local = s.MN.Home()
 	}
 	conn, err := s.MHTCP.Dial(local, s.CHFar.FirstAddr(), 23)
-	if err != nil {
-		panic(err)
-	}
+	assert.NoError(err, "durability: dial echo server")
 	alive := true
 	echoes := 0
 	conn.OnData = func(p []byte) { echoes++ }
@@ -137,7 +136,7 @@ func RunWebBrowse(seed int64, n int, useMobileIP bool) WebBrowseResult {
 			c.Close()
 		}
 	}); err != nil {
-		panic(err)
+		assert.Unreachable("durability: start page server: %v", err)
 	}
 
 	local := s.MN.CareOf()

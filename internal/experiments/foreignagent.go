@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/core"
 	"mob4x4/internal/mobileip"
 	"mob4x4/internal/vtime"
@@ -42,9 +43,7 @@ func RunForeignAgent(seed int64, viaFA bool) FAResult {
 		s.Net.ComputeRoutes()
 		var err error
 		fa, err = mobileip.NewForeignAgent(faHost, faHost.Ifaces()[0], mobileip.ForeignAgentConfig{})
-		if err != nil {
-			panic(err)
-		}
+		assert.NoError(err, "foreignagent: create foreign agent")
 		s.MN.MoveToForeignAgent(s.VisitA.Seg, fa.Addr())
 		s.Net.RunFor(3 * Second)
 	} else {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/core"
 	"mob4x4/internal/encap"
 	"mob4x4/internal/ipv4"
@@ -70,9 +71,7 @@ func RunFormats() []FormatRow {
 	}
 	encapRow := func(dir, mode string, outer ipv4.Packet) FormatRow {
 		in, err := codec.Decapsulate(outer)
-		if err != nil {
-			panic(err)
-		}
+		assert.NoError(err, "formats: decapsulate freshly encapsulated packet")
 		return FormatRow{
 			Direction: dir, Mode: mode, Encapsulated: true,
 			OuterSrc: role(outer.Src), OuterDst: role(outer.Dst),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/core"
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/netsim"
@@ -113,9 +114,7 @@ func runGridCell(seed int64, combo core.Combo) GridCell {
 		deliveredIn = true
 		_ = mhSock.SendToFrom(replySrc, src, srcPort, payload)
 	})
-	if err != nil {
-		panic(err)
-	}
+	assert.NoError(err, "grid: open MH socket")
 
 	deliveredOut := false
 	var replyFrom ipv4.Addr
@@ -123,9 +122,7 @@ func runGridCell(seed int64, combo core.Combo) GridCell {
 		deliveredOut = true
 		replyFrom = src
 	})
-	if err != nil {
-		panic(err)
-	}
+	assert.NoError(err, "grid: open CH socket")
 
 	tr := s.Net.Sim.Trace
 	evStart := len(tr.Events())

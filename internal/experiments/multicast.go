@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/icmphost"
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/netsim"
@@ -45,7 +46,7 @@ func RunMulticast(seed int64, localJoin bool, packets int) MulticastResult {
 		sIfc = sender.AddIface("eth0", s.VisitA.Seg, s.VisitA.NextAddr(), s.VisitA.Prefix)
 	} else {
 		if err := s.HA.RelayGroup(group, s.MN.Home()); err != nil {
-			panic(err)
+			assert.Unreachable("multicast: relay group on home agent: %v", err)
 		}
 		sender = stack.NewHost(s.Net.Sim, "mcast-src")
 		sIfc = sender.AddIface("eth0", s.HomeLAN.Seg, s.HomeLAN.NextAddr(), s.HomeLAN.Prefix)
@@ -98,7 +99,7 @@ func RunTraceroutes(seed int64) []TraceResult {
 			}
 		}
 		if err := icmphost.RespondToProbes(s.MHHost); err != nil {
-			panic(err)
+			assert.Unreachable("multicast: enable probe responder: %v", err)
 		}
 		if roam {
 			s.Roam()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/encap"
 	"mob4x4/internal/ipv4"
 )
@@ -115,15 +116,13 @@ func RunTunnelFragmentation(seed int64, payload int) TunnelFragmentationResult {
 			delivered = len(p) == payload
 		})
 		if err != nil {
-			panic(err)
+			assert.Unreachable("overhead: open CH socket: %v", err)
 		}
 		var sock interface {
 			SendToFrom(srcAddr, dst ipv4.Addr, dstPort uint16, payload []byte) error
 		}
 		mhSock, err := s.MHHost.OpenUDP(ipv4.Zero, 0, nil)
-		if err != nil {
-			panic(err)
-		}
+		assert.NoError(err, "overhead: open MH socket")
 		sock = mhSock
 		before := countBackbone(s)
 		if tunnel {

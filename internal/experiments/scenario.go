@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/core"
 	"mob4x4/internal/dhcpsim"
 	"mob4x4/internal/dnssim"
@@ -177,9 +178,7 @@ func Build(opts Options) *Scenario {
 		Codec:              opts.Codec,
 		SendBindingNotices: opts.Notices,
 	})
-	if err != nil {
-		panic(err)
-	}
+	assert.NoError(err, "experiments: create home agent")
 
 	s.MHICMP = icmphost.Install(s.MHHost)
 	s.MHTCP = tcplite.New(s.MHHost)
@@ -190,9 +189,7 @@ func Build(opts Options) *Scenario {
 		Codec:      opts.Codec,
 		Selector:   opts.Selector,
 	})
-	if err != nil {
-		panic(err)
-	}
+	assert.NoError(err, "experiments: create mobile node")
 
 	s.CHFarIC = icmphost.Install(s.CHFar)
 	s.CHFarTCP = tcplite.New(s.CHFar)
@@ -225,7 +222,7 @@ func Build(opts Options) *Scenario {
 			Codec: opts.Codec,
 		})
 		if err != nil {
-			panic(err)
+			assert.Unreachable("experiments: create second home agent: %v", err)
 		}
 		icmphost.Install(s.MH2Host)
 		s.MH2TCP = tcplite.New(s.MH2Host)
@@ -237,20 +234,20 @@ func Build(opts Options) *Scenario {
 			Selector:   core.NewSelector(core.StartOptimistic),
 		})
 		if err != nil {
-			panic(err)
+			assert.Unreachable("experiments: create second mobile node: %v", err)
 		}
 	}
 
 	if opts.WithServices {
 		s.DNS, err = dnssim.NewServer(n.AddHost("dns", s.HomeLAN))
 		if err != nil {
-			panic(err)
+			assert.Unreachable("experiments: create DNS server: %v", err)
 		}
 		s.DNS.AddA("mh.mosquitonet.stanford.edu", s.MN.Home())
 		s.DHCP, err = dhcpsim.NewServer(n.AddHost("dhcp", s.VisitA),
 			s.VisitA.Prefix, s.VisitA.Gateway, 100, 150)
 		if err != nil {
-			panic(err)
+			assert.Unreachable("experiments: create DHCP server: %v", err)
 		}
 		n.ComputeRoutes() // refresh for the service hosts
 	}
@@ -265,7 +262,7 @@ func (s *Scenario) Roam() ipv4.Addr {
 	s.MN.MoveTo(s.VisitA.Seg, careOf, s.VisitA.Prefix, s.VisitA.Gateway)
 	s.Net.RunFor(3 * Second)
 	if !s.MN.Registered() {
-		panic(fmt.Sprintf("experiments: registration failed (care-of %s)", careOf))
+		assert.Unreachable("experiments: registration failed (care-of %s)", careOf)
 	}
 	return careOf
 }
@@ -276,7 +273,7 @@ func (s *Scenario) RoamB() ipv4.Addr {
 	s.MN.MoveTo(s.VisitB.Seg, careOf, s.VisitB.Prefix, s.VisitB.Gateway)
 	s.Net.RunFor(3 * Second)
 	if !s.MN.Registered() {
-		panic(fmt.Sprintf("experiments: registration failed (care-of %s)", careOf))
+		assert.Unreachable("experiments: registration failed (care-of %s)", careOf)
 	}
 	return careOf
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/netsim"
 	"mob4x4/internal/stack"
@@ -75,7 +76,7 @@ func (n *Network) RunFor(d vtime.Duration) { n.Sim.Sched.RunFor(d) }
 func (n *Network) AddLAN(name, prefix string, opts netsim.SegmentOpts) *LAN {
 	p := ipv4.MustParsePrefix(prefix)
 	if _, dup := n.lans[name]; dup {
-		panic(fmt.Sprintf("inet: duplicate LAN %q", name))
+		assert.Unreachable("inet: duplicate LAN %q", name)
 	}
 	lan := &LAN{
 		Name:     name,
@@ -100,7 +101,7 @@ func (l *LAN) NextAddr() ipv4.Addr {
 // AddRouter creates a forwarding host.
 func (n *Network) AddRouter(name string) *stack.Host {
 	if _, dup := n.routers[name]; dup {
-		panic(fmt.Sprintf("inet: duplicate router %q", name))
+		assert.Unreachable("inet: duplicate router %q", name)
 	}
 	r := stack.NewHost(n.Sim, name)
 	r.Forwarding = true
@@ -113,7 +114,7 @@ func (n *Network) AddRouter(name string) *stack.Host {
 // no gateway yet — attach a router first).
 func (n *Network) AddHost(name string, lan *LAN) *stack.Host {
 	if _, dup := n.hosts[name]; dup {
-		panic(fmt.Sprintf("inet: duplicate host %q", name))
+		assert.Unreachable("inet: duplicate host %q", name)
 	}
 	h := stack.NewHost(n.Sim, name)
 	addr := lan.NextAddr()

@@ -1,0 +1,76 @@
+package ipv4
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHeaderParse feeds arbitrary bytes to Unmarshal. The parser sits on
+// the repo's hostile-input boundary: every simulated wire byte — tunnel
+// payloads included — goes through it, so it must reject garbage with an
+// error, never panic, and anything it accepts must survive a
+// marshal/unmarshal round trip unchanged.
+func FuzzHeaderParse(f *testing.F) {
+	valid := Packet{
+		Header: Header{
+			TOS:      0x10,
+			ID:       0x1234,
+			TTL:      DefaultTTL,
+			Protocol: ProtoUDP,
+			Src:      AddrFrom(36, 22, 0, 5),
+			Dst:      AddrFrom(128, 9, 1, 4),
+		},
+		Payload: []byte("seed payload"),
+	}
+	b, err := valid.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+	f.Add(b[:HeaderLen])
+	f.Add(b[:10])
+	f.Add([]byte{})
+	f.Add([]byte{0x45})
+	withOpts := valid
+	withOpts.Options = []byte{1, 1, 1, 1} // NOP padding
+	ob, err := withOpts.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ob)
+	frag := valid
+	frag.MoreFrags = true
+	frag.FragOffset = 185
+	fb, err := frag.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fb)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("accepted packet failed to re-marshal: %v (%s)", err, &p)
+		}
+		q, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-marshalled packet failed to parse: %v (%s)", err, &p)
+		}
+		if q.Header.TOS != p.Header.TOS || q.ID != p.ID ||
+			q.DontFrag != p.DontFrag || q.MoreFrags != p.MoreFrags ||
+			q.FragOffset != p.FragOffset || q.TTL != p.TTL ||
+			q.Protocol != p.Protocol || q.Src != p.Src || q.Dst != p.Dst {
+			t.Fatalf("header changed across round trip:\n first %s\nsecond %s", &p, &q)
+		}
+		if !bytes.Equal(q.Options, p.Options) {
+			t.Fatalf("options changed across round trip: %x -> %x", p.Options, q.Options)
+		}
+		if !bytes.Equal(q.Payload, p.Payload) {
+			t.Fatalf("payload changed across round trip: %d bytes -> %d bytes", len(p.Payload), len(q.Payload))
+		}
+	})
+}

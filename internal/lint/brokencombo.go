@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// BrokenCombo returns the analyzer flagging constant construction of the
+// six dark-shaded grid cells of Figure 10. The paper's Section 6.5 rule
+// is endpoint consistency: a combination where exactly one direction uses
+// the temporary care-of address as the endpoint (In-DT xor Out-DT) leaves
+// the two hosts disagreeing about the connection endpoints, so "current
+// protocols such as TCP" cannot work. Code that hardwires such a
+// Combo{In: ..., Out: ...} literal is constructing a configuration the
+// paper proves useless; tests that do it on purpose (to verify
+// Classify) are exempt because test files are never analyzed, and
+// deliberate demonstrations can carry a //mob4x4vet:allow brokencombo
+// directive.
+func BrokenCombo() *Analyzer {
+	a := &Analyzer{
+		Name: "brokencombo",
+		Doc:  "no constant core.Combo literal may form one of the six broken (dark-shaded) Figure 10 cells",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				checkComboLit(pass, lit)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkComboLit(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.Pkg.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Name() != "Combo" || obj.Pkg() == nil || obj.Pkg().Path() != pass.Pkg.ModulePath+"/internal/core" {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	// Resolve the constant value (if any) of each field element.
+	fieldVal := make(map[string]int64)
+	for i, elt := range lit.Elts {
+		expr := elt
+		name := ""
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			id, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			name = id.Name
+			expr = kv.Value
+		} else if i < st.NumFields() {
+			name = st.Field(i).Name()
+		}
+		tv, ok := pass.Pkg.Info.Types[expr]
+		if !ok || tv.Value == nil {
+			continue
+		}
+		if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+			fieldVal[name] = v
+		}
+	}
+	in, okIn := fieldVal["In"]
+	out, okOut := fieldVal["Out"]
+	if !okIn || !okOut {
+		return // at least one direction is computed at run time
+	}
+	scope := obj.Pkg().Scope()
+	inDT, ok1 := constValue(scope, "InDT")
+	outDT, ok2 := constValue(scope, "OutDT")
+	if !ok1 || !ok2 {
+		return
+	}
+	// Section 6.5: broken iff exactly one direction uses the temporary
+	// address as the endpoint.
+	if (in == inDT) == (out == outDT) {
+		return
+	}
+	pass.Report(lit.Pos(),
+		"combo %s/%s is one of the six broken grid cells (Figure 10): one side uses the temporary address, the other the home address",
+		modeName(scope, "In", in), modeName(scope, "Out", out))
+}
+
+func constValue(scope *types.Scope, name string) (int64, bool) {
+	c, ok := scope.Lookup(name).(*types.Const)
+	if !ok {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(c.Val()))
+}
+
+// modeName finds the constant with the given prefix ("In"/"Out") and
+// value, for readable diagnostics.
+func modeName(scope *types.Scope, prefix string, v int64) string {
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Name() != prefix+"Mode" {
+			continue
+		}
+		if cv, ok := constant.Int64Val(constant.ToInt(c.Val())); ok && cv == v {
+			return name
+		}
+	}
+	return prefix + "Mode(?)"
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck returns the analyzer flagging dropped error returns from this
+// module's own functions. The scope is deliberately narrower than a
+// general-purpose errcheck: the repo's simulation layers (stack, encap,
+// mobileip) use error returns to report packet-level failures — exactly
+// the handover and header edge cases the reproduction exists to measure —
+// so discarding one hides a protocol bug. Calls are flagged when the
+// result is ignored entirely (an expression statement, go, or defer);
+// an explicit `_ =` assignment remains a visible, reviewable discard.
+func ErrCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "errcheck",
+		Doc:  "error results of module-internal functions must not be silently discarded",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = s.X.(*ast.CallExpr)
+				case *ast.GoStmt:
+					call = s.Call
+				case *ast.DeferStmt:
+					call = s.Call
+				}
+				if call != nil {
+					checkDiscardedError(pass, call)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkDiscardedError(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	// Skip conversions and builtins; only function/method calls return
+	// errors.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	errIdx := -1
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			errIdx = i
+		}
+	}
+	if errIdx < 0 {
+		return
+	}
+	obj := calleeObject(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	path := obj.Pkg().Path()
+	if path != pass.Pkg.ModulePath && !strings.HasPrefix(path, pass.Pkg.ModulePath+"/") {
+		return
+	}
+	pass.Report(call.Pos(),
+		"result of %s includes an error that is silently discarded; handle it or assign it to _ explicitly",
+		calleeName(call, obj))
+}
+
+// calleeObject resolves the called function, method, or func-typed
+// variable to its defining object.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func calleeName(call *ast.CallExpr, obj types.Object) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if recv, ok := sel.X.(*ast.Ident); ok {
+			return recv.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	return obj.Name()
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,172 @@
+// Package lint is a repo-specific static-analysis suite for the mob4x4
+// reproduction. It machine-checks the invariants the paper's claims rest
+// on but the Go compiler cannot see:
+//
+//   - wallclock: the simulation is deterministic only while every timing
+//     decision flows through the internal/vtime virtual clock; any
+//     time.Now/time.Sleep in internal/* silently breaks reproducibility.
+//   - modeswitch: the 4x4 grid machinery (core.OutMode, core.InMode) is
+//     exhaustively handled — a switch over a Num-sentinel enum that
+//     silently ignores a constant is exactly how a new mode rots.
+//   - brokencombo: no code path constructs one of the six dark-shaded
+//     broken grid cells of Figure 10 as a constant combination.
+//   - errcheck: error returns from this module's own functions are never
+//     dropped on the floor.
+//   - panicpolicy: library code never calls bare panic; invariants go
+//     through internal/assert and input errors are returned.
+//
+// The suite is built only on go/parser, go/types and go/importer so the
+// module stays dependency-free. cmd/mob4x4vet is the command-line driver;
+// the package's own tests run the suite over the repository itself, so
+// `go test ./...` fails on any new violation.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one analyzer finding at a resolved source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// An Analyzer checks one invariant over one type-checked package.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and in
+	// //mob4x4vet:allow directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer
+	// encodes.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// All returns the full suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Wallclock(),
+		ModeSwitch(),
+		BrokenCombo(),
+		ErrCheck(),
+		PanicPolicy(),
+	}
+}
+
+// ByName returns the analyzer with the given name.
+func ByName(name string) (*Analyzer, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+}
+
+// A Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding at pos unless a //mob4x4vet:allow directive for
+// this analyzer covers the position (same line, or the line above).
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies each analyzer to each package and returns all findings
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// directivePrefix introduces a suppression comment:
+//
+//	//mob4x4vet:allow <analyzer> [reason]
+//
+// placed on the flagged line or the line immediately above it. The reason
+// is free text for the reviewer; the analyzer name must match exactly.
+const directivePrefix = "//mob4x4vet:allow"
+
+// allowed reports whether a directive suppresses analyzer findings at pos.
+func (pkg *Package) allowed(analyzer string, pos token.Position) bool {
+	if pkg.directives == nil {
+		pkg.directives = collectDirectives(pkg.Fset, pkg.Files)
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range pkg.directives[directiveKey{pos.Filename, line}] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type directiveKey struct {
+	file string
+	line int
+}
+
+func collectDirectives(fset *token.FileSet, files []*ast.File) map[directiveKey][]string {
+	out := make(map[directiveKey][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				k := directiveKey{p.Filename, p.Line}
+				out[k] = append(out[k], fields[0])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package lint_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"mob4x4/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current analyzer output")
+
+// sharedLoader type-checks the standard library from source once per test
+// binary; every test that can share the cache does.
+var sharedLoader = sync.OnceValues(func() (*lint.Loader, error) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	return lint.NewLoader(root)
+})
+
+func loader(t *testing.T) *lint.Loader {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	return l
+}
+
+// loadFixtureAs loads testdata/src/<name>/<variant> under an explicit
+// import path (the path decides which scoping rules apply).
+func loadFixtureAs(t *testing.T, l *lint.Loader, name, variant, importPath string) *lint.Package {
+	t.Helper()
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", name, variant), importPath)
+	if err != nil {
+		t.Fatalf("loading %s/%s fixture: %v", name, variant, err)
+	}
+	return pkg
+}
+
+func loadFixture(t *testing.T, name, variant string) *lint.Package {
+	t.Helper()
+	l := loader(t)
+	return loadFixtureAs(t, l, name, variant,
+		l.ModulePath+"/internal/lintfixture/"+name+"/"+variant)
+}
+
+func format(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: %s [%s]\n",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	return b.String()
+}
+
+// TestAnalyzersGolden runs every analyzer over its bad fixture and
+// compares the full diagnostic listing (file:line:col, message, analyzer)
+// against the golden file, then checks the clean fixture stays silent.
+// Regenerate goldens with: go test ./internal/lint -run Golden -update
+func TestAnalyzersGolden(t *testing.T) {
+	for _, a := range lint.All() {
+		t.Run(a.Name, func(t *testing.T) {
+			bad := loadFixture(t, a.Name, "bad")
+			got := format(lint.Run([]*lint.Package{bad}, []*lint.Analyzer{a}))
+			if got == "" {
+				t.Fatalf("analyzer %s reported nothing on its bad fixture", a.Name)
+			}
+			goldenPath := filepath.Join("testdata", "golden", a.Name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+
+			clean := loadFixture(t, a.Name, "clean")
+			if diags := lint.Run([]*lint.Package{clean}, []*lint.Analyzer{a}); len(diags) != 0 {
+				t.Errorf("analyzer %s fired on its clean fixture:\n%s", a.Name, format(diags))
+			}
+		})
+	}
+}
+
+// TestDiagnosticPositions pins exact line/column positions for one
+// representative diagnostic per analyzer, independent of the golden
+// files, plus the total count on the bad fixture.
+func TestDiagnosticPositions(t *testing.T) {
+	tests := []struct {
+		analyzer  string
+		wantCount int
+		line, col int    // position of the first diagnostic
+		contains  string // substring of the first diagnostic's message
+	}{
+		{"wallclock", 4, 10, 2, "time.Sleep"},
+		{"modeswitch", 3, 23, 2, "missing OutDH, OutDT"},
+		{"brokencombo", 3, 11, 18, "InDT"},
+		{"errcheck", 4, 13, 2, "ParseAddr"},
+		{"panicpolicy", 2, 9, 3, "bare panic"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			a, err := lint.ByName(tc.analyzer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bad := loadFixture(t, tc.analyzer, "bad")
+			diags := lint.Run([]*lint.Package{bad}, []*lint.Analyzer{a})
+			if len(diags) != tc.wantCount {
+				t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), tc.wantCount, format(diags))
+			}
+			first := diags[0]
+			if first.Pos.Line != tc.line || first.Pos.Column != tc.col {
+				t.Errorf("first diagnostic at %d:%d, want %d:%d (%s)",
+					first.Pos.Line, first.Pos.Column, tc.line, tc.col, first.Message)
+			}
+			if !strings.Contains(first.Message, tc.contains) {
+				t.Errorf("first diagnostic %q does not mention %q", first.Message, tc.contains)
+			}
+			if first.Analyzer != tc.analyzer {
+				t.Errorf("diagnostic attributed to %q, want %q", first.Analyzer, tc.analyzer)
+			}
+		})
+	}
+}
+
+// TestWallclockScope checks the two scoping rules: the same real-clock
+// code is fine outside <module>/internal/, and internal/vtime itself is
+// exempt (it is the package that wraps the clock).
+func TestWallclockScope(t *testing.T) {
+	l := loader(t)
+	a, err := lint.ByName("wallclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outside := loadFixtureAs(t, l, "wallclock", "bad", l.ModulePath+"/lintfixture/wallclockout")
+	if diags := lint.Run([]*lint.Package{outside}, []*lint.Analyzer{a}); len(diags) != 0 {
+		t.Errorf("wallclock fired outside internal/:\n%s", format(diags))
+	}
+
+	// A fresh loader so the fixture can masquerade as the real vtime
+	// import path without poisoning the shared cache.
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asVtime := loadFixtureAs(t, fresh, "wallclock", "bad", fresh.ModulePath+"/internal/vtime")
+	if diags := lint.Run([]*lint.Package{asVtime}, []*lint.Analyzer{a}); len(diags) != 0 {
+		t.Errorf("wallclock fired on the exempt vtime package path:\n%s", format(diags))
+	}
+}
+
+// TestDirectiveSuppression checks //mob4x4vet:allow silences exactly the
+// named analyzer at the annotated position: the clean brokencombo
+// fixture holds a broken combo under a matching directive (must be
+// silent), and the bad fixture holds one under a wrong-name directive
+// (must still be flagged — pinned here by count, and by position in the
+// golden file).
+func TestDirectiveSuppression(t *testing.T) {
+	bc, err := lint.ByName("brokencombo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := loadFixture(t, "brokencombo", "clean")
+	if diags := lint.Run([]*lint.Package{clean}, []*lint.Analyzer{bc}); len(diags) != 0 {
+		t.Errorf("matching directive did not suppress brokencombo:\n%s", format(diags))
+	}
+	bad := loadFixture(t, "brokencombo", "bad")
+	if diags := lint.Run([]*lint.Package{bad}, []*lint.Analyzer{bc}); len(diags) != 3 {
+		t.Errorf("got %d diagnostics on bad fixture, want 3 (wrong-name directive must not suppress):\n%s",
+			len(diags), format(diags))
+	}
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ModeSwitch returns the analyzer enforcing exhaustive switches over
+// sentinel-counted enums. The repo's convention (set by core.OutMode and
+// core.InMode) is:
+//
+//	type X int
+//	const (
+//	    XFirst X = iota
+//	    ...
+//	    NumXs = <count>   // untyped sentinel closing the enum
+//	)
+//
+// Any switch whose tag has such a type must either list every constant of
+// the type or carry a default clause. Without this check, adding a mode
+// (the paper's grid has historically grown: the authors note rows can be
+// refined) silently falls through existing switches.
+func ModeSwitch() *Analyzer {
+	a := &Analyzer{
+		Name: "modeswitch",
+		Doc:  "switches over Num-sentinel enums (core.OutMode, core.InMode, ...) must be exhaustive or have a default",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				checkModeSwitch(pass, sw)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkModeSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tagType := pass.Pkg.Info.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, ok := tagType.(*types.Named)
+	if !ok {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	enum := enumConstants(named)
+	if enum == nil {
+		return
+	}
+	covered := make(map[int64]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // default clause: the switch handles everything
+		}
+		for _, expr := range clause.List {
+			tv, ok := pass.Pkg.Info.Types[expr]
+			if !ok || tv.Value == nil {
+				// Non-constant case expression: assume it may cover
+				// anything and stay silent rather than guess.
+				return
+			}
+			if v, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+				covered[v] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range enum {
+		if !covered[c.value] {
+			missing = append(missing, c.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pass.Report(sw.Pos(),
+		"switch over %s is not exhaustive and has no default: missing %s",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+type enumConstant struct {
+	name  string
+	value int64
+}
+
+// enumConstants returns the declared constants of named's type if its
+// defining package also declares the Num<Name>s sentinel, else nil.
+// Distinct names aliased to the same value (none exist today) collapse to
+// the first name in source order.
+func enumConstants(named *types.Named) []enumConstant {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	sentinel := fmt.Sprintf("Num%ss", obj.Name())
+	if _, ok := scope.Lookup(sentinel).(*types.Const); !ok {
+		return nil
+	}
+	var out []enumConstant
+	seen := make(map[int64]bool)
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok || seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, enumConstant{name: name, value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}

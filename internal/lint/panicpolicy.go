@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PanicPolicy returns the analyzer banning bare panic calls in library
+// code. The policy behind it: a panic that can be reached by a packet —
+// a malformed header, a truncated tunnel payload, a hostile registration
+// message — is a crash an attacker controls, so parse paths must return
+// errors; a panic that only a programming mistake can reach must be
+// routed through internal/assert so it is greppable, uniformly worded,
+// and visibly distinct from input handling.
+//
+// Exemptions:
+//   - package main (cmd/* and examples/* are allowed to die loudly),
+//   - <module>/internal/assert itself (it implements the panics),
+//   - functions named Must* (the stdlib's own convention for
+//     panic-on-error wrappers of a checked API, e.g. MustParseAddr),
+//   - test files (never loaded by the driver).
+func PanicPolicy() *Analyzer {
+	a := &Analyzer{
+		Name: "panicpolicy",
+		Doc:  "no bare panic in library code; return errors on input, use internal/assert on invariants",
+	}
+	a.Run = func(pass *Pass) {
+		pkg := pass.Pkg
+		if pkg.Types.Name() == "main" || pkg.Path == pkg.ModulePath+"/internal/assert" {
+			return
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil || strings.HasPrefix(d.Name.Name, "Must") {
+						continue
+					}
+					checkPanics(pass, d.Body)
+				case *ast.GenDecl:
+					// Package-level var initializers can hide panics in
+					// closures.
+					checkPanics(pass, d)
+				}
+			}
+		}
+	}
+	return a
+}
+
+func checkPanics(pass *Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if _, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); !ok {
+			return true // a shadowing local function named panic
+		}
+		pass.Report(call.Pos(),
+			"bare panic in library code: return an error for input-reachable failures or call assert.Unreachable/assert.NoError for invariants")
+		return true
+	})
+}

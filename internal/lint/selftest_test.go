@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mob4x4/internal/lint"
+)
+
+// TestRepoIsClean runs the entire analyzer suite over the repository
+// itself, making every rule a tier-1 invariant: `go test ./...` fails the
+// moment a wallclock call, a non-exhaustive mode switch, a constant
+// broken combo, a discarded module error, or a bare library panic lands
+// anywhere in the module.
+func TestRepoIsClean(t *testing.T) {
+	l := loader(t)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader found no packages in the module")
+	}
+	diags := lint.Run(pkgs, lint.All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the violations or, for a deliberate exception, add a //mob4x4vet:allow <analyzer> directive with a reason")
+	}
+}

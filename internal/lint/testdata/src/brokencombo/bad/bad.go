@@ -1,0 +1,21 @@
+// Package brokencombobad constructs two of the six dark-shaded broken
+// grid cells of Figure 10 as constant composite literals; both must be
+// flagged.
+package brokencombobad
+
+import "mob4x4/internal/core"
+
+// TempInOnly is In-DT/Out-IE: the peer addresses the temporary address
+// while we reply from the home address via the home agent — the two ends
+// disagree about the connection endpoints.
+var TempInOnly = core.Combo{In: core.InDT, Out: core.OutIE}
+
+// Positional construction (In-IE/Out-DT) is caught too.
+func Positional() core.Combo {
+	return core.Combo{core.InIE, core.OutDT}
+}
+
+// A directive naming a different analyzer does not suppress this one.
+//
+//mob4x4vet:allow wallclock wrong analyzer name
+var StillFlagged = core.Combo{In: core.InDT, Out: core.OutDH}

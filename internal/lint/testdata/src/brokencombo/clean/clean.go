@@ -1,0 +1,23 @@
+// Package brokencomboclean constructs only workable grid cells — or
+// escapes the rule explicitly; the brokencombo analyzer must stay silent.
+package brokencomboclean
+
+import "mob4x4/internal/core"
+
+// Conservative is the always-works cell (In-IE/Out-IE).
+var Conservative = core.Combo{In: core.InIE, Out: core.OutIE}
+
+// PlainIP is the paper's Row D/column D cell: both directions use the
+// temporary address, so the endpoints agree.
+var PlainIP = core.Combo{core.InDT, core.OutDT}
+
+// FromModes builds combos at run time; only constant construction is in
+// scope for the analyzer.
+func FromModes(in core.InMode, out core.OutMode) core.Combo {
+	return core.Combo{In: in, Out: out}
+}
+
+// Deliberate demonstrations carry a directive.
+//
+//mob4x4vet:allow brokencombo demonstrating the Figure 10 failure cell
+var Demonstration = core.Combo{In: core.InDT, Out: core.OutIE}

@@ -1,0 +1,17 @@
+// Package errcheckbad discards module-internal error results in each of
+// the three statement forms the errcheck analyzer covers (expression
+// statement, defer, go); all four calls must be flagged.
+package errcheckbad
+
+import (
+	"mob4x4/internal/encap"
+	"mob4x4/internal/ipv4"
+)
+
+// Drop loses four errors.
+func Drop(c encap.Codec, pkt ipv4.Packet) {
+	ipv4.ParseAddr("not an address")
+	c.Decapsulate(pkt)
+	defer pkt.Marshal()
+	go encap.ByName("nope")
+}

@@ -1,0 +1,23 @@
+// Package errcheckclean handles or visibly discards every module error;
+// the errcheck analyzer must stay silent.
+package errcheckclean
+
+import (
+	"fmt"
+
+	"mob4x4/internal/ipv4"
+)
+
+// Checked demonstrates the accepted patterns.
+func Checked() error {
+	if _, err := ipv4.ParseAddr("10.0.0.1"); err != nil {
+		return err
+	}
+	a, _ := ipv4.ParseAddr("10.0.0.2")
+	// Non-module calls are out of scope even when they return errors.
+	fmt.Println(a)
+	p := ipv4.Packet{Header: ipv4.Header{Src: a, Dst: a, TTL: 1}}
+	// An explicit blank assignment is a visible, reviewable discard.
+	_, _ = p.Marshal()
+	return nil
+}

@@ -1,0 +1,50 @@
+// Package modeswitchbad exercises the modeswitch analyzer: each switch
+// below skips at least one constant of a Num-sentinel enum and has no
+// default clause.
+package modeswitchbad
+
+import "mob4x4/internal/core"
+
+// Phase is a local enum following the core.OutMode sentinel convention,
+// proving the analyzer is not hardwired to the core types.
+type Phase int
+
+// Phases of a probe cycle.
+const (
+	PhaseIdle Phase = iota
+	PhaseProbe
+	PhaseSettled
+
+	NumPhases = 3
+)
+
+// DescribeOut misses OutDH and OutDT.
+func DescribeOut(m core.OutMode) string {
+	switch m {
+	case core.OutIE:
+		return "indirect tunnel"
+	case core.OutDE:
+		return "direct tunnel"
+	}
+	return ""
+}
+
+// DescribeIn misses InDT.
+func DescribeIn(m core.InMode) string {
+	switch m {
+	case core.InIE, core.InDE, core.InDH:
+		return "mobile-ip"
+	}
+	return ""
+}
+
+// NextPhase misses PhaseSettled.
+func NextPhase(p Phase) Phase {
+	switch p {
+	case PhaseIdle:
+		return PhaseProbe
+	case PhaseProbe:
+		return PhaseSettled
+	}
+	return p
+}

@@ -1,0 +1,49 @@
+// Package modeswitchclean holds switches the modeswitch analyzer must
+// accept: exhaustive case lists, default clauses, and enums without a
+// Num sentinel (which opt out of the convention entirely).
+package modeswitchclean
+
+import "mob4x4/internal/core"
+
+// Level has no Num sentinel, so exhaustiveness is not required.
+type Level int
+
+// Levels.
+const (
+	LevelLow Level = iota
+	LevelHigh
+)
+
+// Describe lists all four constants; no default needed.
+func Describe(m core.OutMode) string {
+	switch m {
+	case core.OutIE:
+		return "ie"
+	case core.OutDE:
+		return "de"
+	case core.OutDH:
+		return "dh"
+	case core.OutDT:
+		return "dt"
+	}
+	return ""
+}
+
+// DescribeIn relies on its default clause.
+func DescribeIn(m core.InMode) string {
+	switch m {
+	case core.InIE:
+		return "ie"
+	default:
+		return "other"
+	}
+}
+
+// DescribeLevel is incomplete but Level is not sentinel-counted.
+func DescribeLevel(l Level) string {
+	switch l {
+	case LevelLow:
+		return "low"
+	}
+	return "high"
+}

@@ -1,0 +1,17 @@
+// Package panicpolicybad calls bare panic from library code in the two
+// places the panicpolicy analyzer scans: function bodies and
+// package-level var initializers.
+package panicpolicybad
+
+// First crashes on input instead of returning an error.
+func First(b []byte) byte {
+	if len(b) == 0 {
+		panic("empty input")
+	}
+	return b[0]
+}
+
+// Closures in var initializers are scanned too.
+var handler = func() {
+	panic("inline")
+}

@@ -1,0 +1,36 @@
+// Package panicpolicyclean panics only through the sanctioned channels;
+// the panicpolicy analyzer must stay silent.
+package panicpolicyclean
+
+import "mob4x4/internal/assert"
+
+// MustByte follows the stdlib Must* convention for panic-on-error
+// wrappers, which the policy exempts.
+func MustByte(b []byte) byte {
+	if len(b) == 0 {
+		panic("empty input")
+	}
+	return b[0]
+}
+
+// First routes its invariant through internal/assert.
+func First(b []byte) byte {
+	if len(b) == 0 {
+		assert.Unreachable("caller guarantees non-empty input")
+	}
+	return b[0]
+}
+
+// Parse returns an error for bad input instead of crashing.
+func Parse(b []byte) (byte, error) {
+	if len(b) == 0 {
+		return 0, errEmpty
+	}
+	return b[0], nil
+}
+
+type parseError string
+
+func (e parseError) Error() string { return string(e) }
+
+var errEmpty = parseError("empty input")

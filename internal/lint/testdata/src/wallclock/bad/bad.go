@@ -1,0 +1,15 @@
+// Package wallclockbad exercises the wallclock analyzer: every real-clock
+// use below must be flagged when the package is loaded under a
+// mob4x4/internal/... import path.
+package wallclockbad
+
+import "time"
+
+// Deadline leaks the real clock four ways.
+func Deadline() time.Time {
+	time.Sleep(time.Millisecond)
+	<-time.After(time.Millisecond)
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	return time.Now()
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallclockFuncs are the package-time functions that read or wait on the
+// host's real clock. Any of these inside the simulation makes a run
+// depend on machine speed and scheduling, destroying the determinism the
+// reproduction's experiments (and determinism_test.go) rely on.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// Wallclock returns the analyzer enforcing that all timing in
+// <module>/internal/* flows through the internal/vtime virtual clock.
+// vtime itself is the only exempt package: it owns the time.Duration
+// re-export and is the single place virtual instants are defined.
+func Wallclock() *Analyzer {
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc:  "no real-clock time.Now/Sleep/After/NewTimer in internal/* (use internal/vtime)",
+	}
+	a.Run = func(pass *Pass) {
+		pkg := pass.Pkg
+		if !strings.HasPrefix(pkg.Path, pkg.ModulePath+"/internal/") {
+			return
+		}
+		if pkg.Path == pkg.ModulePath+"/internal/vtime" {
+			return
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !wallclockFuncs[sel.Sel.Name] {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+				if !ok || pn.Imported().Path() != "time" {
+					return true
+				}
+				pass.Report(sel.Pos(),
+					"time.%s reads the real clock; route all timing through internal/vtime to keep the simulation deterministic",
+					sel.Sel.Name)
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -9,9 +9,10 @@ package vtime
 
 import (
 	"container/heap"
-	"fmt"
 	"math/rand"
 	"time"
+
+	"mob4x4/internal/assert"
 )
 
 // Time is an instant in virtual time, measured as a duration since the start
@@ -120,10 +121,10 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 // panics: it is always a logic error in a discrete-event simulation.
 func (s *Scheduler) At(t Time, fn func()) *Timer {
 	if t < s.now {
-		panic(fmt.Sprintf("vtime: scheduling event at %v before now %v", t, s.now))
+		assert.Unreachable("vtime: scheduling event at %v before now %v", t, s.now)
 	}
 	if fn == nil {
-		panic("vtime: nil event function")
+		assert.Unreachable("vtime: nil event function")
 	}
 	s.seq++
 	ev := &event{at: t, seq: s.seq, fn: fn}
