@@ -13,7 +13,7 @@ FUZZ_TARGETS = \
 	./internal/encap:FuzzDecapsulateGREKeyed \
 	./internal/encap:FuzzEncapRoundTrip
 
-.PHONY: check build vet lint test race fuzz-smoke
+.PHONY: check build vet lint test race fuzz-smoke bench benchgate
 
 check: build vet lint test
 
@@ -32,6 +32,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Run the full benchmark suite and record it as BENCH_<date>.json.
+# Promote a run to the regression gate with:
+#   cp BENCH_$$(date +%F).json BENCH_baseline.json
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./... | tee /tmp/mob4x4_bench.txt
+	$(GO) run ./scripts -parse < /tmp/mob4x4_bench.txt > BENCH_$$(date +%F).json
+	@echo "wrote BENCH_$$(date +%F).json"
+
+# Fresh benchmark run gated against the committed baseline: fails on a
+# >25% ns/op slowdown or ANY allocs/op increase (see scripts/benchdiff.go).
+benchgate:
+	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./scripts -parse > /tmp/mob4x4_bench_current.json
+	$(GO) run ./scripts BENCH_baseline.json /tmp/mob4x4_bench_current.json
 
 # Short fuzz pass over every target; CI runs this on every push, longer
 # runs are manual (`make fuzz-smoke FUZZ_TIME=5m`).

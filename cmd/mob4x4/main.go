@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mob4x4 [-seed N] <experiment>
+//	mob4x4 [-seed N] [-parallel N] <experiment>
 //
 // Experiments:
 //
@@ -40,8 +40,9 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 1, "worker goroutines for independent trials (grid/adaptive/durability/webbrowse)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mob4x4 [-seed N] <experiment>\nrun 'go doc mob4x4/cmd/mob4x4' for the experiment list\n")
+		fmt.Fprintf(os.Stderr, "usage: mob4x4 [-seed N] [-parallel N] <experiment>\nrun 'go doc mob4x4/cmd/mob4x4' for the experiment list\n")
 	}
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -67,7 +68,7 @@ func main() {
 		"fig5":    func(s int64) { fmt.Print(experiments.RunFig5(s).String()) },
 		"formats": func(int64) { fmt.Print(experiments.FormatsTable(experiments.RunFormats())) },
 		"grid": func(s int64) {
-			grid := experiments.RunGrid(s)
+			grid := experiments.RunGridParallel(s, *parallel)
 			fmt.Print(experiments.GridTable(grid))
 			m, t, _ := experiments.GridAgreement(grid)
 			fmt.Printf("agreement with paper classification: %d/%d\n", m, t)
@@ -80,22 +81,17 @@ func main() {
 				fr.PayloadBytes, fr.PlainPackets, fr.TunnelPackets, fr.Delivered)
 		},
 		"adaptive": func(s int64) {
-			fmt.Print(experiments.AdaptiveTable(experiments.RunAdaptive(s, true)))
+			fmt.Print(experiments.AdaptiveTable(experiments.RunAdaptiveParallel(s, true, *parallel)))
 			fmt.Println()
-			fmt.Print(experiments.AdaptiveTable(experiments.RunAdaptive(s, false)))
+			fmt.Print(experiments.AdaptiveTable(experiments.RunAdaptiveParallel(s, false, *parallel)))
 		},
 		"durability": func(s int64) {
-			rows := []experiments.DurabilityResult{
-				experiments.RunDurability(s, true, 3),
-				experiments.RunDurability(s, false, 3),
-			}
-			fmt.Print(experiments.DurabilityTable(rows))
+			fmt.Print(experiments.DurabilityTable(experiments.RunDurabilityParallel(s, 3, *parallel)))
 		},
 		"webbrowse": func(s int64) {
-			mip := experiments.RunWebBrowse(s, 10, true)
-			dt := experiments.RunWebBrowse(s, 10, false)
+			rows := experiments.RunWebBrowseParallel(s, 10, *parallel)
 			fmt.Printf("Row D — web browsing, 10 sequential fetches of 8KiB:\n")
-			for _, r := range []experiments.WebBrowseResult{mip, dt} {
+			for _, r := range rows {
 				fmt.Printf("  %-9s completed=%d/%d  time=%-12v backbone=%dB\n",
 					r.Mode, r.Completed, r.Fetches, r.TotalTime, r.BackboneBytes)
 			}

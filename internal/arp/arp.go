@@ -47,9 +47,23 @@ type Message struct {
 // wireLen is the serialized size: fixed ARP header (8) + 2*(6+4).
 const wireLen = 28
 
-// Marshal serializes the message.
+// Marshal serializes the message into a fresh slice. Hot paths should use
+// AppendMarshal with a pooled buffer instead.
 func (m *Message) Marshal() []byte {
-	b := make([]byte, wireLen)
+	return m.AppendMarshal(nil)
+}
+
+// AppendMarshal appends the serialized message to dst and returns the
+// extended slice. Every wire byte is written explicitly, so dst may come
+// from a pool with dirty spare capacity.
+func (m *Message) AppendMarshal(dst []byte) []byte {
+	start := len(dst)
+	if cap(dst)-start < wireLen {
+		grown := make([]byte, start, start+wireLen)
+		copy(grown, dst)
+		dst = grown
+	}
+	b := dst[start : start+wireLen]
 	binary.BigEndian.PutUint16(b[0:], 1)      // htype: Ethernet
 	binary.BigEndian.PutUint16(b[2:], 0x0800) // ptype: IPv4
 	b[4] = 6                                  // hlen
@@ -59,7 +73,7 @@ func (m *Message) Marshal() []byte {
 	copy(b[14:18], m.SenderIP[:])
 	putMAC(b[18:24], m.TargetMAC)
 	copy(b[24:28], m.TargetIP[:])
-	return b
+	return dst[:start+wireLen]
 }
 
 // Unmarshal parses an ARP packet.
@@ -111,13 +125,18 @@ type entry struct {
 	added int64 // opaque timestamp from the owner (virtual nanoseconds)
 }
 
-// NewCache returns an empty cache.
+// NewCache returns an empty cache. The entry map is allocated lazily on
+// the first Learn: most interfaces in a large simulation never resolve
+// anything (reads and deletes on a nil map are safe in Go).
 func NewCache() *Cache {
-	return &Cache{entries: make(map[ipv4.Addr]entry)}
+	return &Cache{}
 }
 
 // Learn records (or refreshes) a mapping at time now.
 func (c *Cache) Learn(ip ipv4.Addr, mac netsim.MAC, now int64) {
+	if c.entries == nil {
+		c.entries = make(map[ipv4.Addr]entry)
+	}
 	c.entries[ip] = entry{mac: mac, added: now}
 }
 
@@ -136,9 +155,11 @@ func (c *Cache) Lookup(ip ipv4.Addr, now, ttl int64) (netsim.MAC, bool) {
 }
 
 // Flush removes every entry (used when a mobile host moves to a new
-// segment: cached neighbours are meaningless there).
+// segment: cached neighbours are meaningless there). The map's capacity is
+// reused — mobility events flush constantly and the next cell refills with
+// a similar neighbour count.
 func (c *Cache) Flush() {
-	c.entries = make(map[ipv4.Addr]entry)
+	clear(c.entries)
 }
 
 // Invalidate removes one entry.
@@ -156,11 +177,17 @@ type Proxy struct {
 	addrs map[ipv4.Addr]bool
 }
 
-// NewProxy returns an empty proxy set.
-func NewProxy() *Proxy { return &Proxy{addrs: make(map[ipv4.Addr]bool)} }
+// NewProxy returns an empty proxy set. The map is allocated lazily on the
+// first Add: only home agents ever proxy.
+func NewProxy() *Proxy { return &Proxy{} }
 
 // Add starts proxying for ip.
-func (p *Proxy) Add(ip ipv4.Addr) { p.addrs[ip] = true }
+func (p *Proxy) Add(ip ipv4.Addr) {
+	if p.addrs == nil {
+		p.addrs = make(map[ipv4.Addr]bool)
+	}
+	p.addrs[ip] = true
+}
 
 // Remove stops proxying for ip.
 func (p *Proxy) Remove(ip ipv4.Addr) { delete(p.addrs, ip) }

@@ -23,10 +23,21 @@ type Codec interface {
 	// Overhead is the number of bytes the scheme adds to a packet
 	// (outer header + scheme header, if any).
 	Overhead() int
-	// Encapsulate wraps inner in an outer packet from src to dst.
+	// Encapsulate wraps inner in an outer packet from src to dst. It
+	// allocates a fresh tunnel payload per call; hot paths use
+	// AppendEncap with a pooled buffer instead.
 	Encapsulate(inner ipv4.Packet, src, dst ipv4.Addr) (ipv4.Packet, error)
+	// AppendEncap is Encapsulate writing the tunnel payload into buf
+	// (appending, growing it only if needed): the returned outer
+	// packet's Payload references the appended bytes. Output bytes are
+	// identical to Encapsulate's. The caller owns buf and must keep it
+	// alive — and unrecycled — for as long as the outer packet is in
+	// use.
+	AppendEncap(inner ipv4.Packet, src, dst ipv4.Addr, buf []byte) (ipv4.Packet, error)
 	// Decapsulate extracts the inner packet from an outer packet
-	// previously produced by this codec.
+	// previously produced by this codec. Decapsulation is in-place:
+	// the inner packet's Payload aliases outer.Payload (no copy), so
+	// the inner packet lives only as long as the outer buffer.
 	Decapsulate(outer ipv4.Packet) (ipv4.Packet, error)
 }
 
@@ -47,6 +58,18 @@ func ByName(name string) (Codec, error) {
 // All returns every codec, for sweeps and ablations.
 func All() []Codec { return []Codec{IPIP{}, MinEnc{}, GRE{}} }
 
+// grow extends b by n bytes, reallocating at most once, and returns the
+// extended slice. The new bytes are uninitialized (pooled buffers carry
+// stale contents); callers must write every one of them.
+func grow(b []byte, n int) []byte {
+	if cap(b)-len(b) < n {
+		nb := make([]byte, len(b), len(b)+n)
+		copy(nb, b)
+		b = nb
+	}
+	return b[:len(b)+n]
+}
+
 // IPIP is full IP-in-IP encapsulation: the entire original packet,
 // header included, becomes the payload of a fresh IPv4 header.
 // Overhead: 20 bytes (the paper's headline number in Section 3.3).
@@ -62,8 +85,14 @@ func (IPIP) Proto() uint8 { return ipv4.ProtoIPIP }
 func (IPIP) Overhead() int { return ipv4.HeaderLen }
 
 // Encapsulate implements Codec.
-func (IPIP) Encapsulate(inner ipv4.Packet, src, dst ipv4.Addr) (ipv4.Packet, error) {
-	b, err := inner.Marshal()
+func (c IPIP) Encapsulate(inner ipv4.Packet, src, dst ipv4.Addr) (ipv4.Packet, error) {
+	return c.AppendEncap(inner, src, dst, nil)
+}
+
+// AppendEncap implements Codec.
+func (IPIP) AppendEncap(inner ipv4.Packet, src, dst ipv4.Addr, buf []byte) (ipv4.Packet, error) {
+	start := len(buf)
+	b, err := inner.AppendMarshal(buf)
 	if err != nil {
 		return ipv4.Packet{}, fmt.Errorf("encap/ipip: %w", err)
 	}
@@ -74,7 +103,7 @@ func (IPIP) Encapsulate(inner ipv4.Packet, src, dst ipv4.Addr) (ipv4.Packet, err
 			Dst:      dst,
 			TTL:      inner.TTL, // outer TTL copied from inner on entry (RFC 2003 §3.1)
 		},
-		Payload: b,
+		Payload: b[start:],
 		TraceID: inner.TraceID,
 	}, nil
 }
@@ -113,7 +142,12 @@ func (MinEnc) Overhead() int { return 12 } // worst case: source present
 const minEncSrcPresent = 0x80
 
 // Encapsulate implements Codec.
-func (MinEnc) Encapsulate(inner ipv4.Packet, src, dst ipv4.Addr) (ipv4.Packet, error) {
+func (c MinEnc) Encapsulate(inner ipv4.Packet, src, dst ipv4.Addr) (ipv4.Packet, error) {
+	return c.AppendEncap(inner, src, dst, nil)
+}
+
+// AppendEncap implements Codec.
+func (MinEnc) AppendEncap(inner ipv4.Packet, src, dst ipv4.Addr, buf []byte) (ipv4.Packet, error) {
 	if inner.MoreFrags || inner.FragOffset != 0 {
 		return ipv4.Packet{}, fmt.Errorf("encap/minenc: cannot encapsulate fragments")
 	}
@@ -125,11 +159,14 @@ func (MinEnc) Encapsulate(inner ipv4.Packet, src, dst ipv4.Addr) (ipv4.Packet, e
 	if srcPresent {
 		hlen = 12
 	}
-	b := make([]byte, hlen+len(inner.Payload))
+	start := len(buf)
+	b := grow(buf, hlen+len(inner.Payload))[start:]
 	b[0] = inner.Protocol
+	b[1] = 0
 	if srcPresent {
 		b[1] = minEncSrcPresent
 	}
+	b[2], b[3] = 0, 0
 	copy(b[4:8], inner.Dst[:])
 	if srcPresent {
 		copy(b[8:12], inner.Src[:])
@@ -215,23 +252,32 @@ const greKeyPresent = 0x2000
 
 // Encapsulate implements Codec.
 func (g GRE) Encapsulate(inner ipv4.Packet, src, dst ipv4.Addr) (ipv4.Packet, error) {
-	ib, err := inner.Marshal()
-	if err != nil {
-		return ipv4.Packet{}, fmt.Errorf("encap/gre: %w", err)
-	}
+	return g.AppendEncap(inner, src, dst, nil)
+}
+
+// AppendEncap implements Codec. Unlike the old Encapsulate it writes the
+// GRE header and the marshalled inner packet into one buffer directly (the
+// old path marshalled into a scratch slice and copied it into a second
+// allocation).
+func (g GRE) AppendEncap(inner ipv4.Packet, src, dst ipv4.Addr, buf []byte) (ipv4.Packet, error) {
 	hlen := 4
 	var flags uint16
 	if g.Key != 0 {
 		hlen = 8
 		flags |= greKeyPresent
 	}
-	b := make([]byte, hlen+len(ib))
+	start := len(buf)
+	withHdr := grow(buf, hlen)
+	b, err := inner.AppendMarshal(withHdr)
+	if err != nil {
+		return ipv4.Packet{}, fmt.Errorf("encap/gre: %w", err)
+	}
+	b = b[start:]
 	binary.BigEndian.PutUint16(b[0:], flags)
 	binary.BigEndian.PutUint16(b[2:], 0x0800) // protocol type: IPv4
 	if g.Key != 0 {
 		binary.BigEndian.PutUint32(b[4:], g.Key)
 	}
-	copy(b[hlen:], ib)
 	return ipv4.Packet{
 		Header: ipv4.Header{
 			Protocol: ipv4.ProtoGRE,

@@ -101,6 +101,21 @@ func FuzzEncapRoundTrip(f *testing.F) {
 		if outer.Protocol != c.Proto() {
 			t.Fatalf("%s: outer protocol %d, want %d", c.Name(), outer.Protocol, c.Proto())
 		}
+		// AppendEncap must build the same outer packet even into dirty
+		// memory (it may not rely on make()'s zeroing).
+		dirty := bytes.Repeat([]byte{0xff}, len(outer.Payload))
+		outerA, err := c.AppendEncap(inner, fuzzSrc, fuzzDst, dirty[:0])
+		if err != nil {
+			t.Fatalf("%s: AppendEncap failed where Encapsulate succeeded: %v", c.Name(), err)
+		}
+		wireA, errA := outerA.Marshal()
+		wire, errW := outer.Marshal()
+		if errA != nil || errW != nil {
+			t.Fatalf("%s: marshal of outer packets failed: %v / %v", c.Name(), errA, errW)
+		}
+		if !bytes.Equal(wireA, wire) {
+			t.Fatalf("%s: AppendEncap diverges from Encapsulate:\n append %x\nencap  %x", c.Name(), wireA, wire)
+		}
 		got, err := c.Decapsulate(outer)
 		if err != nil {
 			t.Fatalf("%s: decapsulate of own encapsulation failed: %v", c.Name(), err)

@@ -38,82 +38,91 @@ type AdaptiveRow struct {
 //   - ruled: the paper's address/mask table pins Out-IE for the home
 //     network, so the conversation starts correctly with no waste.
 func RunAdaptive(seed int64, filtering bool) []AdaptiveRow {
-	strategies := []struct {
-		name  string
-		build func() *core.Selector
-	}{
-		{"pessimistic", func() *core.Selector {
-			return core.NewSelector(core.StartPessimistic)
-		}},
-		{"optimistic", func() *core.Selector {
-			return core.NewSelector(core.StartOptimistic)
-		}},
-		{"ruled", func() *core.Selector {
-			sel := core.NewSelector(core.StartOptimistic)
-			if filtering {
-				// "a single rule to identify, for example, the entire
-				// home network as a region where Out-IE should always
-				// be used".
-				m := core.OutIE
-				sel.AddRule(core.Rule{Prefix: ipv4.MustParsePrefix("36.1.1.0/24"), ForceMode: &m})
-			}
-			return sel
-		}},
-	}
-
-	var rows []AdaptiveRow
-	for _, strat := range strategies {
-		sel := strat.build()
-		s := Build(Options{Seed: seed, HomeFilter: filtering, Selector: sel})
-		s.Roam()
-
-		// Wire the Section 7.1.2 feedback loop: transport
-		// retransmissions drive selector fallback.
-		fb := &mobileip.SelectorFeedback{Selector: sel}
-		s.MHTCP.Feedback = fb
-		// Out-DE must be skipped for this correspondent: it cannot
-		// decapsulate (conventional host), and the paper's selector is
-		// allowed to know per-host capabilities.
-		sel.CHCanDecapsulate = func(ipv4.Addr) bool { return false }
-
-		const payload = 4000
-		target := s.CHHome.FirstAddr()
-		done := false
-		start := s.Net.Sim.Now()
-		var doneAt vtime.Time
-		if _, err := s.CHHomeTCP.Listen(7001, func(c *tcplite.Conn) {
-			var got int
-			c.OnData = func(p []byte) {
-				got += len(p)
-				if got >= payload && !done {
-					done = true
-					doneAt = s.Net.Sim.Now()
-				}
-			}
-		}); err != nil {
-			assert.Unreachable("adaptive: start echo server: %v", err)
-		}
-
-		conn, err := s.MHTCP.Dial(s.MN.Home(), target, 7001)
-		assert.NoError(err, "adaptive: dial echo server")
-		conn.OnEstablished = func() { _ = conn.Write(make([]byte, payload)) }
-		s.Net.RunFor(120 * Second)
-
-		elapsed := s.Net.Sim.Now().Sub(start)
-		if done {
-			elapsed = doneAt.Sub(start)
-		}
-		rows = append(rows, AdaptiveRow{
-			Strategy:        strat.name,
-			Filtering:       filtering,
-			Completed:       done,
-			TimeToComplete:  elapsed,
-			Retransmissions: s.MHTCP.Stats.Retransmissions,
-			ModeSwitches:    sel.ModeSwitches,
-			FinalMode:       sel.ModeFor(target),
-		})
+	names := adaptiveStrategyNames()
+	rows := make([]AdaptiveRow, len(names))
+	for i, name := range names {
+		rows[i] = runAdaptiveStrategy(seed, filtering, name)
 	}
 	return rows
+}
+
+func adaptiveStrategyNames() []string {
+	return []string{"pessimistic", "optimistic", "ruled"}
+}
+
+func newAdaptiveSelector(strategy string, filtering bool) *core.Selector {
+	switch strategy {
+	case "pessimistic":
+		return core.NewSelector(core.StartPessimistic)
+	case "optimistic":
+		return core.NewSelector(core.StartOptimistic)
+	default: // ruled
+		sel := core.NewSelector(core.StartOptimistic)
+		if filtering {
+			// "a single rule to identify, for example, the entire
+			// home network as a region where Out-IE should always
+			// be used".
+			m := core.OutIE
+			sel.AddRule(core.Rule{Prefix: ipv4.MustParsePrefix("36.1.1.0/24"), ForceMode: &m})
+		}
+		return sel
+	}
+}
+
+// runAdaptiveStrategy measures one start strategy in its own scenario; it
+// is the unit of work the parallel runner schedules.
+func runAdaptiveStrategy(seed int64, filtering bool, strategy string) AdaptiveRow {
+	sel := newAdaptiveSelector(strategy, filtering)
+	s := Build(Options{Seed: seed, HomeFilter: filtering, Selector: sel})
+	// This experiment reads only endpoint statistics, never trace events.
+	s.Net.Sim.Trace.Discard()
+	s.Roam()
+
+	// Wire the Section 7.1.2 feedback loop: transport
+	// retransmissions drive selector fallback.
+	fb := &mobileip.SelectorFeedback{Selector: sel}
+	s.MHTCP.Feedback = fb
+	// Out-DE must be skipped for this correspondent: it cannot
+	// decapsulate (conventional host), and the paper's selector is
+	// allowed to know per-host capabilities.
+	sel.CHCanDecapsulate = func(ipv4.Addr) bool { return false }
+
+	const payload = 4000
+	target := s.CHHome.FirstAddr()
+	done := false
+	start := s.Net.Sim.Now()
+	var doneAt vtime.Time
+	if _, err := s.CHHomeTCP.Listen(7001, func(c *tcplite.Conn) {
+		var got int
+		c.OnData = func(p []byte) {
+			got += len(p)
+			if got >= payload && !done {
+				done = true
+				doneAt = s.Net.Sim.Now()
+			}
+		}
+	}); err != nil {
+		assert.Unreachable("adaptive: start echo server: %v", err)
+	}
+
+	conn, err := s.MHTCP.Dial(s.MN.Home(), target, 7001)
+	assert.NoError(err, "adaptive: dial echo server")
+	conn.OnEstablished = func() { _ = conn.Write(make([]byte, payload)) }
+	s.Net.RunFor(120 * Second)
+
+	elapsed := s.Net.Sim.Now().Sub(start)
+	if done {
+		elapsed = doneAt.Sub(start)
+	}
+	return AdaptiveRow{
+		Strategy:        strategy,
+		Filtering:       filtering,
+		Completed:       done,
+		TimeToComplete:  elapsed,
+		Retransmissions: s.MHTCP.Stats.Retransmissions,
+		ModeSwitches:    sel.ModeSwitches,
+		FinalMode:       sel.ModeFor(target),
+	}
 }
 
 // AdaptiveTable renders E10.

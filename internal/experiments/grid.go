@@ -55,11 +55,15 @@ const gridEchoPort = 7777
 // keyed to that address would behave.
 func RunGrid(seed int64) []GridCell {
 	var cells []GridCell
-	for _, combo := range core.AllCombos() {
+	for _, combo := range allGridCombos() {
 		cells = append(cells, runGridCell(seed, combo))
 	}
 	return cells
 }
+
+// allGridCombos is the cell enumeration shared by the serial and parallel
+// grid runners (one fixed order keeps their outputs comparable).
+func allGridCombos() []core.Combo { return core.AllCombos() }
 
 func runGridCell(seed int64, combo core.Combo) GridCell {
 	cell := GridCell{Combo: combo, Class: core.Classify(combo)}
@@ -83,6 +87,9 @@ func runGridCell(seed int64, combo core.Combo) GridCell {
 		CHAware:  aware,
 		CHDecap:  true, // Out-DE must be answerable in every row
 	})
+	// The grid reads events structurally (Kind/Where/PktID for hop
+	// counting); keep the trace, skip the Detail strings.
+	s.Net.Sim.Trace.DiscardDetails()
 	careOf := s.Roam()
 
 	// Pick the correspondent: same-segment for Row C, distant otherwise.

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelGridMatchesSerial pins the parallel runner's determinism
+// contract: the same seed must produce identical results (content and
+// order) whether the 16 cells run serially or on 8 workers.
+func TestParallelGridMatchesSerial(t *testing.T) {
+	serial := RunGrid(3)
+	parallel := RunGridParallel(3, 8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel grid diverges from serial:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+	if GridTable(serial) != GridTable(parallel) {
+		t.Fatal("rendered grid tables differ between serial and parallel runs")
+	}
+}
+
+// TestParallelAdaptiveMatchesSerial does the same for the E10 strategy
+// sweep, which exercises the TCP/selector layers concurrently.
+func TestParallelAdaptiveMatchesSerial(t *testing.T) {
+	serial := RunAdaptive(5, true)
+	parallel := RunAdaptiveParallel(5, true, 4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel adaptive diverges from serial:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}
+
+// TestParallelEachCoversAllIndices checks the work-stealing loop visits
+// every index exactly once for worker counts below, at and above n.
+func TestParallelEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 50} {
+		const n = 17
+		hits := make([]int, n)
+		parallelEach(workers, n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}

@@ -11,7 +11,9 @@ package inet
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 
 	"mob4x4/internal/assert"
 	"mob4x4/internal/ipv4"
@@ -218,9 +220,11 @@ func (n *Network) adjacency() map[*stack.Host]map[*stack.Host]neighbor {
 		add(l.b, l.a, ifaceOn(l.b, l.seg), l.aAddr)
 	}
 	// Routers sharing a LAN are adjacent too.
+	routers := n.sortedRouters()
+	var attached []*stack.Host
 	for _, lan := range n.lans {
-		var attached []*stack.Host
-		for _, r := range n.sortedRouters() {
+		attached = attached[:0]
+		for _, r := range routers {
 			if ifaceOn(r, lan.Seg) != nil {
 				attached = append(attached, r)
 			}
@@ -251,15 +255,11 @@ func ifaceOn(h *stack.Host, seg *netsim.Segment) *stack.Iface {
 }
 
 func (n *Network) sortedRouters() []*stack.Host {
-	names := make([]string, 0, len(n.routers))
-	for name := range n.routers {
-		names = append(names, name)
+	rs := make([]*stack.Host, 0, len(n.routers))
+	for _, r := range n.routers {
+		rs = append(rs, r)
 	}
-	sort.Strings(names)
-	rs := make([]*stack.Host, len(names))
-	for i, name := range names {
-		rs[i] = n.routers[name]
-	}
+	slices.SortFunc(rs, func(a, b *stack.Host) int { return strings.Compare(a.Name(), b.Name()) })
 	return rs
 }
 
@@ -296,20 +296,26 @@ func (n *Network) ComputeRoutes() {
 		dests = append(dests, dest{prefix: l.prefix, attached: []*stack.Host{l.a, l.b}})
 	}
 
-	// BFS from every router.
+	// BFS from every router, reusing the scratch structures across
+	// sources (clear() keeps map buckets allocated).
+	var peers []*stack.Host
+	dist := make(map[*stack.Host]int, len(routers))
+	first := make(map[*stack.Host]neighbor, len(routers)) // first hop on path to each router
+	queue := make([]*stack.Host, 0, len(routers))
 	for _, src := range routers {
-		dist := map[*stack.Host]int{src: 0}
-		first := map[*stack.Host]neighbor{} // first hop on path to each router
-		queue := []*stack.Host{src}
+		clear(dist)
+		clear(first)
+		dist[src] = 0
+		queue = append(queue[:0], src)
 		for len(queue) > 0 {
 			cur := queue[0]
 			queue = queue[1:]
 			// Deterministic neighbor order.
-			var peers []*stack.Host
+			peers = peers[:0]
 			for p := range adj[cur] {
 				peers = append(peers, p)
 			}
-			sort.Slice(peers, func(i, j int) bool { return peers[i].Name() < peers[j].Name() })
+			slices.SortFunc(peers, func(a, b *stack.Host) int { return strings.Compare(a.Name(), b.Name()) })
 			for _, p := range peers {
 				if _, seen := dist[p]; seen {
 					continue

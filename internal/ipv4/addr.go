@@ -82,7 +82,22 @@ func (a Addr) Less(b Addr) bool { return a.Uint32() < b.Uint32() }
 func (a Addr) Next() Addr { return AddrFromUint32(a.Uint32() + 1) }
 
 func (a Addr) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+	var buf [15]byte
+	return string(a.AppendText(buf[:0]))
+}
+
+// AppendText appends the dotted-quad form of a to b and returns the
+// extended slice. Trace-detail builders use it to format addresses without
+// the fmt machinery (no interface boxing, one allocation for the final
+// string instead of five).
+func (a Addr) AppendText(b []byte) []byte {
+	for i, v := range a {
+		if i > 0 {
+			b = append(b, '.')
+		}
+		b = strconv.AppendUint(b, uint64(v), 10)
+	}
+	return b
 }
 
 // Prefix is a CIDR-style routing prefix.
@@ -163,5 +178,9 @@ func (p Prefix) Host(n int) Addr {
 }
 
 func (p Prefix) String() string {
-	return fmt.Sprintf("%s/%d", p.Addr, p.Bits)
+	var buf [18]byte
+	b := p.Addr.AppendText(buf[:0])
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(p.Bits), 10)
+	return string(b)
 }

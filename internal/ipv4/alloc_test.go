@@ -1,0 +1,37 @@
+package ipv4
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAppendMarshalZeroAllocs pins the append-style codec to zero
+// allocations when the destination buffer has capacity — the property the
+// netsim frame pool depends on for the steady-state fast path.
+func TestAppendMarshalZeroAllocs(t *testing.T) {
+	pkt := Packet{
+		Header: Header{
+			TOS:      0x10,
+			ID:       0x1234,
+			TTL:      DefaultTTL,
+			Protocol: ProtoUDP,
+			Src:      AddrFrom(36, 22, 0, 5),
+			Dst:      AddrFrom(128, 9, 1, 4),
+			Options:  []byte{1, 1, 1, 1},
+		},
+		Payload: bytes.Repeat([]byte{0xa5}, 1400),
+	}
+	buf := make([]byte, 0, 2048)
+	allocs := testing.AllocsPerRun(100, func() {
+		b, err := pkt.AppendMarshal(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) != pkt.TotalLen() {
+			t.Fatalf("marshalled %d bytes, want %d", len(b), pkt.TotalLen())
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendMarshal into a sized buffer allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -2,7 +2,6 @@ package ipv4
 
 import (
 	"fmt"
-	"sort"
 )
 
 // ErrFragNeeded is returned by Fragment when the packet has DF set but does
@@ -78,15 +77,22 @@ type fragKey struct {
 	id       uint16
 }
 
-type fragHole struct {
+type fragSpan struct {
 	first, last int // byte range, inclusive start, exclusive end
 }
 
+// fragContext assembles fragments in place: each fragment's bytes are
+// copied at their final offset into buf the moment they arrive (they may
+// alias a pooled frame buffer the link layer recycles when delivery
+// returns), and covered tracks the merged byte ranges received so far.
+// Completion is exactly "covered is the single span [0, total)", and the
+// assembled payload is buf itself — no per-fragment retention copies and
+// no second assembly pass.
 type fragContext struct {
-	pieces   map[int][]byte // offset -> payload
-	total    int            // total payload length, -1 until final fragment seen
-	received int
-	header   Header // header of the zero-offset fragment
+	buf      []byte     // payload being assembled, len == highest byte seen
+	covered  []fragSpan // sorted, disjoint, non-adjacent received ranges
+	total    int        // total payload length, -1 until final fragment seen
+	header   Header     // header of the zero-offset fragment
 	sawFirst bool
 }
 
@@ -118,21 +124,12 @@ func (r *Reassembler) Add(p Packet) (out Packet, done bool, err error) {
 	key := fragKey{p.Src, p.Dst, p.Protocol, p.ID}
 	ctx := r.contexts[key]
 	if ctx == nil {
-		ctx = &fragContext{pieces: make(map[int][]byte), total: -1}
+		ctx = &fragContext{total: -1}
 		r.contexts[key] = ctx
 	}
 	off := int(p.FragOffset) * 8
-	if _, dup := ctx.pieces[off]; dup {
-		return Packet{}, false, nil // duplicate fragment: ignore
-	}
-	ctx.pieces[off] = p.Payload
-	ctx.received += len(p.Payload)
-	if off == 0 {
-		ctx.header = p.Header
-		ctx.sawFirst = true
-	}
+	end := off + len(p.Payload)
 	if !p.MoreFrags {
-		end := off + len(p.Payload)
 		if ctx.total >= 0 && ctx.total != end {
 			delete(r.contexts, key)
 			r.Drops++
@@ -140,41 +137,84 @@ func (r *Reassembler) Add(p Packet) (out Packet, done bool, err error) {
 		}
 		ctx.total = end
 	}
-	if ctx.total < 0 || ctx.received < ctx.total || !ctx.sawFirst {
-		return Packet{}, false, nil
+	if off == 0 && !ctx.sawFirst {
+		ctx.header = p.Header
+		ctx.sawFirst = true
 	}
-	// Verify contiguity and assemble.
-	offs := make([]int, 0, len(ctx.pieces))
-	for o := range ctx.pieces {
-		offs = append(offs, o)
+	if ctx.add(off, p.Payload) == 0 {
+		return Packet{}, false, nil // duplicate (or fully overlapped): ignore
 	}
-	sort.Ints(offs)
-	buf := make([]byte, 0, ctx.total)
-	next := 0
-	for _, o := range offs {
-		piece := ctx.pieces[o]
-		if o != next {
-			if o < next {
-				// Overlap: RFC 791 permits it; take the non-overlapping tail.
-				if o+len(piece) <= next {
-					continue
-				}
-				piece = piece[next-o:]
-			} else {
-				return Packet{}, false, nil // hole remains despite byte count (overlaps)
-			}
-		}
-		buf = append(buf, piece...)
-		next = len(buf)
-	}
-	if next != ctx.total {
+	if ctx.total < 0 || !ctx.sawFirst ||
+		len(ctx.covered) != 1 || ctx.covered[0] != (fragSpan{0, ctx.total}) {
 		return Packet{}, false, nil
 	}
 	delete(r.contexts, key)
-	out = Packet{Header: ctx.header, Payload: buf}
+	out = Packet{Header: ctx.header, Payload: ctx.buf[:ctx.total]}
 	out.MoreFrags = false
 	out.FragOffset = 0
 	return out, true, nil
+}
+
+// add copies the not-yet-covered bytes of a fragment spanning [off, end)
+// into the assembly buffer (earlier arrivals win on overlap) and merges
+// the span into covered. It returns the number of newly covered bytes.
+func (ctx *fragContext) add(off int, payload []byte) int {
+	end := off + len(payload)
+	if end > len(ctx.buf) {
+		if end > cap(ctx.buf) {
+			grown := make([]byte, end, max(end, 2*cap(ctx.buf)))
+			copy(grown, ctx.buf)
+			ctx.buf = grown
+		} else {
+			ctx.buf = ctx.buf[:end]
+		}
+	}
+	newBytes := 0
+	cur := off
+	for _, c := range ctx.covered {
+		if c.last <= cur {
+			continue
+		}
+		if c.first >= end {
+			break
+		}
+		if c.first > cur {
+			seg := min(c.first, end)
+			newBytes += copy(ctx.buf[cur:seg], payload[cur-off:seg-off])
+		}
+		cur = max(cur, c.last)
+		if cur >= end {
+			break
+		}
+	}
+	if cur < end {
+		newBytes += copy(ctx.buf[cur:end], payload[cur-off:end-off])
+	}
+	if newBytes == 0 {
+		return 0
+	}
+	// Merge [off, end) into the sorted disjoint span list: spans [i, j)
+	// overlap or touch it and collapse into one.
+	span := fragSpan{off, end}
+	i := 0
+	for i < len(ctx.covered) && ctx.covered[i].last < span.first {
+		i++
+	}
+	j := i
+	for j < len(ctx.covered) && ctx.covered[j].first <= span.last {
+		span.first = min(span.first, ctx.covered[j].first)
+		span.last = max(span.last, ctx.covered[j].last)
+		j++
+	}
+	if i == j {
+		ctx.covered = append(ctx.covered, fragSpan{})
+		copy(ctx.covered[i+1:], ctx.covered[i:])
+		ctx.covered[i] = span
+	} else {
+		ctx.covered[i] = span
+		ctx.covered = append(ctx.covered[:i+1], ctx.covered[j:]...)
+	}
+	return newBytes
 }
 
 // Expire discards every in-progress context; the owning stack calls it on a

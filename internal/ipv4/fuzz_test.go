@@ -56,6 +56,16 @@ func FuzzHeaderParse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("accepted packet failed to re-marshal: %v (%s)", err, &p)
 		}
+		// AppendMarshal must produce the same bytes even into dirty
+		// memory (it may not rely on make()'s zeroing).
+		dirty := bytes.Repeat([]byte{0xff}, len(out))
+		appended, err := p.AppendMarshal(dirty[:0])
+		if err != nil {
+			t.Fatalf("AppendMarshal failed where Marshal succeeded: %v (%s)", err, &p)
+		}
+		if !bytes.Equal(appended, out) {
+			t.Fatalf("AppendMarshal diverges from Marshal:\n append %x\nmarshal %x", appended, out)
+		}
 		q, err := Unmarshal(out)
 		if err != nil {
 			t.Fatalf("re-marshalled packet failed to parse: %v (%s)", err, &p)

@@ -108,17 +108,41 @@ func Checksum(b []byte) uint16 {
 // Marshal serializes the packet into wire format, computing the header
 // checksum. It returns an error if the packet would exceed the IPv4 total
 // length limit or the options are too long.
+//
+// Marshal allocates a fresh buffer per call. Hot paths (per-hop framing,
+// tunnel encapsulation) must use AppendMarshal into a pooled buffer
+// instead; the hotpathalloc analyzer enforces this in internal/netsim,
+// internal/stack and internal/encap.
 func (p *Packet) Marshal() ([]byte, error) {
+	b, err := p.AppendMarshal(nil)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// AppendMarshal appends the packet's wire format to dst (growing it if
+// needed) and returns the extended slice. The output bytes are identical to
+// Marshal's; the only difference is buffer ownership — the caller brings
+// the storage, so a pooled or stack-resident dst makes serialization
+// allocation-free.
+func (p *Packet) AppendMarshal(dst []byte) ([]byte, error) {
 	optLen := (len(p.Options) + 3) &^ 3
 	if optLen > 40 {
-		return nil, fmt.Errorf("ipv4: options too long (%d bytes)", len(p.Options))
+		return dst, fmt.Errorf("ipv4: options too long (%d bytes)", len(p.Options))
 	}
 	hlen := HeaderLen + optLen
 	total := hlen + len(p.Payload)
 	if total > MaxTotalLen {
-		return nil, fmt.Errorf("ipv4: packet too large (%d bytes)", total)
+		return dst, fmt.Errorf("ipv4: packet too large (%d bytes)", total)
 	}
-	b := make([]byte, total)
+	start := len(dst)
+	if cap(dst)-start < total {
+		grown := make([]byte, start, start+total)
+		copy(grown, dst)
+		dst = grown
+	}
+	b := dst[start : start+total]
 	b[0] = 4<<4 | uint8(hlen/4)
 	b[1] = p.TOS
 	binary.BigEndian.PutUint16(b[2:], uint16(total))
@@ -133,12 +157,18 @@ func (p *Packet) Marshal() ([]byte, error) {
 	binary.BigEndian.PutUint16(b[6:], ff)
 	b[8] = p.TTL
 	b[9] = p.Protocol
+	b[10], b[11] = 0, 0
 	copy(b[12:16], p.Src[:])
 	copy(b[16:20], p.Dst[:])
-	copy(b[20:], p.Options) // zero padding already present
+	if optLen > 0 {
+		n := copy(b[HeaderLen:hlen], p.Options)
+		for i := HeaderLen + n; i < hlen; i++ {
+			b[i] = 0 // pad options to a 4-byte multiple
+		}
+	}
 	binary.BigEndian.PutUint16(b[10:], Checksum(b[:hlen]))
 	copy(b[hlen:], p.Payload)
-	return b, nil
+	return dst[:start+total], nil
 }
 
 // Unmarshal parses wire format into a Packet, validating the version,

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotpathallocMethods are the copying codec entry points. Each has an
+// append-style sibling (AppendMarshal, AppendEncap) that writes into a
+// caller-provided buffer, which is what the pooled fast path uses; a call
+// to the allocating form inside a datapath package is either a leftover
+// from before the fast path existed or a deliberate retention point that
+// deserves an annotation explaining itself.
+var hotpathallocMethods = map[string]string{
+	"Marshal":     "AppendMarshal into a pooled buffer (netsim.GetBuf/PutBuf)",
+	"Clone":       "borrowing the original within the callback, or a pooled copy",
+	"Encapsulate": "AppendEncap into a pooled buffer (netsim.GetBuf/PutBuf)",
+}
+
+// hotpathallocPkgs are the per-packet datapath packages: every packet in
+// every experiment crosses them, so a fresh []byte per call here is a
+// fresh allocation per simulated packet.
+var hotpathallocPkgs = map[string]bool{
+	"internal/netsim": true,
+	"internal/stack":  true,
+	"internal/encap":  true,
+}
+
+// HotPathAlloc returns the analyzer keeping allocating codec calls out of
+// the packet datapath. Sites that must allocate (e.g. queueing a packet
+// while ARP resolves) carry a //mob4x4vet:allow hotpathalloc directive
+// stating why.
+func HotPathAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "no allocating Marshal/Clone/Encapsulate calls in the packet datapath (internal/netsim, internal/stack, internal/encap); use the Append* forms with pooled buffers",
+	}
+	a.Run = func(pass *Pass) {
+		pkg := pass.Pkg
+		rel := strings.TrimPrefix(pkg.Path, pkg.ModulePath+"/")
+		if !hotpathallocPkgs[rel] &&
+			!strings.HasPrefix(pkg.Path, pkg.ModulePath+"/internal/lintfixture/hotpathalloc/") {
+			return
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fix, hot := hotpathallocMethods[sel.Sel.Name]
+				if !hot {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Type().(*types.Signature).Recv() == nil {
+					return true // not a method call (or a package-level func)
+				}
+				owner := fn.Pkg()
+				if owner == nil || (owner.Path() != pkg.ModulePath &&
+					!strings.HasPrefix(owner.Path(), pkg.ModulePath+"/")) {
+					return true // methods from outside the module are not ours to police
+				}
+				pass.Report(sel.Sel.Pos(),
+					"%s allocates a fresh buffer per packet on the datapath; prefer %s, or annotate the retention point",
+					sel.Sel.Name, fix)
+				return true
+			})
+		}
+	}
+	return a
+}

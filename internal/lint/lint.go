@@ -14,6 +14,10 @@
 //     dropped on the floor.
 //   - panicpolicy: library code never calls bare panic; invariants go
 //     through internal/assert and input errors are returned.
+//   - hotpathalloc: the packet datapath (internal/netsim, internal/stack,
+//     internal/encap) never calls the allocating Marshal/Clone/Encapsulate
+//     codecs; the zero-allocation fast path uses the Append* forms with
+//     pooled buffers, and deliberate retention points are annotated.
 //
 // The suite is built only on go/parser, go/types and go/importer so the
 // module stays dependency-free. cmd/mob4x4vet is the command-line driver;
@@ -60,6 +64,7 @@ func All() []*Analyzer {
 		BrokenCombo(),
 		ErrCheck(),
 		PanicPolicy(),
+		HotPathAlloc(),
 	}
 }
 

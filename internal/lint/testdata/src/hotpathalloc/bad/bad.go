@@ -1,0 +1,34 @@
+// Package hotpathallocbad calls every allocating codec form the
+// hotpathalloc analyzer polices, plus one annotated call that must be
+// excused and one non-module call that must be ignored.
+package hotpathallocbad
+
+import (
+	"encoding/json"
+
+	"mob4x4/internal/encap"
+	"mob4x4/internal/ipv4"
+)
+
+// Transmit allocates three times per packet; all three must be flagged.
+func Transmit(c encap.Codec, pkt ipv4.Packet, src, dst ipv4.Addr) ([]byte, error) {
+	kept := pkt.Clone()
+	_ = kept
+	if _, err := c.Encapsulate(pkt, src, dst); err != nil {
+		return nil, err
+	}
+	return pkt.Marshal()
+}
+
+// Queue retains the packet past the caller's buffer lifetime; the
+// directive excuses the copy, so it must not be flagged.
+func Queue(q []ipv4.Packet, pkt ipv4.Packet) []ipv4.Packet {
+	//mob4x4vet:allow hotpathalloc queued packets outlive the frame buffer
+	return append(q, pkt.Clone())
+}
+
+// Encode uses a package-level Marshal from outside the module; not a
+// method on a module type, so it is out of scope.
+func Encode(v any) ([]byte, error) {
+	return json.Marshal(v)
+}

@@ -47,6 +47,14 @@ type Correspondent struct {
 	policy *core.CorrespondentPolicy
 	expiry map[ipv4.Addr]*vtime.Timer
 
+	// inDH and inDE are the two virtual-interface routes the policy
+	// hands out, built once; their Output closures re-resolve the
+	// binding for the packet's destination at call time (Output runs
+	// synchronously from the route decision, so the binding cannot
+	// change in between).
+	inDH stack.Route
+	inDE stack.Route
+
 	Stats CorrespondentStats
 }
 
@@ -63,6 +71,8 @@ func NewCorrespondent(host *stack.Host, ic *icmphost.ICMP, cfg CorrespondentConf
 		policy: core.NewCorrespondentPolicy(cfg.MobileAware),
 		expiry: make(map[ipv4.Addr]*vtime.Timer),
 	}
+	c.inDH = stack.Route{Name: "mip-ch-samelink", Output: c.sameLinkOutput}
+	c.inDE = stack.Route{Name: "mip-ch-tunnel", Output: c.tunnelOutput}
 	if cfg.CanDecapsulate || cfg.MobileAware {
 		host.Handle(cfg.Codec.Proto(), c.handleTunneled)
 	}
@@ -139,10 +149,14 @@ func (c *Correspondent) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
 		return
 	}
 	c.Stats.Decapsulated++
+	var detail string
+	if c.host.Sim().Trace.Detailing() {
+		detail = fmt.Sprintf("decap from %s: inner %s > %s", outer.Src, inner.Src, inner.Dst)
+	}
 	c.host.Sim().Trace.Record(netsim.Event{
 		Kind: netsim.EventDecap, Time: c.host.Sim().Now(), Where: c.host.Name(),
 		PktID:  inner.TraceID,
-		Detail: fmt.Sprintf("decap from %s: inner %s > %s", outer.Src, inner.Src, inner.Dst),
+		Detail: detail,
 	})
 	_ = c.host.Resubmit(inner)
 }
@@ -156,59 +170,75 @@ func (c *Correspondent) routeOverride(pkt *ipv4.Packet) (stack.Route, bool) {
 		// Same segment: plain packet to the home address, link-
 		// delivered to the care-of MAC. "The only difference is in the
 		// link-layer destination."
-		b, ok := c.policy.Binding(pkt.Dst)
-		if !ok {
+		if _, ok := c.policy.Binding(pkt.Dst); !ok {
 			return stack.Route{}, false
 		}
 		c.Stats.SentInDH++
-		host := c.host
-		careOf := b.CareOf
-		return stack.Route{
-			Name: "mip-ch-samelink",
-			Output: func(p ipv4.Packet) {
-				for _, ifc := range host.Ifaces() {
-					if ifc.Prefix().Bits > 0 && ifc.Prefix().Contains(careOf) {
-						_ = host.SendIPLinkDirect(ifc, careOf, p)
-						return
-					}
-				}
-				// Segment changed underneath us: fall back to plain IP.
-				p2 := p
-				p2.TraceID = 0
-				_ = host.SendIP(p2)
-			},
-		}, true
+		return c.inDH, true
 	case core.InDE:
-		b, ok := c.policy.Binding(pkt.Dst)
-		if !ok {
+		if _, ok := c.policy.Binding(pkt.Dst); !ok {
 			return stack.Route{}, false
 		}
 		c.Stats.SentInDE++
 		if pkt.Src.IsZero() {
 			pkt.Src = c.host.SourceForDestinationPlain(pkt.Dst)
 		}
-		codec := c.cfg.Codec
-		host := c.host
-		careOf := b.CareOf
-		return stack.Route{
-			Name: "mip-ch-tunnel",
-			Output: func(inner ipv4.Packet) {
-				if inner.TTL == 0 {
-					inner.TTL = ipv4.DefaultTTL
-				}
-				outer, err := codec.Encapsulate(inner, inner.Src, careOf)
-				if err != nil {
-					return
-				}
-				host.Sim().Trace.Record(netsim.Event{
-					Kind: netsim.EventEncap, Time: host.Sim().Now(), Where: host.Name(),
-					PktID:  inner.TraceID,
-					Detail: fmt.Sprintf("CH tunnel %s > %s (inner dst %s)", inner.Src, careOf, inner.Dst),
-				})
-				_ = host.Resubmit(outer)
-			},
-		}, true
+		return c.inDE, true
 	default:
 		return stack.Route{}, false // In-IE: plain IP, the HA does the work
 	}
+}
+
+// sameLinkOutput is the In-DH virtual interface: the packet keeps the
+// mobile host's home address as its IP destination but is link-delivered
+// to the care-of address on the shared segment.
+func (c *Correspondent) sameLinkOutput(p ipv4.Packet) {
+	b, ok := c.policy.Binding(p.Dst)
+	if ok {
+		for _, ifc := range c.host.Ifaces() {
+			if ifc.Prefix().Bits > 0 && ifc.Prefix().Contains(b.CareOf) {
+				_ = c.host.SendIPLinkDirect(ifc, b.CareOf, p)
+				return
+			}
+		}
+	}
+	// Segment changed underneath us: fall back to plain IP.
+	p2 := p
+	p2.TraceID = 0
+	_ = c.host.SendIP(p2)
+}
+
+// tunnelOutput is the In-DE virtual interface: encapsulate straight to
+// the care-of address (Figure 5), bypassing the home agent. The tunnel
+// payload is built in a pooled buffer; Resubmit copies it onward before
+// returning, so the buffer is recycled immediately.
+func (c *Correspondent) tunnelOutput(inner ipv4.Packet) {
+	b, ok := c.policy.Binding(inner.Dst)
+	if !ok {
+		p2 := inner
+		p2.TraceID = 0
+		_ = c.host.SendIP(p2)
+		return
+	}
+	if inner.TTL == 0 {
+		inner.TTL = ipv4.DefaultTTL
+	}
+	careOf := b.CareOf
+	buf := netsim.GetBuf()
+	outer, err := c.cfg.Codec.AppendEncap(inner, inner.Src, careOf, buf.B)
+	if err != nil {
+		netsim.PutBuf(buf)
+		return
+	}
+	var detail string
+	if c.host.Sim().Trace.Detailing() {
+		detail = chTunnelDetail(inner.Src, careOf, inner.Dst)
+	}
+	c.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventEncap, Time: c.host.Sim().Now(), Where: c.host.Name(),
+		PktID:  inner.TraceID,
+		Detail: detail,
+	})
+	_ = c.host.Resubmit(outer)
+	netsim.PutBuf(buf)
 }

@@ -159,10 +159,14 @@ func (fa *ForeignAgent) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
 		return // not one of our visitors
 	}
 	fa.Stats.Delivered++
+	var detail string
+	if fa.host.Sim().Trace.Detailing() {
+		detail = fmt.Sprintf("FA delivers inner %s > %s on-link", inner.Src, inner.Dst)
+	}
 	fa.host.Sim().Trace.Record(netsim.Event{
 		Kind: netsim.EventDecap, Time: fa.host.Sim().Now(), Where: fa.host.Name(),
 		PktID:  inner.TraceID,
-		Detail: fmt.Sprintf("FA delivers inner %s > %s on-link", inner.Src, inner.Dst),
+		Detail: detail,
 	})
 	_ = fa.host.SendIPLinkDirect(fa.iface, inner.Dst, inner)
 }

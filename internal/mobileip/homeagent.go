@@ -206,9 +206,13 @@ func (ha *HomeAgent) register(req *Request) {
 		ha.Stats.Expiries++
 		ha.deregister(home)
 	})
+	var detail string
+	if ha.host.Sim().Trace.Detailing() {
+		detail = fmt.Sprintf("binding %s -> %s lifetime=%ds", req.Home, req.CareOf, req.Lifetime)
+	}
 	ha.host.Sim().Trace.Record(netsim.Event{
 		Kind: netsim.EventRegister, Time: ha.host.Sim().Now(), Where: ha.host.Name(),
-		Detail: fmt.Sprintf("binding %s -> %s lifetime=%ds", req.Home, req.CareOf, req.Lifetime),
+		Detail: detail,
 	})
 }
 
@@ -223,9 +227,13 @@ func (ha *HomeAgent) deregister(home ipv4.Addr) {
 	delete(ha.bindings, home)
 	ha.host.Unclaim(home)
 	ha.iface.Proxy().Remove(home)
+	var detail string
+	if ha.host.Sim().Trace.Detailing() {
+		detail = fmt.Sprintf("binding %s cleared", home)
+	}
 	ha.host.Sim().Trace.Record(netsim.Event{
 		Kind: netsim.EventRegister, Time: ha.host.Sim().Now(), Where: ha.host.Name(),
-		Detail: fmt.Sprintf("binding %s cleared", home),
+		Detail: detail,
 	})
 }
 
@@ -236,17 +244,26 @@ func (ha *HomeAgent) forwardToMobile(home ipv4.Addr, pkt ipv4.Packet) {
 	if !ok {
 		return // binding raced away; packet is lost (higher layers recover)
 	}
-	outer, err := ha.cfg.Codec.Encapsulate(pkt, ha.Addr(), b.careOf)
+	// Build the tunnel payload in a pooled buffer; Resubmit copies it
+	// onward before returning, so the buffer is recycled immediately.
+	buf := netsim.GetBuf()
+	outer, err := ha.cfg.Codec.AppendEncap(pkt, ha.Addr(), b.careOf, buf.B)
 	if err != nil {
+		netsim.PutBuf(buf)
 		return
 	}
 	ha.Stats.Forwarded++
+	var detail string
+	if ha.host.Sim().Trace.Detailing() {
+		detail = tunnelDetail(ha.Addr(), b.careOf, pkt.Src, pkt.Dst)
+	}
 	ha.host.Sim().Trace.Record(netsim.Event{
 		Kind: netsim.EventEncap, Time: ha.host.Sim().Now(), Where: ha.host.Name(),
 		PktID:  pkt.TraceID,
-		Detail: fmt.Sprintf("tunnel %s > %s (inner %s > %s)", ha.Addr(), b.careOf, pkt.Src, pkt.Dst),
+		Detail: detail,
 	})
 	_ = ha.host.Resubmit(outer)
+	netsim.PutBuf(buf)
 
 	if ha.cfg.SendBindingNotices && !b.noticed[pkt.Src] {
 		b.noticed[pkt.Src] = true
@@ -298,10 +315,14 @@ func (ha *HomeAgent) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
 		}
 	}
 	ha.Stats.ReverseRelayed++
+	var detail string
+	if ha.host.Sim().Trace.Detailing() {
+		detail = decapDetail("reverse tunnel: ", inner.Src, inner.Dst)
+	}
 	ha.host.Sim().Trace.Record(netsim.Event{
 		Kind: netsim.EventDecap, Time: ha.host.Sim().Now(), Where: ha.host.Name(),
 		PktID:  inner.TraceID,
-		Detail: fmt.Sprintf("reverse tunnel: inner %s > %s", inner.Src, inner.Dst),
+		Detail: detail,
 	})
 	_ = ha.host.Resubmit(inner)
 }

@@ -85,6 +85,13 @@ type MobileNode struct {
 	regTries   int
 	sock       *stack.UDPSocket
 
+	// tunIE and tunDE are the two virtual-interface routes the policy
+	// hands out, built once: their Output closures read the node's
+	// current state (care-of address, inner destination) at call time,
+	// so handing out a route allocates nothing per packet.
+	tunIE stack.Route
+	tunDE stack.Route
+
 	// OnRegistered, when non-nil, fires when a registration (not a
 	// renewal) is accepted.
 	OnRegistered func()
@@ -120,6 +127,12 @@ func NewMobileNode(host *stack.Host, ifc *stack.Iface, cfg MobileNodeConfig) (*M
 		careOf: cfg.Home,
 		atHome: true,
 	}
+	mn.tunIE = stack.Route{Name: "mip-tunnel", Output: func(inner ipv4.Packet) {
+		mn.tunnelOutput(inner, mn.cfg.HomeAgent)
+	}}
+	mn.tunDE = stack.Route{Name: "mip-tunnel", Output: func(inner ipv4.Packet) {
+		mn.tunnelOutput(inner, inner.Dst)
+	}}
 	// The home address is always ours, wherever we are.
 	host.Claim(cfg.Home, nil)
 	// Tunnel decapsulation: packets tunneled to our care-of address.
@@ -326,9 +339,13 @@ func (mn *MobileNode) handleRegistrationReply(src ipv4.Addr, srcPort uint16, dst
 	first := !mn.registered
 	mn.registered = true
 	mn.Stats.Registrations++
+	var detail string
+	if mn.host.Sim().Trace.Detailing() {
+		detail = fmt.Sprintf("registered %s -> %s lifetime=%ds", mn.cfg.Home, mn.careOf, rep.Lifetime)
+	}
 	mn.host.Sim().Trace.Record(netsim.Event{
 		Kind: netsim.EventRegister, Time: mn.host.Sim().Now(), Where: mn.host.Name(),
-		Detail: fmt.Sprintf("registered %s -> %s lifetime=%ds", mn.cfg.Home, mn.careOf, rep.Lifetime),
+		Detail: detail,
 	})
 	// Renew at 80% of the granted lifetime.
 	renewAt := vtime.Duration(rep.Lifetime) * 1e9 * 8 / 10
@@ -360,10 +377,14 @@ func (mn *MobileNode) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
 		mn.host.InjectLocal(inner)
 		return
 	}
+	var detail string
+	if mn.host.Sim().Trace.Detailing() {
+		detail = decapDetail("detunnel: ", inner.Src, inner.Dst)
+	}
 	mn.host.Sim().Trace.Record(netsim.Event{
 		Kind: netsim.EventDecap, Time: mn.host.Sim().Now(), Where: mn.host.Name(),
 		PktID:  inner.TraceID,
-		Detail: fmt.Sprintf("detunnel: inner %s > %s", inner.Src, inner.Dst),
+		Detail: detail,
 	})
 	_ = mn.host.Resubmit(inner)
 }
@@ -446,39 +467,43 @@ func (mn *MobileNode) routeOverride(pkt *ipv4.Packet) (stack.Route, bool) {
 		pkt.Src = mn.cfg.Home
 		return stack.Route{}, false
 	case core.OutDE:
-		return mn.tunnelRoute(pkt, pkt.Dst), true
+		if pkt.Src.IsZero() {
+			pkt.Src = mn.cfg.Home
+		}
+		return mn.tunDE, true
 	default: // core.OutIE
-		return mn.tunnelRoute(pkt, mn.cfg.HomeAgent), true
+		if pkt.Src.IsZero() {
+			pkt.Src = mn.cfg.Home
+		}
+		return mn.tunIE, true
 	}
 }
 
-// tunnelRoute builds the virtual-interface route that encapsulates pkt
-// toward decapsulator ("the routine directs IP to send the packet to our
-// virtual interface, which encapsulates the packet and resubmits it to
-// IP").
-func (mn *MobileNode) tunnelRoute(pkt *ipv4.Packet, decapsulator ipv4.Addr) stack.Route {
-	if pkt.Src.IsZero() {
-		pkt.Src = mn.cfg.Home
+// tunnelOutput is the virtual-interface output function ("the routine
+// directs IP to send the packet to our virtual interface, which
+// encapsulates the packet and resubmits it to IP"). The tunnel payload is
+// built in a pooled buffer; Resubmit copies it onward before returning, so
+// the buffer is recycled immediately.
+func (mn *MobileNode) tunnelOutput(inner ipv4.Packet, decapsulator ipv4.Addr) {
+	if inner.TTL == 0 {
+		inner.TTL = ipv4.DefaultTTL
 	}
-	codec := mn.cfg.Codec
-	host := mn.host
 	careOf := mn.careOf
-	return stack.Route{
-		Name: "mip-tunnel",
-		Output: func(inner ipv4.Packet) {
-			if inner.TTL == 0 {
-				inner.TTL = ipv4.DefaultTTL
-			}
-			outer, err := codec.Encapsulate(inner, careOf, decapsulator)
-			if err != nil {
-				return
-			}
-			host.Sim().Trace.Record(netsim.Event{
-				Kind: netsim.EventEncap, Time: host.Sim().Now(), Where: host.Name(),
-				PktID:  inner.TraceID,
-				Detail: fmt.Sprintf("tunnel %s > %s (inner %s > %s)", careOf, decapsulator, inner.Src, inner.Dst),
-			})
-			_ = host.Resubmit(outer)
-		},
+	buf := netsim.GetBuf()
+	outer, err := mn.cfg.Codec.AppendEncap(inner, careOf, decapsulator, buf.B)
+	if err != nil {
+		netsim.PutBuf(buf)
+		return
 	}
+	var detail string
+	if mn.host.Sim().Trace.Detailing() {
+		detail = tunnelDetail(careOf, decapsulator, inner.Src, inner.Dst)
+	}
+	mn.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventEncap, Time: mn.host.Sim().Now(), Where: mn.host.Name(),
+		PktID:  inner.TraceID,
+		Detail: detail,
+	})
+	_ = mn.host.Resubmit(outer)
+	netsim.PutBuf(buf)
 }

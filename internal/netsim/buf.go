@@ -1,0 +1,86 @@
+package netsim
+
+import "sync"
+
+// Buf is a reusable payload buffer drawn from a process-wide pool. The fast
+// packet path serializes every frame payload into one of these instead of
+// allocating per hop: the sender appends wire bytes into B, hands the Buf to
+// the link layer via Frame.Buf, and the segment returns it to the pool once
+// the frame is dropped or every receiver callback has returned.
+//
+// Ownership contract (see DESIGN.md "Performance engineering"):
+//
+//   - A Buf handed to NIC.Send via Frame.Buf belongs to the link layer.
+//     The sender must not touch B afterwards.
+//   - Receive callbacks may read the payload only until they return.
+//     Anything retained past the callback (reassembly pieces, ARP pending
+//     queues, delivery deferred through the scheduler) must be copied.
+//   - A Buf used as scratch (marshal, send synchronously, recycle) is
+//     returned by the same function that got it.
+//
+// The pool is shared across simulations; sync.Pool is safe for the parallel
+// experiment runner, and pooling does not affect determinism because buffer
+// identity is never observable in traces.
+type Buf struct {
+	B []byte
+}
+
+// bufCap covers a full default-MTU frame plus tunnel headroom so steady
+// state never grows a pooled buffer.
+const bufCap = DefaultMTU + 64
+
+var bufPool = sync.Pool{New: func() any { return &Buf{B: make([]byte, 0, bufCap)} }}
+
+// GetBuf returns an empty pooled buffer (len 0).
+func GetBuf() *Buf { return bufPool.Get().(*Buf) }
+
+// PutBuf returns b to the pool. nil is a no-op so error paths can recycle
+// unconditionally.
+func PutBuf(b *Buf) {
+	if b == nil {
+		return
+	}
+	b.B = b.B[:0]
+	bufPool.Put(b)
+}
+
+// delivery is a pooled in-flight frame: the receiver snapshot plus the
+// frame itself, scheduled through the handle-free vtime path so a
+// steady-state hop allocates nothing.
+type delivery struct {
+	seg   *Segment
+	frame Frame
+	dests []*NIC
+}
+
+var deliveryPool = sync.Pool{New: func() any { return new(delivery) }}
+
+// runDelivery is the scheduler callback for frame delivery. Package-level
+// so scheduling it never allocates a closure.
+var runDelivery = func(a any) {
+	d := a.(*delivery)
+	seg := d.seg
+	for _, n := range d.dests {
+		if n.segment != seg {
+			continue // detached mid-flight
+		}
+		seg.Delivered++
+		if n.recv != nil {
+			n.recv(n, d.frame)
+		}
+	}
+	// All receivers have returned (broadcast shares the one buffer), so
+	// the payload storage can go back to the pool.
+	PutBuf(d.frame.Buf)
+	releaseDelivery(d)
+}
+
+func releaseDelivery(d *delivery) {
+	d.seg = nil
+	d.frame = Frame{}
+	for i := range d.dests {
+		d.dests[i] = nil
+	}
+	d.dests = d.dests[:0]
+	deliveryPool.Put(d)
+}

@@ -16,6 +16,7 @@ package netsim
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"mob4x4/internal/vtime"
 )
@@ -49,6 +50,11 @@ type Frame struct {
 	Type    uint16
 	Payload []byte
 	TraceID uint64
+	// Buf, when non-nil, is the pooled buffer backing Payload. The link
+	// layer owns it from NIC.Send onward and returns it to the pool once
+	// the frame is dropped or every receiver callback has returned; see
+	// the ownership contract on Buf.
+	Buf *Buf
 }
 
 // FrameHeaderLen approximates an Ethernet header (dst+src+type) for size
@@ -124,6 +130,14 @@ type Segment struct {
 	name string
 	opts SegmentOpts
 	nics []*NIC
+	// byMAC maps unicast destinations directly to their NIC. It is built
+	// lazily once the segment outgrows segIndexMin attachments: most
+	// simulated segments hold a handful of NICs, where a linear scan of
+	// nics beats a map and costs no allocation. promisc counts attached
+	// promiscuous NICs; when zero, unicast frames skip the receiver scan
+	// entirely.
+	byMAC   map[MAC]*NIC
+	promisc int
 	// busyUntil is when the medium finishes transmitting the last queued
 	// frame (bandwidth modeling).
 	busyUntil vtime.Time
@@ -160,16 +174,53 @@ func (seg *Segment) Latency() vtime.Duration { return seg.opts.Latency }
 // NICs returns the currently attached NICs.
 func (seg *Segment) NICs() []*NIC { return seg.nics }
 
+// segIndexMin is the attachment count beyond which a segment builds its
+// MAC index; below it, unicast dispatch linear-scans nics.
+const segIndexMin = 8
+
 func (seg *Segment) attach(n *NIC) {
+	if seg.nics == nil {
+		seg.nics = make([]*NIC, 0, 4)
+	}
 	seg.nics = append(seg.nics, n)
+	if seg.byMAC != nil {
+		seg.byMAC[n.mac] = n
+	} else if len(seg.nics) > segIndexMin {
+		seg.byMAC = make(map[MAC]*NIC, 2*len(seg.nics))
+		for _, m := range seg.nics {
+			seg.byMAC[m.mac] = m
+		}
+	}
+	if n.promiscuous {
+		seg.promisc++
+	}
 }
 
 func (seg *Segment) detach(n *NIC) {
-	for i, x := range seg.nics {
-		if x == n {
-			seg.nics = append(seg.nics[:i], seg.nics[i+1:]...)
-			return
+	i := -1
+	for j, m := range seg.nics {
+		if m == n {
+			i = j
+			break
 		}
+	}
+	if i < 0 {
+		return
+	}
+	last := len(seg.nics) - 1
+	if i != last {
+		seg.nics[i] = seg.nics[last]
+	}
+	// Nil the trailing slot: the old append-based removal left the final
+	// element aliased in the backing array, keeping detached NICs (and
+	// their whole host) reachable.
+	seg.nics[last] = nil
+	seg.nics = seg.nics[:last]
+	if seg.byMAC != nil {
+		delete(seg.byMAC, n.mac)
+	}
+	if n.promiscuous {
+		seg.promisc--
 	}
 }
 
@@ -179,32 +230,65 @@ func (seg *Segment) detach(n *NIC) {
 func (seg *Segment) send(from *NIC, f Frame) {
 	if len(f.Payload) > seg.opts.MTU {
 		seg.DroppedMTU++
+		var detail string
+		if seg.sim.Trace.Detailing() {
+			var buf [40]byte
+			b := append(buf[:0], "payload "...)
+			b = strconv.AppendInt(b, int64(len(f.Payload)), 10)
+			b = append(b, " > mtu "...)
+			b = strconv.AppendInt(b, int64(seg.opts.MTU), 10)
+			detail = string(b)
+		}
 		seg.sim.Trace.record(Event{
 			Kind: EventDropMTU, Time: seg.sim.Now(), Where: seg.name,
-			Detail: fmt.Sprintf("payload %d > mtu %d", len(f.Payload), seg.opts.MTU),
+			Detail: detail,
 		})
+		PutBuf(f.Buf)
 		return
 	}
 	if seg.opts.LossRate > 0 && seg.sim.Sched.Rand().Float64() < seg.opts.LossRate {
 		seg.DroppedLoss++
 		seg.sim.Trace.record(Event{Kind: EventDropLoss, Time: seg.sim.Now(), Where: seg.name})
+		PutBuf(f.Buf)
 		return
 	}
 	wireBytes := len(f.Payload) + FrameHeaderLen
 	seg.BytesCarried += uint64(wireBytes)
 	// Snapshot receivers now; attach/detach during flight should not
-	// retroactively affect this frame.
-	var dests []*NIC
-	for _, n := range seg.nics {
-		if n == from {
-			continue
+	// retroactively affect this frame. The snapshot lives in a pooled
+	// delivery job so a steady-state hop allocates nothing.
+	d := deliveryPool.Get().(*delivery)
+	d.seg = seg
+	d.frame = f
+	if f.Dst != BroadcastMAC && seg.promisc == 0 {
+		// Unicast with nobody listening promiscuously: direct dispatch
+		// via the MAC index on big segments, a linear scan on small ones.
+		if seg.byMAC != nil {
+			if n := seg.byMAC[f.Dst]; n != nil && n != from {
+				d.dests = append(d.dests, n)
+			}
+		} else {
+			for _, n := range seg.nics {
+				if n.mac == f.Dst && n != from {
+					d.dests = append(d.dests, n)
+					break
+				}
+			}
 		}
-		if f.Dst == BroadcastMAC || f.Dst == n.mac || n.promiscuous {
-			dests = append(dests, n)
+	} else {
+		for _, n := range seg.nics {
+			if n == from {
+				continue
+			}
+			if f.Dst == BroadcastMAC || f.Dst == n.mac || n.promiscuous {
+				d.dests = append(d.dests, n)
+			}
 		}
 	}
-	if len(dests) == 0 {
+	if len(d.dests) == 0 {
 		seg.DroppedNoDest++
+		PutBuf(f.Buf)
+		releaseDelivery(d)
 		return
 	}
 	// Bandwidth model: the frame must wait for the medium, then occupies
@@ -224,17 +308,7 @@ func (seg *Segment) send(from *NIC, f Frame) {
 		seg.busyUntil = start.Add(txTime)
 		delay = seg.busyUntil.Sub(now) + seg.opts.Latency
 	}
-	seg.sim.Sched.After(delay, func() {
-		for _, n := range dests {
-			if n.segment != seg {
-				continue // detached mid-flight
-			}
-			seg.Delivered++
-			if n.recv != nil {
-				n.recv(n, f)
-			}
-		}
-	})
+	seg.sim.Sched.AfterArg(delay, runDelivery, d)
 }
 
 // NIC is a network interface attached to (at most) one segment. The
@@ -281,7 +355,19 @@ func (n *NIC) MTU() int {
 func (n *NIC) SetReceiver(fn func(*NIC, Frame)) { n.recv = fn }
 
 // SetPromiscuous makes the NIC receive all frames on its segment.
-func (n *NIC) SetPromiscuous(v bool) { n.promiscuous = v }
+func (n *NIC) SetPromiscuous(v bool) {
+	if v == n.promiscuous {
+		return
+	}
+	n.promiscuous = v
+	if n.segment != nil {
+		if v {
+			n.segment.promisc++
+		} else {
+			n.segment.promisc--
+		}
+	}
+}
 
 // Attach connects the NIC to a segment, detaching from any previous one —
 // this is the "mobile host moves" primitive.
@@ -303,6 +389,7 @@ func (n *NIC) Detach() { n.Attach(nil) }
 func (n *NIC) Send(f Frame) {
 	f.Src = n.mac
 	if n.segment == nil {
+		PutBuf(f.Buf) // cable unplugged: the frame dies here
 		return
 	}
 	n.TxFrames++

@@ -78,18 +78,26 @@ func (e Event) String() string {
 	return fmt.Sprintf("%10v %-12s %-14s %s", e.Time, e.Kind, e.Where, e.Detail)
 }
 
+// traceChunk is the tracer's storage granularity: events are stored in
+// fixed-capacity chunks so recording never copies old events (the old
+// single-slice store re-copied the whole history on every append growth,
+// which dominated tracer cost in long runs).
+const traceChunk = 256
+
 // Tracer collects events. Recording can be disabled for benchmarks (counts
-// are still kept).
+// are still kept); Discard additionally releases the stored events.
 type Tracer struct {
-	Enabled bool
-	events  []Event
-	counts  map[EventKind]uint64
-	nextPkt uint64
+	Enabled  bool
+	noDetail bool // events recorded, Detail strings skipped
+	chunks   [][]Event
+	n        int // total stored events
+	counts   [32]uint64
+	nextPkt  uint64
 }
 
 // NewTracer returns an enabled tracer.
 func NewTracer() *Tracer {
-	return &Tracer{Enabled: true, counts: make(map[EventKind]uint64)}
+	return &Tracer{Enabled: true}
 }
 
 // NextPacketID allocates a trace id for a new packet entering the network.
@@ -98,11 +106,44 @@ func (t *Tracer) NextPacketID() uint64 {
 	return t.nextPkt
 }
 
+// Recording reports whether events are being stored.
+func (t *Tracer) Recording() bool { return t.Enabled }
+
+// Detailing reports whether event Detail strings should be built. Hot
+// paths gate the construction of Detail strings on it: counts and events
+// are maintained either way, but formatting work is wasted when nobody
+// will read the text. Experiments that walk events structurally (by
+// Kind/Where/PktID, e.g. hop counting) call DiscardDetails to keep the
+// trace and drop the strings.
+func (t *Tracer) Detailing() bool { return t.Enabled && !t.noDetail }
+
+// DiscardDetails keeps recording events but stops the construction of
+// their Detail strings, the most expensive part of tracing.
+func (t *Tracer) DiscardDetails() { t.noDetail = true }
+
+// Discard turns off event storage and releases the events stored so far,
+// keeping counts. Benchmarks and sweeps that never inspect paths call this
+// right after building a scenario.
+func (t *Tracer) Discard() {
+	t.Enabled = false
+	t.chunks = nil
+	t.n = 0
+}
+
 func (t *Tracer) record(e Event) {
-	t.counts[e.Kind]++
-	if t.Enabled {
-		t.events = append(t.events, e)
+	if k := int(e.Kind); k >= 0 && k < len(t.counts) {
+		t.counts[k]++
 	}
+	if !t.Enabled {
+		return
+	}
+	last := len(t.chunks) - 1
+	if last < 0 || len(t.chunks[last]) == traceChunk {
+		t.chunks = append(t.chunks, make([]Event, 0, traceChunk))
+		last++
+	}
+	t.chunks[last] = append(t.chunks[last], e)
+	t.n++
 }
 
 // Record appends an event (exported for packages stack/mobileip).
@@ -110,17 +151,52 @@ func (t *Tracer) Record(e Event) { t.record(e) }
 
 // Count returns how many events of the given kind were recorded since the
 // last Reset, regardless of Enabled.
-func (t *Tracer) Count(kind EventKind) uint64 { return t.counts[kind] }
+func (t *Tracer) Count(kind EventKind) uint64 {
+	if k := int(kind); k >= 0 && k < len(t.counts) {
+		return t.counts[k]
+	}
+	return 0
+}
 
-// Events returns all recorded events.
-func (t *Tracer) Events() []Event { return t.events }
+// Len returns the number of stored events. Use with EventsFrom to walk a
+// window of the trace without copying it.
+func (t *Tracer) Len() int { return t.n }
+
+// Events returns all recorded events as one contiguous slice (copied).
+// Callers that only need a suffix should use Len/EventsFrom.
+func (t *Tracer) Events() []Event { return t.EventsFrom(0) }
+
+// EventsFrom returns the events at indices [start, Len()). When the window
+// lies inside the newest chunk — the common "what happened since I noted
+// Len()" pattern — the returned slice aliases the store and allocates
+// nothing; otherwise it is a fresh copy.
+func (t *Tracer) EventsFrom(start int) []Event {
+	if start < 0 {
+		start = 0
+	}
+	if start >= t.n {
+		return nil
+	}
+	ci, off := start/traceChunk, start%traceChunk
+	if ci == len(t.chunks)-1 {
+		return t.chunks[ci][off:]
+	}
+	out := make([]Event, 0, t.n-start)
+	out = append(out, t.chunks[ci][off:]...)
+	for _, c := range t.chunks[ci+1:] {
+		out = append(out, c...)
+	}
+	return out
+}
 
 // PacketEvents returns the events for one packet trace id, in order.
 func (t *Tracer) PacketEvents(pktID uint64) []Event {
 	var out []Event
-	for _, e := range t.events {
-		if e.PktID == pktID {
-			out = append(out, e)
+	for _, c := range t.chunks {
+		for _, e := range c {
+			if e.PktID == pktID {
+				out = append(out, e)
+			}
 		}
 	}
 	return out
@@ -129,9 +205,11 @@ func (t *Tracer) PacketEvents(pktID uint64) []Event {
 // Hops returns the number of forwarding hops (EventForward) for a packet.
 func (t *Tracer) Hops(pktID uint64) int {
 	n := 0
-	for _, e := range t.events {
-		if e.PktID == pktID && e.Kind == EventForward {
-			n++
+	for _, c := range t.chunks {
+		for _, e := range c {
+			if e.PktID == pktID && e.Kind == EventForward {
+				n++
+			}
 		}
 	}
 	return n
@@ -141,24 +219,26 @@ func (t *Tracer) Hops(pktID uint64) int {
 // of its send/forward/deliver events.
 func (t *Tracer) Path(pktID uint64) string {
 	var parts []string
-	for _, e := range t.events {
-		if e.PktID != pktID {
-			continue
-		}
-		switch e.Kind {
-		case EventSend, EventForward, EventDeliver, EventEncap, EventDecap:
-			label := e.Where
-			if e.Kind == EventEncap {
-				label += "[encap]"
+	for _, c := range t.chunks {
+		for _, e := range c {
+			if e.PktID != pktID {
+				continue
 			}
-			if e.Kind == EventDecap {
-				label += "[decap]"
+			switch e.Kind {
+			case EventSend, EventForward, EventDeliver, EventEncap, EventDecap:
+				label := e.Where
+				if e.Kind == EventEncap {
+					label += "[encap]"
+				}
+				if e.Kind == EventDecap {
+					label += "[decap]"
+				}
+				if len(parts) == 0 || parts[len(parts)-1] != label {
+					parts = append(parts, label)
+				}
+			case EventDropFilter, EventDropTTL, EventDropNoRoute, EventDropMTU, EventDropLoss:
+				parts = append(parts, fmt.Sprintf("X(%s@%s)", e.Kind, e.Where))
 			}
-			if len(parts) == 0 || parts[len(parts)-1] != label {
-				parts = append(parts, label)
-			}
-		case EventDropFilter, EventDropTTL, EventDropNoRoute, EventDropMTU, EventDropLoss:
-			parts = append(parts, fmt.Sprintf("X(%s@%s)", e.Kind, e.Where))
 		}
 	}
 	return strings.Join(parts, " -> ")
@@ -166,6 +246,7 @@ func (t *Tracer) Path(pktID uint64) string {
 
 // Reset clears events and counts.
 func (t *Tracer) Reset() {
-	t.events = t.events[:0]
-	t.counts = make(map[EventKind]uint64)
+	t.chunks = nil
+	t.n = 0
+	t.counts = [32]uint64{}
 }

@@ -30,11 +30,18 @@ func (i *Iface) resolveAndSend(nexthop ipv4.Addr, pkt ipv4.Packet) {
 	job, inFlight := i.pending[nexthop]
 	if !inFlight {
 		job = &resolveJob{retries: i.host.ARPRetries}
+		if i.pending == nil {
+			i.pending = make(map[ipv4.Addr]*resolveJob)
+		}
 		i.pending[nexthop] = job
 		i.sendARPRequest(nexthop)
 		i.armARPTimer(nexthop, job)
 	}
-	job.pkts = append(job.pkts, pkt)
+	// The queued packet may alias a pooled frame buffer (forwarding path)
+	// that is recycled when the receive callback returns, while the queue
+	// waits for the ARP reply — take a private copy.
+	//mob4x4vet:allow hotpathalloc ARP-miss queueing must retain the packet
+	job.pkts = append(job.pkts, pkt.Clone())
 }
 
 func (i *Iface) armARPTimer(target ipv4.Addr, job *resolveJob) {
@@ -46,7 +53,7 @@ func (i *Iface) armARPTimer(target ipv4.Addr, job *resolveJob) {
 		job.retries--
 		if job.retries > 0 {
 			i.sendARPRequest(target)
-			i.armARPTimer(target, job)
+			job.timer.Reset(i.host.ARPTimeout)
 			return
 		}
 		delete(i.pending, target)
@@ -68,10 +75,19 @@ func (i *Iface) sendARPRequest(target ipv4.Addr) {
 		SenderIP:  i.addr,
 		TargetIP:  target,
 	}
+	i.sendARPFrame(netsim.BroadcastMAC, &msg)
+}
+
+// sendARPFrame marshals msg into a pooled buffer and transmits it; the
+// link layer recycles the buffer after delivery.
+func (i *Iface) sendARPFrame(dst netsim.MAC, msg *arp.Message) {
+	buf := netsim.GetBuf()
+	buf.B = msg.AppendMarshal(buf.B)
 	i.nic.Send(netsim.Frame{
-		Dst:     netsim.BroadcastMAC,
+		Dst:     dst,
 		Type:    netsim.EtherTypeARP,
-		Payload: msg.Marshal(),
+		Payload: buf.B,
+		Buf:     buf,
 	})
 }
 
@@ -81,11 +97,7 @@ func (i *Iface) sendARPRequest(target ipv4.Addr) {
 // host issues it to reclaim its address ([RFC1027]).
 func (i *Iface) GratuitousARP(addr ipv4.Addr) {
 	msg := arp.GratuitousRequest(i.nic.MAC(), addr)
-	i.nic.Send(netsim.Frame{
-		Dst:     netsim.BroadcastMAC,
-		Type:    netsim.EtherTypeARP,
-		Payload: msg.Marshal(),
-	})
+	i.sendARPFrame(netsim.BroadcastMAC, &msg)
 }
 
 func (i *Iface) receiveARP(f netsim.Frame) {
@@ -123,11 +135,7 @@ func (i *Iface) receiveARP(f netsim.Frame) {
 		TargetMAC: msg.SenderMAC,
 		TargetIP:  msg.SenderIP,
 	}
-	i.nic.Send(netsim.Frame{
-		Dst:     msg.SenderMAC,
-		Type:    netsim.EtherTypeARP,
-		Payload: reply.Marshal(),
-	})
+	i.sendARPFrame(msg.SenderMAC, &reply)
 }
 
 func (i *Iface) drainPending(ip ipv4.Addr, mac netsim.MAC) {
@@ -143,15 +151,19 @@ func (i *Iface) drainPending(ip ipv4.Addr, mac netsim.MAC) {
 }
 
 func (i *Iface) sendIPFrame(dst netsim.MAC, pkt ipv4.Packet) {
-	b, err := pkt.Marshal()
+	buf := netsim.GetBuf()
+	b, err := pkt.AppendMarshal(buf.B)
 	if err != nil {
+		netsim.PutBuf(buf)
 		i.host.Stats.DropMalformed++
 		return
 	}
+	buf.B = b
 	i.nic.Send(netsim.Frame{
 		Dst:     dst,
 		Type:    netsim.EtherTypeIPv4,
 		Payload: b,
 		TraceID: pkt.TraceID,
+		Buf:     buf,
 	})
 }

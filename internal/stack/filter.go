@@ -1,8 +1,6 @@
 package stack
 
 import (
-	"fmt"
-
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/netsim"
 )
@@ -93,9 +91,13 @@ func (f *FilterPolicy) checkEgress(iface *Iface, pkt *ipv4.Packet) bool {
 
 func (h *Host) traceFilterDrop(direction string, iface *Iface, pkt *ipv4.Packet) {
 	h.Stats.DropFilter++
+	var detail string
+	if h.sim.Trace.Detailing() {
+		detail = filterDetail(direction, iface.nic.Name(), pkt.Src, pkt.Dst)
+	}
 	h.sim.Trace.Record(netsim.Event{
 		Kind: netsim.EventDropFilter, Time: h.sim.Now(), Where: h.name,
 		PktID:  pkt.TraceID,
-		Detail: fmt.Sprintf("%s filter on %s: src=%s dst=%s", direction, iface.nic.Name(), pkt.Src, pkt.Dst),
+		Detail: detail,
 	})
 }

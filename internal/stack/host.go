@@ -12,8 +12,6 @@
 package stack
 
 import (
-	"fmt"
-
 	"mob4x4/internal/arp"
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/netsim"
@@ -112,20 +110,19 @@ type ProtoOverride func(iface *Iface, pkt ipv4.Packet)
 // ReassemblyTimeout is how long fragments wait for their siblings.
 const ReassemblyTimeout = 30 * 1e9 // 30s in nanoseconds (vtime.Duration)
 
-// NewHost creates a host with no interfaces.
+// NewHost creates a host with no interfaces. The handler/claim/socket maps
+// are allocated lazily at their write sites: large grid scenarios build
+// hundreds of hosts, most of which never register handlers or claims.
 func NewHost(sim *netsim.Sim, name string) *Host {
 	h := &Host{
-		sim:           sim,
-		name:          name,
-		routes:        NewRouteTable(),
-		protoHandlers: make(map[uint8]ProtoHandler),
-		claimed:       make(map[ipv4.Addr]ProtoOverride),
-		udpSocks:      make(map[uint16]*UDPSocket),
-		ephemeral:     49152,
-		reasm:         ipv4.NewReassembler(),
-		ARPTimeout:    vtime.Duration(1e9), // 1s
-		ARPRetries:    3,
-		ARPCacheTTL:   vtime.Duration(300e9), // 5min, well above most runs
+		sim:         sim,
+		name:        name,
+		routes:      NewRouteTable(),
+		ephemeral:   49152,
+		reasm:       ipv4.NewReassembler(),
+		ARPTimeout:  vtime.Duration(1e9), // 1s
+		ARPRetries:  3,
+		ARPCacheTTL: vtime.Duration(300e9), // 5min, well above most runs
 	}
 	return h
 }
@@ -150,8 +147,11 @@ type Iface struct {
 	addr   ipv4.Addr
 	prefix ipv4.Prefix
 
-	cache *arp.Cache
-	proxy *arp.Proxy
+	// cache and proxy live inline: an Iface always has exactly one of
+	// each, and separate heap objects per interface were a measurable
+	// share of scenario construction.
+	cache arp.Cache
+	proxy arp.Proxy
 
 	// Outside marks the interface as facing out of the administrative
 	// domain; the filter policy distinguishes inside from outside.
@@ -170,13 +170,11 @@ type Iface struct {
 func (h *Host) AddIface(name string, seg *netsim.Segment, addr ipv4.Addr, prefix ipv4.Prefix) *Iface {
 	nic := h.sim.NewNIC(h.name + ":" + name)
 	ifc := &Iface{
-		host:    h,
-		nic:     nic,
-		addr:    addr,
-		prefix:  prefix,
-		cache:   arp.NewCache(),
-		proxy:   arp.NewProxy(),
-		pending: make(map[ipv4.Addr]*resolveJob),
+		host:   h,
+		nic:    nic,
+		addr:   addr,
+		prefix: prefix,
+		// cache, proxy, and pending all initialize lazily on first use.
 	}
 	nic.SetReceiver(ifc.receiveFrame)
 	if seg != nil {
@@ -215,10 +213,10 @@ func (i *Iface) Addr() ipv4.Addr { return i.addr }
 func (i *Iface) Prefix() ipv4.Prefix { return i.prefix }
 
 // Proxy returns the interface's proxy-ARP set (home agents use this).
-func (i *Iface) Proxy() *arp.Proxy { return i.proxy }
+func (i *Iface) Proxy() *arp.Proxy { return &i.proxy }
 
 // ARPCache returns the interface's ARP cache.
-func (i *Iface) ARPCache() *arp.Cache { return i.cache }
+func (i *Iface) ARPCache() *arp.Cache { return &i.cache }
 
 // SetAddr reconfigures the interface address and on-link prefix,
 // replacing the old connected route. This is the "obtained a new care-of
@@ -240,9 +238,13 @@ func (i *Iface) SetAddr(addr ipv4.Addr, prefix ipv4.Prefix) {
 func (i *Iface) Attach(seg *netsim.Segment) {
 	i.nic.Attach(seg)
 	i.cache.Flush()
+	var detail string
+	if i.host.sim.Trace.Detailing() {
+		detail = "iface " + i.nic.Name() + " attached to " + segName(seg)
+	}
 	i.host.sim.Trace.Record(netsim.Event{
 		Kind: netsim.EventMove, Time: i.host.sim.Now(), Where: i.host.name,
-		Detail: fmt.Sprintf("iface %s attached to %s", i.nic.Name(), segName(seg)),
+		Detail: detail,
 	})
 }
 
@@ -250,9 +252,13 @@ func (i *Iface) Attach(seg *netsim.Segment) {
 func (i *Iface) Detach() {
 	i.nic.Detach()
 	i.cache.Flush()
+	var detail string
+	if i.host.sim.Trace.Detailing() {
+		detail = "iface " + i.nic.Name() + " detached"
+	}
 	i.host.sim.Trace.Record(netsim.Event{
 		Kind: netsim.EventMove, Time: i.host.sim.Now(), Where: i.host.name,
-		Detail: fmt.Sprintf("iface %s detached", i.nic.Name()),
+		Detail: detail,
 	})
 }
 
@@ -265,6 +271,9 @@ func segName(seg *netsim.Segment) string {
 
 // Handle registers a protocol handler (ICMP, TCP, tunnel decapsulators...).
 func (h *Host) Handle(proto uint8, fn ProtoHandler) {
+	if h.protoHandlers == nil {
+		h.protoHandlers = make(map[uint8]ProtoHandler)
+	}
 	h.protoHandlers[proto] = fn
 }
 
@@ -273,6 +282,9 @@ func (h *Host) Handle(proto uint8, fn ProtoHandler) {
 // if nil, packets to addr are demultiplexed normally (mobile host's own
 // home address).
 func (h *Host) Claim(addr ipv4.Addr, override ProtoOverride) {
+	if h.claimed == nil {
+		h.claimed = make(map[ipv4.Addr]ProtoOverride)
+	}
 	h.claimed[addr] = override
 }
 

@@ -23,9 +23,13 @@ func (h *Host) SendIP(pkt ipv4.Packet) error {
 		pkt.TraceID = h.sim.Trace.NextPacketID()
 	}
 	h.Stats.IPSent++
+	var detail string
+	if h.sim.Trace.Detailing() {
+		detail = pktDetail(pkt.Src, pkt.Dst, pkt.Protocol, pkt.TotalLen())
+	}
 	h.sim.Trace.Record(netsim.Event{
 		Kind: netsim.EventSend, Time: h.sim.Now(), Where: h.name, PktID: pkt.TraceID,
-		Detail: fmt.Sprintf("%s > %s proto=%d len=%d", pkt.Src, pkt.Dst, pkt.Protocol, pkt.TotalLen()),
+		Detail: detail,
 	})
 	return h.output(pkt, true)
 }
@@ -48,12 +52,10 @@ func (h *Host) Resubmit(pkt ipv4.Packet) error {
 // whether the mobility policy hook is consulted (true only for the first
 // pass over locally-generated packets).
 func (h *Host) output(pkt ipv4.Packet, useOverride bool) error {
-	// Local destination: deliver without touching the network. Delivery
-	// is posted through the scheduler so synchronous call chains cannot
-	// recurse (send → deliver → send → ...).
+	// Local destination: deliver without touching the network (deferred
+	// through the scheduler; see postLocal).
 	if h.Claimed(pkt.Dst) || pkt.Dst.IsLoopback() {
-		p := pkt
-		h.sim.Sched.Post(func() { h.deliverLocal(nil, p) })
+		h.postLocal(pkt)
 		return nil
 	}
 
@@ -71,16 +73,26 @@ func (h *Host) output(pkt ipv4.Packet, useOverride bool) error {
 	var rt Route
 	var ok bool
 	if useOverride && h.RouteOverride != nil {
-		rt, ok = h.RouteOverride(&pkt)
+		// The override takes a pointer (it may rewrite Src even when it
+		// declines the packet, e.g. Out-DH pinning the home address);
+		// calling it with a copy keeps pkt itself off the heap on hosts
+		// that have no override installed.
+		po := pkt
+		rt, ok = h.RouteOverride(&po)
+		pkt = po
 	}
 	if !ok {
 		rt, ok = h.routes.Lookup(pkt.Dst)
 	}
 	if !ok {
 		h.Stats.DropNoRoute++
+		var detail string
+		if h.sim.Trace.Detailing() {
+			detail = dstDetail(pkt.Dst)
+		}
 		h.sim.Trace.Record(netsim.Event{
 			Kind: netsim.EventDropNoRoute, Time: h.sim.Now(), Where: h.name, PktID: pkt.TraceID,
-			Detail: fmt.Sprintf("dst=%s", pkt.Dst),
+			Detail: detail,
 		})
 		return fmt.Errorf("%s: no route to %s", h.name, pkt.Dst)
 	}
@@ -108,6 +120,12 @@ func (h *Host) transmit(ifc *Iface, nexthop ipv4.Addr, pkt ipv4.Packet) error {
 		return fmt.Errorf("%s: egress filter dropped packet src=%s", h.name, pkt.Src)
 	}
 	mtu := ifc.nic.MTU()
+	if pkt.TotalLen() <= mtu {
+		// Steady-state fast path: the packet fits, so skip Fragment's
+		// single-element slice allocation.
+		ifc.resolveAndSend(nexthop, pkt)
+		return nil
+	}
 	frags, err := ipv4.Fragment(pkt, mtu)
 	if err != nil {
 		if err == ipv4.ErrFragNeeded {
@@ -150,9 +168,13 @@ func (h *Host) SendIPLinkDirect(ifc *Iface, linkDst ipv4.Addr, pkt ipv4.Packet) 
 		pkt.Src = ifc.addr
 	}
 	h.Stats.IPSent++
+	var detail string
+	if h.sim.Trace.Detailing() {
+		detail = linkDirectDetail(pkt.Src, pkt.Dst, pkt.Protocol, linkDst)
+	}
 	h.sim.Trace.Record(netsim.Event{
 		Kind: netsim.EventSend, Time: h.sim.Now(), Where: h.name, PktID: pkt.TraceID,
-		Detail: fmt.Sprintf("%s > %s proto=%d link-direct via %s", pkt.Src, pkt.Dst, pkt.Protocol, linkDst),
+		Detail: detail,
 	})
 	return h.transmit(ifc, linkDst, pkt)
 }
@@ -162,8 +184,7 @@ func (h *Host) SendIPLinkDirect(ifc *Iface, linkDst ipv4.Addr, pkt ipv4.Packet) 
 // multicast uses it (the inner destination is a group, not one of our
 // addresses). Delivery is posted through the scheduler.
 func (h *Host) InjectLocal(pkt ipv4.Packet) {
-	p := pkt
-	h.sim.Sched.Post(func() { h.deliverLocal(nil, p) })
+	h.postLocal(pkt)
 }
 
 // receiveFrame is the NIC receive callback.
@@ -236,9 +257,13 @@ func (h *Host) forward(in *Iface, pkt ipv4.Packet) {
 	rt, ok := h.routes.Lookup(pkt.Dst)
 	if !ok {
 		h.Stats.DropNoRoute++
+		var detail string
+		if h.sim.Trace.Detailing() {
+			detail = dstDetail(pkt.Dst)
+		}
 		h.sim.Trace.Record(netsim.Event{
 			Kind: netsim.EventDropNoRoute, Time: h.sim.Now(), Where: h.name, PktID: pkt.TraceID,
-			Detail: fmt.Sprintf("dst=%s", pkt.Dst),
+			Detail: detail,
 		})
 		return
 	}
@@ -251,9 +276,13 @@ func (h *Host) forward(in *Iface, pkt ipv4.Packet) {
 		nexthop = pkt.Dst
 	}
 	h.Stats.IPForwarded++
+	var detail string
+	if h.sim.Trace.Detailing() {
+		detail = fwdDetail(pkt.Src, pkt.Dst, pkt.TTL)
+	}
 	h.sim.Trace.Record(netsim.Event{
 		Kind: netsim.EventForward, Time: h.sim.Now(), Where: h.name, PktID: pkt.TraceID,
-		Detail: fmt.Sprintf("%s > %s ttl=%d", pkt.Src, pkt.Dst, pkt.TTL),
+		Detail: detail,
 	})
 	_ = h.transmit(rt.Iface, nexthop, pkt)
 }
@@ -282,9 +311,13 @@ func (h *Host) deliverLocal(ifc *Iface, pkt ipv4.Packet) {
 		h.Stats.Reassembled++
 	}
 	h.Stats.IPDelivered++
+	var detail string
+	if h.sim.Trace.Detailing() {
+		detail = pktDetail(full.Src, full.Dst, full.Protocol, full.TotalLen())
+	}
 	h.sim.Trace.Record(netsim.Event{
 		Kind: netsim.EventDeliver, Time: h.sim.Now(), Where: h.name, PktID: full.TraceID,
-		Detail: fmt.Sprintf("%s > %s proto=%d len=%d", full.Src, full.Dst, full.Protocol, full.TotalLen()),
+		Detail: detail,
 	})
 
 	if full.Dst.IsMulticast() && h.MulticastTap != nil && h.MulticastTap(ifc, full) {
@@ -302,11 +335,16 @@ func (h *Host) deliverLocal(ifc *Iface, pkt ipv4.Packet) {
 }
 
 func (h *Host) armReassemblyTimer() {
-	if h.reasmTimer != nil {
+	if h.reasmTimer.Pending() {
 		return
 	}
-	h.reasmTimer = h.sim.Sched.After(ReassemblyTimeout, func() {
-		h.reasmTimer = nil
-		h.reasm.Expire()
-	})
+	if h.reasmTimer == nil {
+		// First arm allocates the one Timer this host ever uses; later
+		// arms reuse it via Reset.
+		h.reasmTimer = h.sim.Sched.After(ReassemblyTimeout, func() {
+			h.reasm.Expire()
+		})
+		return
+	}
+	h.reasmTimer.Reset(ReassemblyTimeout)
 }

@@ -1,7 +1,9 @@
 package stack
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -48,13 +50,50 @@ func (r Route) String() string {
 }
 
 // RouteTable is a longest-prefix-match routing table with metric
-// tie-breaking. Lookup cost is O(n) over entries; tables in the simulation
-// are small and the benchmark suite measures this cost explicitly
-// (BenchmarkRouteLookup).
+// tie-breaking. Lookups scan a lazily-maintained view of the entries
+// sorted most-specific-first (first containing prefix wins), fronted by a
+// small per-destination cache; both are invalidated by a generation
+// counter bumped on every mutation. This mirrors the paper's §7.1
+// observation that the per-destination delivery-method decision is worth
+// caching between route changes. The benchmark suite measures lookup cost
+// explicitly (BenchmarkRouteLookup).
 type RouteTable struct {
 	routes []Route
 	// Lookups counts queries (benchmark instrumentation).
 	Lookups uint64
+
+	gen       uint64 // bumped on every mutation
+	sortedGen uint64 // generation the sorted view was built at
+	sorted    []Route
+	// cache is direct-mapped and lives inline in the struct: scenarios
+	// build hundreds of tables, so a heap-allocated map per table was a
+	// measurable share of experiment cost. Slots self-invalidate via
+	// their generation stamp; nothing is cleared on mutation.
+	cache [routeCacheSlots]cachedRoute
+}
+
+// cachedRoute is one cache slot, 16 bytes so the whole cache stays small
+// enough to zero cheaply at table creation. It stores an index into the
+// sorted view rather than the Route itself; sortIdx < 0 caches a negative
+// lookup (hosts without a default route probe unroutable destinations
+// repeatedly). A slot is valid when gen1 == table gen + 1 (zero means
+// never filled), which also guarantees t.sorted is the view the index
+// was computed against.
+type cachedRoute struct {
+	gen1    uint64
+	dst     ipv4.Addr
+	sortIdx int32
+}
+
+// routeCacheSlots sizes the direct-mapped per-destination cache (power of
+// two); simulated traffic matrices touch far fewer destinations than this.
+const routeCacheSlots = 64
+
+// cacheIndex hashes a destination into the cache. Fibonacci hashing on
+// the 4 address bytes spreads the sequential host parts topologies use.
+func cacheIndex(dst ipv4.Addr) int {
+	v := uint32(dst[0])<<24 | uint32(dst[1])<<16 | uint32(dst[2])<<8 | uint32(dst[3])
+	return int((v * 0x9E3779B1) >> (32 - 6)) // 6 bits: routeCacheSlots == 64
 }
 
 // NewRouteTable returns an empty table.
@@ -62,7 +101,14 @@ func NewRouteTable() *RouteTable { return &RouteTable{} }
 
 // Add inserts a route.
 func (t *RouteTable) Add(r Route) {
+	if t.routes == nil {
+		// Preallocate: topologies install several routes per host right
+		// after creation, and append-doubling from 1 was a measurable
+		// share of scenario construction.
+		t.routes = make([]Route, 0, 8)
+	}
 	t.routes = append(t.routes, r)
+	t.gen++
 }
 
 // AddDefault installs a default route (0.0.0.0/0) via nexthop on ifc.
@@ -79,6 +125,7 @@ func (t *RouteTable) Remove(prefix ipv4.Prefix) {
 		}
 	}
 	t.routes = out
+	t.gen++
 }
 
 // RemoveConnected deletes the connected (on-link, metric-0) routes bound
@@ -92,6 +139,7 @@ func (t *RouteTable) RemoveConnected(ifc *Iface) {
 		out = append(out, r)
 	}
 	t.routes = out
+	t.gen++
 }
 
 // RemoveVirtual deletes virtual routes with the given name.
@@ -104,10 +152,14 @@ func (t *RouteTable) RemoveVirtual(name string) {
 		out = append(out, r)
 	}
 	t.routes = out
+	t.gen++
 }
 
 // Clear removes every route.
-func (t *RouteTable) Clear() { t.routes = nil }
+func (t *RouteTable) Clear() {
+	t.routes = nil
+	t.gen++
+}
 
 // Len returns the number of routes.
 func (t *RouteTable) Len() int { return len(t.routes) }
@@ -116,25 +168,39 @@ func (t *RouteTable) Len() int { return len(t.routes) }
 // metric, then insertion order.
 func (t *RouteTable) Lookup(dst ipv4.Addr) (Route, bool) {
 	t.Lookups++
-	best := -1
-	for i, r := range t.routes {
-		if !r.Prefix.Contains(dst) {
-			continue
+	slot := &t.cache[cacheIndex(dst)]
+	if slot.gen1 == t.gen+1 && slot.dst == dst {
+		if slot.sortIdx < 0 {
+			return Route{}, false
 		}
-		if best < 0 {
-			best = i
-			continue
-		}
-		b := t.routes[best]
-		if r.Prefix.Bits > b.Prefix.Bits ||
-			(r.Prefix.Bits == b.Prefix.Bits && r.Metric < b.Metric) {
-			best = i
+		return t.sorted[slot.sortIdx], true
+	}
+	if t.sortedGen != t.gen {
+		t.rebuildSorted()
+	}
+	slot.gen1, slot.dst, slot.sortIdx = t.gen+1, dst, -1
+	for i, r := range t.sorted {
+		if r.Prefix.Contains(dst) {
+			slot.sortIdx = int32(i)
+			return r, true
 		}
 	}
-	if best < 0 {
-		return Route{}, false
-	}
-	return t.routes[best], true
+	return Route{}, false
+}
+
+// rebuildSorted rebuilds the most-specific-first view. The sort is stable
+// on (prefix length desc, metric asc), so the first containing entry is
+// exactly the route the old linear scan selected (longest prefix, then
+// lowest metric, then insertion order).
+func (t *RouteTable) rebuildSorted() {
+	t.sorted = append(t.sorted[:0], t.routes...)
+	slices.SortStableFunc(t.sorted, func(a, b Route) int {
+		if a.Prefix.Bits != b.Prefix.Bits {
+			return cmp.Compare(b.Prefix.Bits, a.Prefix.Bits)
+		}
+		return cmp.Compare(a.Metric, b.Metric)
+	})
+	t.sortedGen = t.gen
 }
 
 // Dump renders the table for debugging, most-specific first.

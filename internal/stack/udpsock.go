@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
 	"mob4x4/internal/udp"
 )
 
@@ -46,6 +47,9 @@ func (h *Host) OpenUDP(bindAddr ipv4.Addr, port uint16, handler UDPHandler) (*UD
 		return nil, fmt.Errorf("%s: udp port %d already bound", h.name, port)
 	}
 	s := &UDPSocket{host: h, bindAddr: bindAddr, port: port, handler: handler}
+	if h.udpSocks == nil {
+		h.udpSocks = make(map[uint16]*UDPSocket)
+	}
 	h.udpSocks[port] = s
 	h.ensureUDPDemux()
 	return s, nil
@@ -103,15 +107,23 @@ func (s *UDPSocket) sendFrom(src, dst ipv4.Addr, dstPort uint16, payload []byte)
 			return fmt.Errorf("%s: no source address for %s", s.host.name, dst)
 		}
 	}
-	b, err := d.Marshal(src, dst)
+	// Marshal into a pooled scratch buffer: SendIP copies the payload
+	// (into a pooled frame, a queued clone, or a local-delivery buffer)
+	// before returning, so the scratch can be recycled immediately.
+	buf := netsim.GetBuf()
+	b, err := d.AppendMarshal(src, dst, buf.B)
 	if err != nil {
+		netsim.PutBuf(buf)
 		return err
 	}
+	buf.B = b
 	s.Sent++
-	return s.host.SendIP(ipv4.Packet{
+	err = s.host.SendIP(ipv4.Packet{
 		Header:  ipv4.Header{Protocol: ipv4.ProtoUDP, Src: src, Dst: dst},
 		Payload: b,
 	})
+	netsim.PutBuf(buf)
+	return err
 }
 
 // SourceForDestination returns the source address the host would use for a

@@ -206,7 +206,7 @@ func (c *Conn) pump() {
 			c.state = StateLastAck
 		}
 	}
-	if len(c.inflight) > 0 && c.rtoTimer == nil {
+	if len(c.inflight) > 0 && !c.rtoTimer.Pending() {
 		// Arm the retransmission timer only when idle: re-arming on
 		// every send would let a steady writer postpone retransmission
 		// indefinitely.
@@ -222,24 +222,24 @@ func (c *Conn) sendSeg(seg segment) {
 }
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
+	if c.rtoTimer == nil {
+		// The connection's one retransmit Timer, reused via Reset for
+		// every subsequent re-arm (per-segment Stop+After churned a
+		// timer allocation for each write burst).
+		c.rtoTimer = c.ep.host.Sched().After(c.rto, c.onRTO)
+		return
 	}
-	c.rtoTimer = c.ep.host.Sched().After(c.rto, c.onRTO)
+	c.rtoTimer.Reset(c.rto)
 }
 
 func (c *Conn) stopRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-		c.rtoTimer = nil
-	}
+	c.rtoTimer.Stop()
 }
 
 // onRTO retransmits the oldest unacknowledged segment with exponential
 // backoff — and reports the retransmission to the feedback listener,
 // implementing the IP-interface addition of Section 7.1.2.
 func (c *Conn) onRTO() {
-	c.rtoTimer = nil
 	if c.state == StateClosed || len(c.inflight) == 0 {
 		return
 	}

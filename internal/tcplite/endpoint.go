@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
 	"mob4x4/internal/stack"
 	"mob4x4/internal/vtime"
 )
@@ -193,11 +194,15 @@ func (ep *Endpoint) receive(ifc *stack.Iface, pkt ipv4.Packet) {
 
 func (ep *Endpoint) sendRaw(src, dst ipv4.Addr, seg segment) {
 	ep.Stats.SegsSent++
-	b := seg.marshal(src, dst)
+	// Marshal into a pooled scratch buffer; SendIP copies the payload
+	// before returning, so it can be recycled immediately.
+	buf := netsim.GetBuf()
+	buf.B = seg.appendMarshal(src, dst, buf.B)
 	_ = ep.host.SendIP(ipv4.Packet{
 		Header:  ipv4.Header{Protocol: ipv4.ProtoTCP, Src: src, Dst: dst},
-		Payload: b,
+		Payload: buf.B,
 	})
+	netsim.PutBuf(buf)
 }
 
 // ConnCount reports live connections (debug/tests).

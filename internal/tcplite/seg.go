@@ -66,7 +66,21 @@ func (s *segment) String() string {
 
 // marshal serializes the segment with its checksum over the pseudo-header.
 func (s *segment) marshal(src, dst ipv4.Addr) []byte {
-	b := make([]byte, HeaderLen+len(s.payload))
+	return s.appendMarshal(src, dst, nil)
+}
+
+// appendMarshal appends the serialized segment to buf and returns the
+// extended slice. Every wire byte is written explicitly, so buf may come
+// from a pool with dirty spare capacity.
+func (s *segment) appendMarshal(src, dst ipv4.Addr, buf []byte) []byte {
+	total := HeaderLen + len(s.payload)
+	start := len(buf)
+	if cap(buf)-start < total {
+		grown := make([]byte, start, start+total)
+		copy(grown, buf)
+		buf = grown
+	}
+	b := buf[start : start+total]
 	binary.BigEndian.PutUint16(b[0:], s.srcPort)
 	binary.BigEndian.PutUint16(b[2:], s.dstPort)
 	binary.BigEndian.PutUint32(b[4:], s.seq)
@@ -74,9 +88,25 @@ func (s *segment) marshal(src, dst ipv4.Addr) []byte {
 	b[12] = 5 << 4 // data offset: 5 words
 	b[13] = s.flags
 	binary.BigEndian.PutUint16(b[14:], s.window)
+	b[16], b[17] = 0, 0
 	copy(b[HeaderLen:], s.payload)
 	binary.BigEndian.PutUint16(b[16:], ipv4.TransportChecksum(src, dst, ipv4.ProtoTCP, b))
-	return b
+	return buf[:start+total]
+}
+
+func checksumValid(src, dst ipv4.Addr, b []byte) bool {
+	sum := ipv4.PseudoHeaderChecksum(src, dst, ipv4.ProtoTCP, len(b))
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return uint16(sum) == 0xffff
 }
 
 // parseSegment validates and decodes a transport payload.
@@ -89,10 +119,12 @@ func parseSegment(src, dst ipv4.Addr, b []byte) (segment, error) {
 	if off < HeaderLen || off > len(b) {
 		return s, fmt.Errorf("tcplite: bad data offset %d", off)
 	}
-	// Verify checksum: zero the field and recompute.
-	c := append([]byte(nil), b...)
-	c[16], c[17] = 0, 0
-	if got := ipv4.TransportChecksum(src, dst, ipv4.ProtoTCP, c); got != binary.BigEndian.Uint16(b[16:]) {
+	// Verify the checksum without copying the segment: the one's-complement
+	// sum of pseudo-header plus segment *including* the stored checksum
+	// folds to all-ones for a valid segment. A wire checksum of zero never
+	// occurs (marshal maps it to 0xffff per convention), so reject it
+	// outright — as the old zero-and-recompute check did.
+	if binary.BigEndian.Uint16(b[16:]) == 0 || !checksumValid(src, dst, b) {
 		return s, fmt.Errorf("tcplite: checksum mismatch")
 	}
 	s.srcPort = binary.BigEndian.Uint16(b[0:])

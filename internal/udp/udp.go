@@ -23,17 +23,31 @@ type Datagram struct {
 // Marshal serializes the datagram, computing the checksum over the
 // pseudo-header for the given IP endpoints.
 func (d *Datagram) Marshal(src, dst ipv4.Addr) ([]byte, error) {
+	return d.AppendMarshal(src, dst, nil)
+}
+
+// AppendMarshal appends the serialized datagram to dst and returns the
+// extended slice. Every wire byte is written explicitly, so dst may come
+// from a pool with dirty spare capacity.
+func (d *Datagram) AppendMarshal(src, dst ipv4.Addr, buf []byte) ([]byte, error) {
 	total := HeaderLen + len(d.Payload)
 	if total > 65535 {
-		return nil, fmt.Errorf("udp: datagram too large (%d bytes)", total)
+		return buf, fmt.Errorf("udp: datagram too large (%d bytes)", total)
 	}
-	b := make([]byte, total)
+	start := len(buf)
+	if cap(buf)-start < total {
+		grown := make([]byte, start, start+total)
+		copy(grown, buf)
+		buf = grown
+	}
+	b := buf[start : start+total]
 	binary.BigEndian.PutUint16(b[0:], d.SrcPort)
 	binary.BigEndian.PutUint16(b[2:], d.DstPort)
 	binary.BigEndian.PutUint16(b[4:], uint16(total))
+	b[6], b[7] = 0, 0
 	copy(b[HeaderLen:], d.Payload)
 	binary.BigEndian.PutUint16(b[6:], ipv4.TransportChecksum(src, dst, ipv4.ProtoUDP, b))
-	return b, nil
+	return buf[:start+total], nil
 }
 
 // Unmarshal parses and validates a UDP datagram received between the given
@@ -49,7 +63,7 @@ func Unmarshal(src, dst ipv4.Addr, b []byte) (Datagram, error) {
 		return d, fmt.Errorf("udp: bad length %d (have %d)", length, len(b))
 	}
 	if cs := binary.BigEndian.Uint16(b[6:]); cs != 0 {
-		if ipv4.TransportChecksum(src, dst, ipv4.ProtoUDP, zeroChecksum(b[:length])) != cs {
+		if !checksumValid(src, dst, b[:length]) {
 			return d, fmt.Errorf("udp: checksum mismatch")
 		}
 	}
@@ -59,10 +73,24 @@ func Unmarshal(src, dst ipv4.Addr, b []byte) (Datagram, error) {
 	return d, nil
 }
 
-func zeroChecksum(b []byte) []byte {
-	c := append([]byte(nil), b...)
-	c[6], c[7] = 0, 0
-	return c
+// checksumValid verifies the transmitted checksum without copying the
+// segment: in one's-complement arithmetic, the sum of the pseudo-header
+// and the datagram *including* the stored checksum folds to all-ones for
+// a valid segment (this also holds for the RFC 768 zero→0xffff mapping,
+// since 0xffff + 0xffff folds back to 0xffff).
+func checksumValid(src, dst ipv4.Addr, b []byte) bool {
+	sum := ipv4.PseudoHeaderChecksum(src, dst, ipv4.ProtoUDP, len(b))
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return uint16(sum) == 0xffff
 }
 
 // Well-known ports used in the simulation.

@@ -8,7 +8,6 @@
 package vtime
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 
@@ -36,68 +35,77 @@ func (t Time) After(u Time) bool { return t > u }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// An event is a callback scheduled at a virtual instant. The seq field
-// breaks ties so that events scheduled earlier run earlier, keeping the
-// simulation deterministic.
+// An event is a callback scheduled at a virtual instant. Events are stored
+// by value inside the scheduler's heap slice — no per-event allocation and
+// no interface boxing. The seq field breaks ties so that events scheduled
+// earlier run earlier, keeping the simulation deterministic. Exactly one of
+// fn/afn is set; afn carries its argument in arg so that hot paths can
+// schedule package-level functions without allocating a closure.
 type event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 once popped
+	at    Time
+	seq   uint64
+	fn    func()
+	afn   func(any)
+	arg   any
+	timer *Timer // backpointer kept in sync by the heap, nil for AtArg events
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
-// Timer is a handle to a scheduled callback. Cancelling a Timer that has
-// already fired (or was already cancelled) is a harmless no-op.
+// Timer is a handle to a scheduled callback. Stopping a Timer that has
+// already fired (or was already stopped) is a harmless no-op. The zero
+// Timer is valid and behaves like an already-fired one.
 type Timer struct {
-	ev *event
+	s  *Scheduler
+	fn func() // retained so Reset can re-arm without a fresh closure
+	// pos is the event's heap index + 1; 0 means not pending (fired,
+	// stopped, or never scheduled). The heap updates it on every move,
+	// which is what makes Stop a true O(log n) removal rather than a
+	// mark-and-skip.
+	pos int
 }
 
-// Stop cancels the timer. It reports whether the callback was still pending.
+// Pending reports whether the callback is still scheduled.
+func (t *Timer) Pending() bool { return t != nil && t.pos > 0 }
+
+// Stop cancels the timer, removing its event from the scheduler's queue.
+// It reports whether the callback was still pending.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fn == nil {
+	if t == nil || t.pos == 0 {
 		return false
 	}
-	t.ev.canceled = true
+	t.s.removeAt(t.pos - 1)
 	return true
 }
 
+// Reset re-arms the timer to run its callback d after the current instant,
+// cancelling the pending run if there is one. It reuses the handle and the
+// original callback, so re-arming allocates nothing — retransmission timers
+// (tcplite) reset on every ACK without churning the heap allocator.
+func (t *Timer) Reset(d Duration) {
+	if t == nil || t.s == nil || t.fn == nil {
+		assert.Unreachable("vtime: Reset on a timer that was never scheduled")
+	}
+	if d < 0 {
+		d = 0
+	}
+	if t.pos > 0 {
+		t.s.removeAt(t.pos - 1)
+	}
+	s := t.s
+	s.seq++
+	s.push(event{at: s.now.Add(d), seq: s.seq, fn: t.fn, timer: t})
+}
+
 // Scheduler is a discrete-event executor. It is not safe for concurrent use;
-// the simulation is single-threaded by design (determinism beats parallelism
-// for a reproduction harness).
+// one simulation is single-threaded by design (determinism beats parallelism
+// within a run — the experiment harness parallelizes across independent
+// Scheduler instances instead).
 type Scheduler struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+	seq uint64
+	// events is a 4-ary min-heap ordered by (at, seq), stored by value.
+	// 4-ary beats binary here: shallower sifts and better cache behavior
+	// on the wide nodes, with no interface conversions anywhere.
+	events  []event
 	rng     *rand.Rand
 	stopped bool
 	// Processed counts events executed since construction; useful as a
@@ -126,10 +134,10 @@ func (s *Scheduler) At(t Time, fn func()) *Timer {
 	if fn == nil {
 		assert.Unreachable("vtime: nil event function")
 	}
+	tm := &Timer{s: s, fn: fn}
 	s.seq++
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+	s.push(event{at: t, seq: s.seq, fn: fn, timer: tm})
+	return tm
 }
 
 // After schedules fn to run d after the current instant.
@@ -144,6 +152,28 @@ func (s *Scheduler) After(d Duration, fn func()) *Timer {
 // already queued for this instant. It is the simulation's equivalent of
 // "go fn()": useful to break deep synchronous call chains.
 func (s *Scheduler) Post(fn func()) *Timer { return s.At(s.now, fn) }
+
+// AtArg schedules fn(arg) at instant t without allocating a Timer handle.
+// With a package-level fn and a pointer-typed arg the whole call is
+// allocation-free, which is what the per-frame delivery path needs.
+func (s *Scheduler) AtArg(t Time, fn func(any), arg any) {
+	if t < s.now {
+		assert.Unreachable("vtime: scheduling event at %v before now %v", t, s.now)
+	}
+	if fn == nil {
+		assert.Unreachable("vtime: nil event function")
+	}
+	s.seq++
+	s.push(event{at: t, seq: s.seq, afn: fn, arg: arg})
+}
+
+// AfterArg schedules fn(arg) to run d after the current instant; see AtArg.
+func (s *Scheduler) AfterArg(d Duration, fn func(any), arg any) {
+	if d < 0 {
+		d = 0
+	}
+	s.AtArg(s.now.Add(d), fn, arg)
+}
 
 // Stop makes the currently executing Run return after the active callback
 // finishes. Pending events remain queued.
@@ -178,20 +208,120 @@ func (s *Scheduler) RunUntil(deadline Time) Time {
 // RunFor executes events for d of virtual time from the current instant.
 func (s *Scheduler) RunFor(d Duration) Time { return s.RunUntil(s.now.Add(d)) }
 
-// Pending reports how many events are queued (including cancelled ones not
-// yet reaped).
+// Pending reports how many events are queued. Stopped timers are removed
+// from the queue immediately, so they are never counted.
 func (s *Scheduler) Pending() int { return len(s.events) }
 
 func (s *Scheduler) step() {
-	ev := heap.Pop(&s.events).(*event)
-	if ev.canceled {
-		return
+	e := s.events[0]
+	if e.timer != nil {
+		e.timer.pos = 0
 	}
-	if ev.at > s.now {
-		s.now = ev.at
+	n := len(s.events) - 1
+	s.events[0] = s.events[n]
+	s.events[n] = event{}
+	s.events = s.events[:n]
+	if n > 1 {
+		s.siftDown(0)
+	} else if n == 1 {
+		if t := s.events[0].timer; t != nil {
+			t.pos = 1
+		}
 	}
-	fn := ev.fn
-	ev.fn = nil
+	if e.at > s.now {
+		s.now = e.at
+	}
 	s.Processed++
-	fn()
+	if e.fn != nil {
+		e.fn()
+	} else {
+		e.afn(e.arg)
+	}
+}
+
+// less orders heap elements by (at, seq).
+func (s *Scheduler) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) push(e event) {
+	s.events = append(s.events, e)
+	s.siftUp(len(s.events) - 1)
+}
+
+// removeAt deletes the event at heap index i, fixing up the heap and any
+// timer backpointers. Used by Timer.Stop/Reset for true removal (the old
+// container/heap implementation marked events cancelled and skipped them at
+// pop time, leaving dead entries — and their closures — queued).
+func (s *Scheduler) removeAt(i int) {
+	if t := s.events[i].timer; t != nil {
+		t.pos = 0
+	}
+	n := len(s.events) - 1
+	if i != n {
+		s.events[i] = s.events[n]
+	}
+	s.events[n] = event{}
+	s.events = s.events[:n]
+	if i < n {
+		s.siftDown(i)
+		s.siftUp(i)
+	}
+}
+
+func (s *Scheduler) siftUp(i int) {
+	h := s.events
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !s.less(&e, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		if t := h[i].timer; t != nil {
+			t.pos = i + 1
+		}
+		i = p
+	}
+	h[i] = e
+	if t := e.timer; t != nil {
+		t.pos = i + 1
+	}
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.events
+	n := len(h)
+	e := h[i]
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if s.less(&h[j], &h[best]) {
+				best = j
+			}
+		}
+		if !s.less(&h[best], &e) {
+			break
+		}
+		h[i] = h[best]
+		if t := h[i].timer; t != nil {
+			t.pos = i + 1
+		}
+		i = best
+	}
+	h[i] = e
+	if t := e.timer; t != nil {
+		t.pos = i + 1
+	}
 }

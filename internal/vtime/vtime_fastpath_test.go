@@ -1,0 +1,119 @@
+package vtime
+
+import "testing"
+
+// TestTimerReset pins the Reset semantics the tcplite retransmission timer
+// depends on: re-arming a pending timer moves its single callback, and
+// resetting a fired timer schedules it again — with no new Timer handle.
+func TestTimerReset(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []Time
+	tm := s.After(100, func() { fired = append(fired, s.Now()) })
+
+	tm.Reset(250) // supersedes the pending 100ns run
+	s.Run()
+	if len(fired) != 1 || fired[0] != 250 {
+		t.Fatalf("after Reset of pending timer, fired = %v, want [250]", fired)
+	}
+	if tm.Pending() {
+		t.Fatal("timer still pending after firing")
+	}
+
+	tm.Reset(50) // re-arm after fire, reusing the same handle
+	if !tm.Pending() {
+		t.Fatal("timer not pending after Reset")
+	}
+	s.Run()
+	if len(fired) != 2 || fired[1] != 300 {
+		t.Fatalf("after second Reset, fired = %v, want [250 300]", fired)
+	}
+}
+
+// TestTimerStopRemoves checks that Stop is a true removal: the event leaves
+// the queue immediately instead of lingering as a cancelled entry.
+func TestTimerStopRemoves(t *testing.T) {
+	s := NewScheduler(1)
+	tm := s.After(100, func() { t.Fatal("stopped timer fired") })
+	s.After(200, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", s.Pending())
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for a pending timer")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d after Stop, want 1 (true removal)", s.Pending())
+	}
+	if tm.Pending() {
+		t.Fatal("timer reports pending after Stop")
+	}
+	s.Run()
+}
+
+// TestAtArgOrdering checks the handle-free path interleaves with At in
+// strict submission order at the same instant.
+func TestAtArgOrdering(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	s.AtArg(10, func(a any) { got = append(got, a.(int)) }, 1)
+	s.At(10, func() { got = append(got, 2) })
+	s.AfterArg(10, func(a any) { got = append(got, a.(int)) }, 3)
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+}
+
+// TestAtArgNoAlloc pins the zero-allocation contract of the handle-free
+// scheduling path once the heap slice has warmed up.
+func TestAtArgNoAlloc(t *testing.T) {
+	s := NewScheduler(1)
+	fn := func(any) {}
+	arg := new(int)
+	// Warm the heap slice so append growth is out of the picture.
+	for i := 0; i < 64; i++ {
+		s.AfterArg(1, fn, arg)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.AfterArg(1, fn, arg)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("AfterArg+Run allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestRemoveMiddleKeepsOrder stops a timer buried in the middle of a large
+// heap and checks the remaining events still run in (time, seq) order.
+func TestRemoveMiddleKeepsOrder(t *testing.T) {
+	s := NewScheduler(1)
+	var got []Time
+	var timers []*Timer
+	for i := 100; i > 0; i-- {
+		at := Time(i * 10)
+		timers = append(timers, s.At(at, func() { got = append(got, at) }))
+	}
+	// Stop every third timer.
+	stopped := map[Time]bool{}
+	for i, tm := range timers {
+		if i%3 == 1 {
+			tm.Stop()
+			stopped[Time((100-i)*10)] = true
+		}
+	}
+	s.Run()
+	var last Time = -1
+	for _, at := range got {
+		if stopped[at] {
+			t.Fatalf("stopped timer at %v fired", at)
+		}
+		if at <= last {
+			t.Fatalf("events out of order: %v after %v", at, last)
+		}
+		last = at
+	}
+	if want := 100 - len(stopped); len(got) != want {
+		t.Fatalf("%d events ran, want %d", len(got), want)
+	}
+}
