@@ -13,7 +13,7 @@ FUZZ_TARGETS = \
 	./internal/encap:FuzzDecapsulateGREKeyed \
 	./internal/encap:FuzzEncapRoundTrip
 
-.PHONY: check build vet lint test race fuzz-smoke bench benchgate
+.PHONY: check build vet lint test race fuzz-smoke bench benchgate chaos-smoke
 
 check: build vet lint test
 
@@ -46,6 +46,15 @@ bench:
 benchgate:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./scripts -parse > /tmp/mob4x4_bench_current.json
 	$(GO) run ./scripts BENCH_baseline.json /tmp/mob4x4_bench_current.json
+
+# Seeded chaos soak under the race detector: fault injection +
+# self-healing invariants, byte-determinism across runs and worker
+# counts. Reproduce a CI failure locally with the seed it prints:
+#   CHAOS_SEED=<n> make chaos-smoke
+CHAOS_SEED ?= 1
+chaos-smoke:
+	@echo "chaos soak (CHAOS_SEED=$(CHAOS_SEED))"
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test ./internal/experiments -race -count=1 -run 'TestChaos'
 
 # Short fuzz pass over every target; CI runs this on every push, longer
 # runs are manual (`make fuzz-smoke FUZZ_TIME=5m`).

@@ -26,6 +26,7 @@
 //	dualmobile  both endpoints mobile, session survives both roaming (§1)
 //	asymmetry   latency/bandwidth asymmetry of the two path directions (§2)
 //	savings     shared-resource load per correspondent capability (§3.2)
+//	chaos       fault injection & self-healing soak (-trials N for more)
 //	report      every experiment rendered as one markdown document
 //	all         every experiment in order
 package main
@@ -40,7 +41,8 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
-	parallel := flag.Int("parallel", 1, "worker goroutines for independent trials (grid/adaptive/durability/webbrowse)")
+	parallel := flag.Int("parallel", 1, "worker goroutines for independent trials (grid/adaptive/durability/webbrowse/chaos)")
+	trials := flag.Int("trials", 1, "independent chaos trials (seeds seed..seed+N-1)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: mob4x4 [-seed N] [-parallel N] <experiment>\nrun 'go doc mob4x4/cmd/mob4x4' for the experiment list\n")
 	}
@@ -123,13 +125,23 @@ func main() {
 		"savings": func(s int64) {
 			fmt.Print(experiments.SavingsTable(experiments.RunSavings(s)))
 		},
+		"chaos": func(s int64) {
+			rows := experiments.RunChaosParallel(s, *trials, *parallel)
+			fmt.Print(experiments.ChaosTable(rows))
+			for _, r := range rows {
+				if len(r.Violations) > 0 {
+					fmt.Fprintf(os.Stderr, "mob4x4: chaos invariant violations (reproduce: mob4x4 -seed %d chaos)\n", r.Seed)
+					os.Exit(1)
+				}
+			}
+		},
 		"report": func(s int64) {
 			fmt.Print(experiments.Report(s))
 		},
 	}
 	order := []string{"fig1", "fig2", "fig4", "fig5", "formats", "grid", "overhead",
 		"adaptive", "durability", "webbrowse", "fa", "transitions", "multicast", "trace",
-		"dualmobile", "asymmetry", "savings"}
+		"dualmobile", "asymmetry", "savings", "chaos"}
 
 	name := flag.Arg(0)
 	if name == "all" {

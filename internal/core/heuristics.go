@@ -89,7 +89,8 @@ func Decide(sel *Selector, ph *PortHeuristic, pref AddressPreference, dst ipv4.A
 	case PreferHome:
 		return Decision{Mode: sel.ModeFor(dst), Reason: "socket pinned to home address; method cache"}
 	}
-	if ph.TemporaryOK(dstPort) {
+	if ph.TemporaryOK(dstPort) && sel.TemporaryUsable(dst) {
+		sel.NoteTemporary(dst)
 		return Decision{Mode: OutDT, Reason: "port heuristic: short-lived service"}
 	}
 	return Decision{Mode: sel.ModeFor(dst), Reason: "method cache"}

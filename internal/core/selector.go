@@ -60,6 +60,12 @@ const RetransmissionThreshold = 2
 // methods have proven to be successful and which have not."
 type methodState struct {
 	mode OutMode
+	// active is the mode the conversation's packets are actually using
+	// right now. It usually equals mode, but diverges when the port
+	// heuristic sends Out-DT while the cache holds a home-address mode:
+	// transport feedback must then be attributed to Out-DT, not to the
+	// cached mode, or a blackholed shortcut poisons the wrong rung.
+	active OutMode
 	// failed records modes observed not to work for this correspondent.
 	failed [NumOutModes]bool
 	// succeeded records modes observed to work.
@@ -95,6 +101,9 @@ type Selector struct {
 	ModeSwitches  uint64
 	FallbackMoves uint64
 	UpgradeMoves  uint64
+	// DTDemotions counts conversations demoted off the Out-DT shortcut
+	// after it started blackholing (newly appearing ingress filtering).
+	DTDemotions uint64
 }
 
 // NewSelector returns a selector with the given default start policy.
@@ -155,18 +164,24 @@ func (s *Selector) ModeFor(dst ipv4.Addr) OutMode {
 	s.Decisions++
 	if st, ok := s.cache[dst]; ok {
 		s.CacheHits++
+		st.active = st.mode
 		return st.mode
 	}
-	st := &methodState{mode: s.initialMode(dst)}
+	st := s.newState(dst)
 	s.cache[dst] = st
 	return st.mode
+}
+
+func (s *Selector) newState(dst ipv4.Addr) *methodState {
+	m := s.initialMode(dst)
+	return &methodState{mode: m, active: m}
 }
 
 // state returns (creating if needed) the cache entry for dst.
 func (s *Selector) state(dst ipv4.Addr) *methodState {
 	st, ok := s.cache[dst]
 	if !ok {
-		st = &methodState{mode: s.initialMode(dst)}
+		st = s.newState(dst)
 		s.cache[dst] = st
 	}
 	return st
@@ -177,7 +192,14 @@ func (s *Selector) state(dst ipv4.Addr) *methodState {
 func (s *Selector) ReportSuccess(dst ipv4.Addr) {
 	st := s.state(dst)
 	st.retrans = 0
-	st.succeeded[st.mode] = true
+	st.succeeded[st.active] = true
+	if st.active != st.mode {
+		// Success on the temporary-address shortcut (port heuristic):
+		// confirm Out-DT works again without touching the home-address
+		// method history.
+		st.failed[st.active] = false
+		return
+	}
 	st.lastGood, st.hasGood = st.mode, true
 	if st.probing {
 		st.probing = false // tentative upgrade confirmed
@@ -197,8 +219,19 @@ func (s *Selector) ReportRetransmission(dst ipv4.Addr) (switched bool, newMode O
 		return false, st.mode
 	}
 	st.retrans = 0
-	st.failed[st.mode] = true
-	st.succeeded[st.mode] = false
+	st.failed[st.active] = true
+	st.succeeded[st.active] = false
+	if st.active == OutDT && st.mode != OutDT {
+		// The port heuristic's Out-DT shortcut is blackholing (ingress
+		// filtering appeared mid-conversation): demote this
+		// correspondent to the cached home-address mode. Recovery is a
+		// separate probe (RetryTemporary) — repeated timeouts must not
+		// keep burning packets on a dead shortcut.
+		st.active = st.mode
+		s.DTDemotions++
+		s.FallbackMoves++
+		return true, st.mode
+	}
 	if st.probing && st.hasGood && !st.failed[st.lastGood] {
 		// A tentative upgrade failed: fall straight back to the last
 		// mode that worked.
@@ -280,11 +313,42 @@ func (s *Selector) TryUpgrade(dst ipv4.Addr) (bool, OutMode) {
 }
 
 func (s *Selector) setMode(st *methodState, m OutMode) {
+	st.active = m
 	if st.mode != m {
 		st.mode = m
 		st.switches++
 		s.ModeSwitches++
 	}
+}
+
+// NoteTemporary records that the next packets to dst use the temporary
+// address (the port heuristic chose Out-DT), so transport feedback is
+// attributed to the Out-DT path rather than the cached home-address mode.
+func (s *Selector) NoteTemporary(dst ipv4.Addr) {
+	s.state(dst).active = OutDT
+}
+
+// TemporaryUsable reports whether Out-DT is believed deliverable for dst.
+// Unknown correspondents default to usable; a correspondent whose
+// shortcut blackholed reports false until RetryTemporary clears it.
+func (s *Selector) TemporaryUsable(dst ipv4.Addr) bool {
+	if st, ok := s.cache[dst]; ok {
+		return !st.failed[OutDT]
+	}
+	return true
+}
+
+// RetryTemporary clears dst's Out-DT failure mark so the port heuristic
+// may try the temporary address again (the recovery probe paired with
+// the demotion in ReportRetransmission). It reports whether a mark was
+// actually cleared.
+func (s *Selector) RetryTemporary(dst ipv4.Addr) bool {
+	st, ok := s.cache[dst]
+	if !ok || !st.failed[OutDT] {
+		return false
+	}
+	st.failed[OutDT] = false
+	return true
 }
 
 // Forget drops the cache entry for dst (e.g. after moving to a network

@@ -64,6 +64,13 @@ type Options struct {
 	// 5ms).
 	LANLatency      vtime.Duration
 	BackboneLatency vtime.Duration
+	// Registration-robustness knobs for the mobile node, passed through
+	// to MobileNodeConfig (zero = that package's defaults). The chaos
+	// experiment shortens the lifetime and enables recovery probing so
+	// agent crashes are felt — and healed — within the run.
+	RegLifetime      uint16
+	RegMaxRetries    int
+	RegProbeInterval vtime.Duration
 }
 
 // Scenario is the standard experiment topology:
@@ -183,11 +190,14 @@ func Build(opts Options) *Scenario {
 	s.MHICMP = icmphost.Install(s.MHHost)
 	s.MHTCP = tcplite.New(s.MHHost)
 	s.MN, err = mobileip.NewMobileNode(s.MHHost, s.MHIfc, mobileip.MobileNodeConfig{
-		Home:       s.MHIfc.Addr(),
-		HomePrefix: s.HomeLAN.Prefix,
-		HomeAgent:  s.HAHost.Ifaces()[0].Addr(),
-		Codec:      opts.Codec,
-		Selector:   opts.Selector,
+		Home:             s.MHIfc.Addr(),
+		HomePrefix:       s.HomeLAN.Prefix,
+		HomeAgent:        s.HAHost.Ifaces()[0].Addr(),
+		Codec:            opts.Codec,
+		Selector:         opts.Selector,
+		Lifetime:         opts.RegLifetime,
+		RegMaxRetries:    opts.RegMaxRetries,
+		RegProbeInterval: opts.RegProbeInterval,
 	})
 	assert.NoError(err, "experiments: create mobile node")
 

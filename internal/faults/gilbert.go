@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"math/rand"
+
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/vtime"
+)
+
+// LinkFaultOpts parameterizes a link impairment. All probabilities are
+// per-frame in [0,1]; zero values disable that impairment.
+type LinkFaultOpts struct {
+	// Gilbert-Elliott two-state burst loss: the link alternates between a
+	// good state (loss GoodLoss) and a bad state (loss BadLoss), with
+	// per-frame transition probabilities PGoodBad and PBadGood. With both
+	// transition probabilities zero the chain stays in the good state and
+	// the model degenerates to uniform loss at GoodLoss.
+	PGoodBad float64
+	PBadGood float64
+	GoodLoss float64
+	BadLoss  float64
+
+	// DupRate duplicates a surviving frame (one extra copy).
+	DupRate float64
+	// CorruptRate flips one random payload bit in a surviving frame.
+	CorruptRate float64
+	// ReorderRate holds a surviving frame back by a uniform extra delay in
+	// (0, ReorderMax], letting later frames overtake it.
+	ReorderRate float64
+	ReorderMax  vtime.Duration
+}
+
+// LinkFault is an installed link impairment: a Gilbert-Elliott loss chain
+// plus independent duplication / corruption / reordering draws, attached
+// to one segment's fault hook.
+type LinkFault struct {
+	seg  *netsim.Segment
+	opts LinkFaultOpts
+	rng  *rand.Rand
+	bad  bool
+
+	Drops    uint64
+	Dups     uint64
+	Corrupts uint64
+	Reorders uint64
+}
+
+// ImpairLink installs a LinkFault on seg, replacing any previous fault
+// hook. Draws come from sim's scheduler RNG so runs are reproducible per
+// seed. Remove() detaches it.
+func ImpairLink(sim *netsim.Sim, seg *netsim.Segment, opts LinkFaultOpts) *LinkFault {
+	lf := &LinkFault{seg: seg, opts: opts, rng: sim.Sched.Rand()}
+	seg.SetFaultHook(lf.verdict)
+	return lf
+}
+
+func (lf *LinkFault) verdict(netsim.Frame) netsim.Impairment {
+	// State transition first (per-frame chain clocking), then the loss
+	// draw for the state we land in.
+	if lf.bad {
+		if lf.opts.PBadGood > 0 && lf.rng.Float64() < lf.opts.PBadGood {
+			lf.bad = false
+		}
+	} else {
+		if lf.opts.PGoodBad > 0 && lf.rng.Float64() < lf.opts.PGoodBad {
+			lf.bad = true
+		}
+	}
+	loss := lf.opts.GoodLoss
+	if lf.bad {
+		loss = lf.opts.BadLoss
+	}
+	if loss > 0 && lf.rng.Float64() < loss {
+		lf.Drops++
+		return netsim.Impairment{Drop: true}
+	}
+	var imp netsim.Impairment
+	if lf.opts.DupRate > 0 && lf.rng.Float64() < lf.opts.DupRate {
+		lf.Dups++
+		imp.Duplicate = true
+	}
+	if lf.opts.CorruptRate > 0 && lf.rng.Float64() < lf.opts.CorruptRate {
+		lf.Corrupts++
+		imp.Corrupt = true
+	}
+	if lf.opts.ReorderRate > 0 && lf.opts.ReorderMax > 0 && lf.rng.Float64() < lf.opts.ReorderRate {
+		lf.Reorders++
+		imp.ExtraDelay = vtime.Duration(1 + lf.rng.Int63n(int64(lf.opts.ReorderMax)))
+	}
+	return imp
+}
+
+// InBadState reports whether the Gilbert-Elliott chain is currently in
+// the bad (bursty-loss) state.
+func (lf *LinkFault) InBadState() bool { return lf.bad }
+
+// Remove detaches the impairment from its segment if it is still the
+// installed hook. Safe to call twice.
+func (lf *LinkFault) Remove() {
+	lf.seg.SetFaultHook(nil)
+}
+
+// Blackhole silently discards IPv4 frames whose source address matches —
+// an ingress filter appearing mid-conversation (Section 3.1 of the
+// paper), from the sender's point of view: packets vanish with no error.
+type Blackhole struct {
+	seg *netsim.Segment
+	src ipv4.Addr
+
+	Drops uint64
+}
+
+// BlackholeSource installs a blackhole on seg for IPv4 frames sourced
+// from src, replacing any previous fault hook.
+func BlackholeSource(seg *netsim.Segment, src ipv4.Addr) *Blackhole {
+	bh := &Blackhole{seg: seg, src: src}
+	seg.SetFaultHook(bh.verdict)
+	return bh
+}
+
+func (bh *Blackhole) verdict(f netsim.Frame) netsim.Impairment {
+	// IPv4 source address lives at bytes 12..15 of the header.
+	if f.Type == netsim.EtherTypeIPv4 && len(f.Payload) >= 20 &&
+		f.Payload[12] == bh.src[0] && f.Payload[13] == bh.src[1] &&
+		f.Payload[14] == bh.src[2] && f.Payload[15] == bh.src[3] {
+		bh.Drops++
+		return netsim.Impairment{Drop: true}
+	}
+	return netsim.Impairment{}
+}
+
+// Remove detaches the blackhole from its segment.
+func (bh *Blackhole) Remove() {
+	bh.seg.SetFaultHook(nil)
+}

@@ -27,6 +27,8 @@ type ForeignAgentStats struct {
 	Replies     uint64 // registration replies relayed back
 	Delivered   uint64 // decapsulated packets delivered to visitors
 	BadRequests uint64
+	Crashes     uint64
+	Restarts    uint64
 }
 
 // ForeignAgent implements the IETF-style agent the paper contrasts its
@@ -46,6 +48,10 @@ type ForeignAgent struct {
 	sock  *stack.UDPSocket
 
 	visitors map[ipv4.Addr]*visitor // keyed by home address
+
+	// crashed marks the agent as dead (visitor table lost, handlers
+	// inert) until Restart.
+	crashed bool
 
 	Stats ForeignAgentStats
 }
@@ -90,9 +96,51 @@ func (fa *ForeignAgent) Addr() ipv4.Addr { return fa.iface.Addr() }
 // Visitors returns the number of registered visitors.
 func (fa *ForeignAgent) Visitors() int { return len(fa.visitors) }
 
+// Crash models the agent dying mid-service: the visitor table (and its
+// expiry timers) is lost and both the registration relay and the tunnel
+// endpoint go dark until Restart. Visitors discover this the hard way —
+// relayed registrations stop being answered — and must give up and
+// re-attach elsewhere (or re-register once the agent returns).
+func (fa *ForeignAgent) Crash() {
+	if fa.crashed {
+		return
+	}
+	fa.crashed = true
+	fa.Stats.Crashes++
+	for _, v := range fa.visitors {
+		if v.expiry != nil {
+			v.expiry.Stop()
+		}
+	}
+	fa.visitors = make(map[ipv4.Addr]*visitor)
+	fa.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventNote, Time: fa.host.Sim().Now(), Where: fa.host.Name(),
+		Detail: "foreign agent crashed: visitor table lost",
+	})
+}
+
+// Restart brings a crashed agent back with an empty visitor table.
+func (fa *ForeignAgent) Restart() {
+	if !fa.crashed {
+		return
+	}
+	fa.crashed = false
+	fa.Stats.Restarts++
+	fa.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventNote, Time: fa.host.Sim().Now(), Where: fa.host.Name(),
+		Detail: "foreign agent restarted",
+	})
+}
+
+// Crashed reports whether the agent is currently down.
+func (fa *ForeignAgent) Crashed() bool { return fa.crashed }
+
 // handleRegistration relays visitor registrations to their home agents
 // and home-agent replies back to the visitors.
 func (fa *ForeignAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte) {
+	if fa.crashed {
+		return
+	}
 	msg, err := ParseMessage(payload)
 	if err != nil {
 		fa.Stats.BadRequests++
@@ -151,6 +199,9 @@ func (fa *ForeignAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ip
 // the inner packet to the visiting mobile host in a single link-layer
 // hop.
 func (fa *ForeignAgent) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
+	if fa.crashed {
+		return
+	}
 	inner, err := fa.cfg.Codec.Decapsulate(outer)
 	if err != nil {
 		return

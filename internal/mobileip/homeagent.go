@@ -2,6 +2,7 @@ package mobileip
 
 import (
 	"fmt"
+	"sort"
 
 	"mob4x4/internal/encap"
 	"mob4x4/internal/icmp"
@@ -50,6 +51,8 @@ type HomeAgentStats struct {
 	BadRequests      uint64
 	StaleRequests    uint64
 	MulticastRelayed uint64
+	Crashes          uint64
+	Restarts         uint64
 }
 
 // HomeAgent is "a machine on the mobile host's home network that acts as a
@@ -69,6 +72,11 @@ type HomeAgent struct {
 	// relayGroups maps multicast groups to the home addresses of mobile
 	// hosts subscribed through this agent (Section 6.4 relay mode).
 	relayGroups map[ipv4.Addr][]ipv4.Addr
+
+	// crashed marks the agent as dead: all handlers drop their input
+	// until Restart. Fault schedules use Crash/Restart to model agent
+	// power loss with binding-table loss.
+	crashed bool
 
 	Stats HomeAgentStats
 }
@@ -118,8 +126,64 @@ func (ha *HomeAgent) CareOf(home ipv4.Addr) (ipv4.Addr, bool) {
 	return b.careOf, true
 }
 
+// Crash models the agent losing power: every binding — and with it the
+// proxy-ARP claims and address captures — vanishes, timers included, and
+// the agent stops answering until Restart. The soft-state design means
+// no stable storage exists to recover from; re-registration by the
+// mobile hosts is the only way bindings come back (graceful restart).
+func (ha *HomeAgent) Crash() {
+	if ha.crashed {
+		return
+	}
+	ha.crashed = true
+	ha.Stats.Crashes++
+	// Tear down in sorted order so crash cleanup is trace-deterministic.
+	homes := make([]ipv4.Addr, 0, len(ha.bindings))
+	for home := range ha.bindings {
+		homes = append(homes, home)
+	}
+	sort.Slice(homes, func(i, j int) bool { return homes[i].Less(homes[j]) })
+	for _, home := range homes {
+		b := ha.bindings[home]
+		if b.expiry != nil {
+			b.expiry.Stop()
+		}
+		ha.host.Unclaim(home)
+		ha.iface.Proxy().Remove(home)
+	}
+	ha.bindings = make(map[ipv4.Addr]*binding)
+	ha.relayGroups = nil
+	ha.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventNote, Time: ha.host.Sim().Now(), Where: ha.host.Name(),
+		Detail: "home agent crashed: bindings lost",
+	})
+}
+
+// Restart brings a crashed agent back with an empty binding table. It
+// re-learns bindings from the registrations (and renewal probes) mobile
+// hosts keep sending; identification replay state died with the crash,
+// so in-flight IDs from before the crash are accepted — the counter only
+// ever advances on the mobile-host side.
+func (ha *HomeAgent) Restart() {
+	if !ha.crashed {
+		return
+	}
+	ha.crashed = false
+	ha.Stats.Restarts++
+	ha.host.Sim().Trace.Record(netsim.Event{
+		Kind: netsim.EventNote, Time: ha.host.Sim().Now(), Where: ha.host.Name(),
+		Detail: "home agent restarted: awaiting re-registrations",
+	})
+}
+
+// Crashed reports whether the agent is currently down.
+func (ha *HomeAgent) Crashed() bool { return ha.crashed }
+
 // handleRegistration serves UDP 434.
 func (ha *HomeAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte) {
+	if ha.crashed {
+		return
+	}
 	msg, err := ParseMessage(payload)
 	if err != nil {
 		ha.Stats.BadRequests++
@@ -240,6 +304,9 @@ func (ha *HomeAgent) deregister(home ipv4.Addr) {
 // forwardToMobile implements Figure 1's thick arrow: encapsulate the
 // intercepted packet and send it to the care-of address.
 func (ha *HomeAgent) forwardToMobile(home ipv4.Addr, pkt ipv4.Packet) {
+	if ha.crashed {
+		return
+	}
 	b, ok := ha.bindings[home]
 	if !ok {
 		return // binding raced away; packet is lost (higher layers recover)
@@ -290,6 +357,9 @@ func (ha *HomeAgent) sendBindingNotice(to, home, careOf ipv4.Addr) {
 // an open decapsulator would be exactly the spoofing hole Section 6.1
 // warns about.
 func (ha *HomeAgent) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
+	if ha.crashed {
+		return
+	}
 	inner, err := ha.cfg.Codec.Decapsulate(outer)
 	if err != nil {
 		return

@@ -58,6 +58,11 @@ type worldOpts struct {
 	chDecap     bool // correspondents can decapsulate (Out-DE target)
 	codec       encap.Codec
 	selector    *core.Selector
+
+	// Registration-robustness knobs (zero = the MobileNode defaults).
+	lifetime         uint16
+	regMaxRetries    int
+	regProbeInterval vtime.Duration
 }
 
 func buildWorld(t testing.TB, opts worldOpts) *world {
@@ -109,11 +114,14 @@ func buildWorld(t testing.TB, opts worldOpts) *world {
 
 	w.mhICMP = icmphost.Install(w.mhHost)
 	w.mn, err = mobileip.NewMobileNode(w.mhHost, w.mhIfc, mobileip.MobileNodeConfig{
-		Home:       w.mhIfc.Addr(),
-		HomePrefix: w.homeLAN.Prefix,
-		HomeAgent:  w.haHost.Ifaces()[0].Addr(),
-		Codec:      opts.codec,
-		Selector:   opts.selector,
+		Home:             w.mhIfc.Addr(),
+		HomePrefix:       w.homeLAN.Prefix,
+		HomeAgent:        w.haHost.Ifaces()[0].Addr(),
+		Codec:            opts.codec,
+		Selector:         opts.selector,
+		Lifetime:         opts.lifetime,
+		RegMaxRetries:    opts.regMaxRetries,
+		RegProbeInterval: opts.regProbeInterval,
 	})
 	if err != nil {
 		t.Fatalf("NewMobileNode: %v", err)

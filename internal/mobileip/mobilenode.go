@@ -25,11 +25,19 @@ type MobileNodeConfig struct {
 	// Lifetime is the registration lifetime requested, in seconds
 	// (default 120).
 	Lifetime uint16
-	// RegRetryInterval is the registration retransmission interval
-	// (default 1s); RegMaxRetries bounds attempts per registration
-	// (default 5).
+	// RegRetryInterval is the initial registration retransmission
+	// interval (default 1s); RegMaxRetries bounds attempts per exchange
+	// (default 5). Retries back off exponentially with jitter up to
+	// RegBackoffMax (default 8s) so a recovering agent is not met with a
+	// synchronized thundering herd.
 	RegRetryInterval vtime.Duration
 	RegMaxRetries    int
+	RegBackoffMax    vtime.Duration
+	// RegProbeInterval, when non-zero, keeps probing for the home agent
+	// after an exchange exhausts its retries: a fresh registration is
+	// attempted every interval until one succeeds. Zero disables
+	// probing (the node stays silent after giving up).
+	RegProbeInterval vtime.Duration
 	// Selector is the outgoing-mode decision engine (default: a
 	// pessimistic selector). Ports is the Out-DT port heuristic
 	// (default: the paper's HTTP+DNS set; set to an empty heuristic to
@@ -54,6 +62,7 @@ type MobileNodeStats struct {
 	Registrations     uint64
 	RegistrationFails uint64
 	Renewals          uint64
+	RecoveryProbes    uint64
 	OutByMode         [core.NumOutModes]uint64
 	InTunneled        uint64 // packets received through the tunnel
 	InDirect          uint64 // plain packets to the home address (In-DH)
@@ -82,7 +91,16 @@ type MobileNode struct {
 	regID      uint64
 	regTimer   *vtime.Timer
 	renewTimer *vtime.Timer
+	probeTimer *vtime.Timer
 	regTries   int
+	// awaitingReply is true while a registration exchange (initial or
+	// renewal) has an unanswered request in flight; it is what the retry
+	// timer checks, so renewals retransmit exactly like first
+	// registrations.
+	awaitingReply bool
+	// regBackoff is the current retransmission interval, doubling per
+	// retry up to cfg.RegBackoffMax.
+	regBackoff vtime.Duration
 	sock       *stack.UDPSocket
 
 	// tunIE and tunDE are the two virtual-interface routes the policy
@@ -95,6 +113,13 @@ type MobileNode struct {
 	// OnRegistered, when non-nil, fires when a registration (not a
 	// renewal) is accepted.
 	OnRegistered func()
+
+	// OnRegistrationLost, when non-nil, fires when a registration
+	// exchange exhausts its retries: the node no longer believes it is
+	// registered and (if RegProbeInterval is set) has fallen back to
+	// periodic probing. Applications use it to stop relying on
+	// tunnel-dependent delivery modes.
+	OnRegistrationLost func()
 
 	Stats MobileNodeStats
 }
@@ -113,6 +138,9 @@ func NewMobileNode(host *stack.Host, ifc *stack.Iface, cfg MobileNodeConfig) (*M
 	}
 	if cfg.RegMaxRetries == 0 {
 		cfg.RegMaxRetries = 5
+	}
+	if cfg.RegBackoffMax == 0 {
+		cfg.RegBackoffMax = vtime.Duration(8e9)
 	}
 	if cfg.Selector == nil {
 		cfg.Selector = core.NewSelector(core.StartPessimistic)
@@ -149,6 +177,10 @@ func NewMobileNode(host *stack.Host, ifc *stack.Iface, cfg MobileNodeConfig) (*M
 
 // Host returns the underlying host.
 func (mn *MobileNode) Host() *stack.Host { return mn.host }
+
+// Iface returns the node's physical interface (fault schedules bounce it
+// to model a radio dropping off the network).
+func (mn *MobileNode) Iface() *stack.Iface { return mn.ifc }
 
 // Home returns the permanent home address.
 func (mn *MobileNode) Home() ipv4.Addr { return mn.cfg.Home }
@@ -256,19 +288,38 @@ func (mn *MobileNode) Detach() {
 }
 
 func (mn *MobileNode) cancelTimers() {
-	if mn.regTimer != nil {
-		mn.regTimer.Stop()
-		mn.regTimer = nil
-	}
-	if mn.renewTimer != nil {
-		mn.renewTimer.Stop()
-		mn.renewTimer = nil
-	}
+	// Stop, don't nil: the handles are reused via Reset so re-arming a
+	// timer never allocates (the tcplite retransmission idiom).
+	mn.regTimer.Stop()
+	mn.renewTimer.Stop()
+	mn.probeTimer.Stop()
+	mn.awaitingReply = false
 }
 
 // register starts (or restarts) the registration exchange.
 func (mn *MobileNode) register() {
+	mn.startExchange()
+}
+
+// Reregister restarts the registration exchange for the current care-of
+// address without moving — the recovery primitive after an interface
+// bounce or a suspected agent restart. A no-op at home.
+func (mn *MobileNode) Reregister() {
+	if mn.atHome {
+		return
+	}
+	mn.cancelTimers()
+	mn.registered = false
+	mn.startExchange()
+}
+
+// startExchange begins a registration exchange (initial, renewal or
+// recovery probe): fresh try count, initial backoff, first transmission,
+// retry timer armed.
+func (mn *MobileNode) startExchange() {
 	mn.regTries = 0
+	mn.regBackoff = mn.cfg.RegRetryInterval
+	mn.awaitingReply = true
 	mn.sendRegistration(mn.cfg.Lifetime, mn.careOf)
 	mn.armRegRetry()
 }
@@ -301,19 +352,86 @@ func (mn *MobileNode) sendRegistration(lifetime uint16, careOf ipv4.Addr) {
 	_ = mn.sock.SendToFrom(mn.careOf, mn.cfg.HomeAgent, udp.PortRegistration, req.Marshal())
 }
 
+// armRegRetry schedules the next retransmission at the current backoff.
+// From the second retry on, a jitter of up to backoff/4 is added so
+// nodes re-registering after a shared outage do not stay synchronized
+// (the first arm is unjittered, keeping the common lossless exchange
+// free of extra RNG draws).
 func (mn *MobileNode) armRegRetry() {
-	mn.regTimer = mn.host.Sched().After(mn.cfg.RegRetryInterval, func() {
-		if mn.registered || mn.atHome {
-			return
+	d := mn.regBackoff
+	if d > mn.cfg.RegRetryInterval {
+		if q := int64(d / 4); q > 0 {
+			d += vtime.Duration(mn.host.Sched().Rand().Int63n(q))
 		}
-		mn.regTries++
-		if mn.regTries >= mn.cfg.RegMaxRetries {
-			mn.Stats.RegistrationFails++
-			return
+	}
+	if mn.regTimer == nil {
+		mn.regTimer = mn.host.Sched().After(d, mn.onRegRetry)
+	} else {
+		mn.regTimer.Reset(d)
+	}
+}
+
+// onRegRetry fires when a registration request has gone unanswered for
+// the current backoff interval: retransmit with the interval doubled, or
+// — once the exchange's try budget is spent — give up, report the loss,
+// and fall back to recovery probing.
+func (mn *MobileNode) onRegRetry() {
+	if !mn.awaitingReply || mn.atHome {
+		return
+	}
+	mn.regTries++
+	if mn.regTries >= mn.cfg.RegMaxRetries {
+		mn.awaitingReply = false
+		mn.registered = false
+		mn.Stats.RegistrationFails++
+		var detail string
+		if mn.host.Sim().Trace.Detailing() {
+			detail = "registration abandoned: retries exhausted"
 		}
-		mn.sendRegistration(mn.cfg.Lifetime, mn.careOf)
-		mn.armRegRetry()
-	})
+		mn.host.Sim().Trace.Record(netsim.Event{
+			Kind: netsim.EventRegister, Time: mn.host.Sim().Now(), Where: mn.host.Name(),
+			Detail: detail,
+		})
+		if mn.OnRegistrationLost != nil {
+			mn.OnRegistrationLost()
+		}
+		mn.armRecoveryProbe()
+		return
+	}
+	mn.regBackoff *= 2
+	if mn.regBackoff > mn.cfg.RegBackoffMax {
+		mn.regBackoff = mn.cfg.RegBackoffMax
+	}
+	mn.sendRegistration(mn.cfg.Lifetime, mn.careOf)
+	mn.armRegRetry()
+}
+
+// armRecoveryProbe schedules the next post-give-up registration attempt.
+func (mn *MobileNode) armRecoveryProbe() {
+	if mn.cfg.RegProbeInterval <= 0 || mn.atHome {
+		return
+	}
+	if mn.probeTimer == nil {
+		mn.probeTimer = mn.host.Sched().After(mn.cfg.RegProbeInterval, mn.onRecoveryProbe)
+	} else {
+		mn.probeTimer.Reset(mn.cfg.RegProbeInterval)
+	}
+}
+
+func (mn *MobileNode) onRecoveryProbe() {
+	if mn.registered || mn.atHome || mn.awaitingReply {
+		return
+	}
+	mn.Stats.RecoveryProbes++
+	mn.startExchange()
+}
+
+func (mn *MobileNode) onRenew() {
+	if mn.atHome || !mn.registered {
+		return
+	}
+	mn.Stats.Renewals++
+	mn.startExchange()
 }
 
 func (mn *MobileNode) handleRegistrationReply(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte) {
@@ -332,10 +450,9 @@ func (mn *MobileNode) handleRegistrationReply(src ipv4.Addr, srcPort uint16, dst
 	if rep.Lifetime == 0 {
 		return // deregistration confirmed
 	}
-	if mn.regTimer != nil {
-		mn.regTimer.Stop()
-		mn.regTimer = nil
-	}
+	mn.regTimer.Stop()
+	mn.probeTimer.Stop()
+	mn.awaitingReply = false
 	first := !mn.registered
 	mn.registered = true
 	mn.Stats.Registrations++
@@ -349,14 +466,11 @@ func (mn *MobileNode) handleRegistrationReply(src ipv4.Addr, srcPort uint16, dst
 	})
 	// Renew at 80% of the granted lifetime.
 	renewAt := vtime.Duration(rep.Lifetime) * 1e9 * 8 / 10
-	mn.renewTimer = mn.host.Sched().After(renewAt, func() {
-		if mn.atHome || !mn.registered {
-			return
-		}
-		mn.Stats.Renewals++
-		mn.sendRegistration(mn.cfg.Lifetime, mn.careOf)
-		mn.armRegRetry()
-	})
+	if mn.renewTimer == nil {
+		mn.renewTimer = mn.host.Sched().After(renewAt, mn.onRenew)
+	} else {
+		mn.renewTimer.Reset(renewAt)
+	}
 	if first && mn.OnRegistered != nil {
 		mn.OnRegistered()
 	}

@@ -1,6 +1,8 @@
 package mobileip
 
 import (
+	"sort"
+
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/vtime"
 )
@@ -17,7 +19,13 @@ type AutoProber struct {
 	mn       *MobileNode
 	interval vtime.Duration
 	active   map[ipv4.Addr]bool
+	timer    *vtime.Timer
 	stopped  bool
+	// RetryTemporary, when set, also re-enables the temporary-address
+	// (Out-DT) path for every tracked correspondent on each tick, so a
+	// port-heuristic conversation demoted by ingress filtering probes
+	// for the filter's removal instead of staying demoted forever.
+	RetryTemporary bool
 	// Probes counts upgrade attempts started.
 	Probes uint64
 }
@@ -39,22 +47,41 @@ func NewAutoProber(mn *MobileNode, interval vtime.Duration) *AutoProber {
 func (p *AutoProber) Track(dst ipv4.Addr)   { p.active[dst] = true }
 func (p *AutoProber) Untrack(dst ipv4.Addr) { delete(p.active, dst) }
 
-// Stop halts probing.
-func (p *AutoProber) Stop() { p.stopped = true }
+// Stop halts probing and releases the pending tick, so a stopped prober
+// leaves nothing in the scheduler.
+func (p *AutoProber) Stop() {
+	p.stopped = true
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+}
 
 func (p *AutoProber) arm() {
-	p.mn.host.Sched().After(p.interval, func() {
-		if p.stopped {
-			return
+	p.timer = p.mn.host.Sched().After(p.interval, p.tick)
+}
+
+func (p *AutoProber) tick() {
+	if p.stopped {
+		return
+	}
+	if !p.mn.AtHome() && len(p.active) > 0 {
+		sel := p.mn.Selector()
+		// Probe in address order: map iteration order must never reach
+		// the selector, or runs stop being byte-reproducible.
+		dsts := make([]ipv4.Addr, 0, len(p.active))
+		for dst := range p.active {
+			dsts = append(dsts, dst)
 		}
-		if !p.mn.AtHome() {
-			sel := p.mn.Selector()
-			for dst := range p.active {
-				if ok, _ := sel.TryUpgrade(dst); ok {
-					p.Probes++
-				}
+		sort.Slice(dsts, func(i, j int) bool { return dsts[i].Less(dsts[j]) })
+		for _, dst := range dsts {
+			if ok, _ := sel.TryUpgrade(dst); ok {
+				p.Probes++
+			}
+			if p.RetryTemporary && sel.RetryTemporary(dst) {
+				p.Probes++
 			}
 		}
-		p.arm()
-	})
+	}
+	p.arm()
 }

@@ -1,6 +1,9 @@
 package netsim
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Buf is a reusable payload buffer drawn from a process-wide pool. The fast
 // packet path serializes every frame payload into one of these instead of
@@ -31,8 +34,21 @@ const bufCap = DefaultMTU + 64
 
 var bufPool = sync.Pool{New: func() any { return &Buf{B: make([]byte, 0, bufCap)} }}
 
+// bufOutstanding counts buffers currently checked out of the pool
+// (GetBuf minus PutBuf). The chaos experiment's quiescence invariant
+// asserts it returns to its starting value once a run drains: a non-zero
+// delta means some path leaked (or double-freed) a pooled buffer.
+var bufOutstanding atomic.Int64
+
+// BufOutstanding returns the number of pooled buffers currently checked
+// out (GetBuf calls minus non-nil PutBuf calls), process-wide.
+func BufOutstanding() int64 { return bufOutstanding.Load() }
+
 // GetBuf returns an empty pooled buffer (len 0).
-func GetBuf() *Buf { return bufPool.Get().(*Buf) }
+func GetBuf() *Buf {
+	bufOutstanding.Add(1)
+	return bufPool.Get().(*Buf)
+}
 
 // PutBuf returns b to the pool. nil is a no-op so error paths can recycle
 // unconditionally.
@@ -40,6 +56,7 @@ func PutBuf(b *Buf) {
 	if b == nil {
 		return
 	}
+	bufOutstanding.Add(-1)
 	b.B = b.B[:0]
 	bufPool.Put(b)
 }

@@ -1,0 +1,127 @@
+package netsim
+
+import "testing"
+
+// TestSegmentDropAccounting pins the contract that every dropped frame is
+// accounted exactly once: the segment counter for its drop reason
+// increments by one AND the matching trace event is recorded exactly once.
+func TestSegmentDropAccounting(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    SegmentOpts
+		prep    func(sim *Sim, seg *Segment, sender, receiver *NIC)
+		payload int
+		counter func(seg *Segment) uint64
+		kind    EventKind
+	}{
+		{
+			name:    "mtu",
+			opts:    SegmentOpts{MTU: 100},
+			payload: 200,
+			counter: func(seg *Segment) uint64 { return seg.DroppedMTU },
+			kind:    EventDropMTU,
+		},
+		{
+			name:    "loss",
+			opts:    SegmentOpts{LossRate: 1.0},
+			payload: 50,
+			counter: func(seg *Segment) uint64 { return seg.DroppedLoss },
+			kind:    EventDropLoss,
+		},
+		{
+			name: "nodest",
+			opts: SegmentOpts{},
+			prep: func(_ *Sim, _ *Segment, _, receiver *NIC) {
+				receiver.Detach() // nobody left to hear the unicast
+			},
+			payload: 50,
+			counter: func(seg *Segment) uint64 { return seg.DroppedNoDest },
+			kind:    EventDropNoDest,
+		},
+		{
+			name: "down",
+			opts: SegmentOpts{},
+			prep: func(_ *Sim, seg *Segment, _, _ *NIC) {
+				seg.SetDown(true)
+			},
+			payload: 50,
+			counter: func(seg *Segment) uint64 { return seg.DroppedDown },
+			kind:    EventDropDown,
+		},
+		{
+			name: "fault",
+			opts: SegmentOpts{},
+			prep: func(_ *Sim, seg *Segment, _, _ *NIC) {
+				seg.SetFaultHook(func(Frame) Impairment { return Impairment{Drop: true} })
+			},
+			payload: 50,
+			counter: func(seg *Segment) uint64 { return seg.DroppedFault },
+			kind:    EventDropFault,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sim := NewSim(1)
+			seg := sim.NewSegment("lan", tc.opts)
+			sender := sim.NewNIC("tx")
+			receiver := sim.NewNIC("rx")
+			delivered := 0
+			receiver.SetReceiver(func(*NIC, Frame) { delivered++ })
+			sender.Attach(seg)
+			receiver.Attach(seg)
+			if tc.prep != nil {
+				tc.prep(sim, seg, sender, receiver)
+			}
+			base := BufOutstanding()
+
+			buf := GetBuf()
+			buf.B = append(buf.B, make([]byte, tc.payload)...)
+			sender.Send(Frame{Dst: receiver.MAC(), Type: EtherTypeIPv4, Payload: buf.B, Buf: buf})
+			sim.Sched.Run()
+
+			if got := tc.counter(seg); got != 1 {
+				t.Errorf("drop counter = %d, want exactly 1", got)
+			}
+			if got := sim.Trace.Count(tc.kind); got != 1 {
+				t.Errorf("Trace.Count(%s) = %d, want exactly 1", tc.kind, got)
+			}
+			if delivered != 0 {
+				t.Errorf("frame delivered despite %s drop", tc.name)
+			}
+			// The dropped frame's pooled buffer must have been recycled.
+			if n := BufOutstanding() - base; n != 0 {
+				t.Errorf("BufOutstanding grew by %d after drop, want 0", n)
+			}
+			// No other drop reason fired.
+			total := seg.DroppedMTU + seg.DroppedLoss + seg.DroppedNoDest + seg.DroppedDown + seg.DroppedFault
+			if total != 1 {
+				t.Errorf("total drops = %d, want 1 (single accounting)", total)
+			}
+		})
+	}
+}
+
+// TestSegmentDeliveryNotAccountedAsDrop is the control: a delivered frame
+// leaves every drop counter at zero.
+func TestSegmentDeliveryNotAccountedAsDrop(t *testing.T) {
+	sim := NewSim(1)
+	seg := sim.NewSegment("lan", SegmentOpts{})
+	sender := sim.NewNIC("tx")
+	receiver := sim.NewNIC("rx")
+	delivered := 0
+	receiver.SetReceiver(func(*NIC, Frame) { delivered++ })
+	sender.Attach(seg)
+	receiver.Attach(seg)
+
+	buf := GetBuf()
+	buf.B = append(buf.B, []byte("payload")...)
+	sender.Send(Frame{Dst: receiver.MAC(), Type: EtherTypeIPv4, Payload: buf.B, Buf: buf})
+	sim.Sched.Run()
+
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	if total := seg.DroppedMTU + seg.DroppedLoss + seg.DroppedNoDest + seg.DroppedDown + seg.DroppedFault; total != 0 {
+		t.Errorf("drop counters = %d on a clean delivery", total)
+	}
+}

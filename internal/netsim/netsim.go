@@ -93,6 +93,18 @@ func (s *Sim) AllocMAC() MAC {
 // order.
 func (s *Sim) Segments() []*Segment { return s.segments }
 
+// SegmentByName returns the segment with the given name, or nil. Fault
+// schedules use it to address links by the names the topology builder
+// assigned (e.g. "p2p-visitGWA-bb2").
+func (s *Sim) SegmentByName(name string) *Segment {
+	for _, seg := range s.segments {
+		if seg.name == name {
+			return seg
+		}
+	}
+	return nil
+}
+
 // SegmentOpts configures a Segment.
 type SegmentOpts struct {
 	// Latency is the one-way propagation delay for every frame on the
@@ -141,12 +153,31 @@ type Segment struct {
 	// busyUntil is when the medium finishes transmitting the last queued
 	// frame (bandwidth modeling).
 	busyUntil vtime.Time
+	// down administratively disables the segment: every frame offered
+	// while down is dropped and counted. Fault schedules flip it to model
+	// link flaps and partition windows.
+	down bool
+	// fault, when non-nil, is consulted once per frame that survived the
+	// MTU and uniform-loss checks; the returned Impairment can drop,
+	// duplicate, corrupt or delay the frame. Nil (the default) costs one
+	// predictable branch on the fast path. The frame is passed by value
+	// (a pointer would make every frame escape to the heap, hook or no
+	// hook); hooks read it, the segment applies the verdict.
+	fault func(Frame) Impairment
 	// Stats
 	Delivered     uint64
 	DroppedMTU    uint64
 	DroppedLoss   uint64
 	DroppedNoDest uint64
-	BytesCarried  uint64
+	DroppedDown   uint64
+	DroppedFault  uint64
+	// DuplicatedFrames / CorruptedFrames / ReorderedFrames count
+	// impairments applied by the fault hook (a reorder is an ExtraDelay
+	// that lets later frames overtake this one).
+	DuplicatedFrames uint64
+	CorruptedFrames  uint64
+	ReorderedFrames  uint64
+	BytesCarried     uint64
 	// QueueDelayTotal accumulates time frames spent waiting for the
 	// medium (serialization queueing), for utilization analysis.
 	QueueDelayTotal vtime.Duration
@@ -173,6 +204,48 @@ func (seg *Segment) Latency() vtime.Duration { return seg.opts.Latency }
 
 // NICs returns the currently attached NICs.
 func (seg *Segment) NICs() []*NIC { return seg.nics }
+
+// Impairment is a fault hook's verdict on one frame. The zero value passes
+// the frame through untouched.
+type Impairment struct {
+	// Drop discards the frame (counted in DroppedFault).
+	Drop bool
+	// Duplicate delivers a second, independent copy of the frame at the
+	// same delay (counted in DuplicatedFrames).
+	Duplicate bool
+	// Corrupt flips one RNG-chosen payload bit before delivery, so
+	// checksums — not the simulator — must catch the damage (counted in
+	// CorruptedFrames).
+	Corrupt bool
+	// ExtraDelay adds bounded extra latency to this frame only; later
+	// frames can overtake it (counted in ReorderedFrames).
+	ExtraDelay vtime.Duration
+}
+
+// SetFaultHook installs (or with nil removes) the segment's fault hook.
+// The hook runs after the MTU and uniform-loss checks, draws any
+// randomness it needs from the sim scheduler's RNG, and must not retain
+// or mutate the frame's payload.
+func (seg *Segment) SetFaultHook(fn func(Frame) Impairment) { seg.fault = fn }
+
+// SetDown marks the segment administratively down (true) or up (false).
+// Frames offered while down are dropped and counted in DroppedDown;
+// frames already in flight still deliver (the partition cuts the cable,
+// it does not vaporize signals already past it).
+func (seg *Segment) SetDown(v bool) { seg.down = v }
+
+// Down reports whether the segment is administratively down.
+func (seg *Segment) Down() bool { return seg.down }
+
+// dropDown counts and traces a frame offered to an administratively-down
+// segment. Kept out of line so the fast path pays only the branch.
+//
+//go:noinline
+func (seg *Segment) dropDown(f Frame) {
+	seg.DroppedDown++
+	seg.sim.Trace.record(Event{Kind: EventDropDown, Time: seg.sim.Now(), Where: seg.name})
+	PutBuf(f.Buf)
+}
 
 // segIndexMin is the attachment count beyond which a segment builds its
 // MAC index; below it, unicast dispatch linear-scans nics.
@@ -228,6 +301,10 @@ func (seg *Segment) detach(n *NIC) {
 // segment latency; unicast frames go to the owning NIC only, broadcast to
 // all NICs except the sender.
 func (seg *Segment) send(from *NIC, f Frame) {
+	if seg.down {
+		seg.dropDown(f)
+		return
+	}
 	if len(f.Payload) > seg.opts.MTU {
 		seg.DroppedMTU++
 		var detail string
@@ -251,6 +328,25 @@ func (seg *Segment) send(from *NIC, f Frame) {
 		seg.sim.Trace.record(Event{Kind: EventDropLoss, Time: seg.sim.Now(), Where: seg.name})
 		PutBuf(f.Buf)
 		return
+	}
+	var imp Impairment
+	if seg.fault != nil {
+		imp = seg.fault(f)
+		if imp.Drop {
+			seg.DroppedFault++
+			seg.sim.Trace.record(Event{Kind: EventDropFault, Time: seg.sim.Now(), Where: seg.name})
+			PutBuf(f.Buf)
+			return
+		}
+		if imp.Corrupt && len(f.Payload) > 0 && f.Buf != nil {
+			// Flip one bit in the pooled (link-owned) payload; anything
+			// above the link layer must detect this via checksums. Frames
+			// without a pooled buffer may alias sender-retained storage,
+			// so those are left alone.
+			bit := seg.sim.Sched.Rand().Int63n(int64(len(f.Payload)) * 8)
+			f.Payload[bit/8] ^= 1 << uint(bit%8)
+			seg.CorruptedFrames++
+		}
 	}
 	wireBytes := len(f.Payload) + FrameHeaderLen
 	seg.BytesCarried += uint64(wireBytes)
@@ -287,6 +383,7 @@ func (seg *Segment) send(from *NIC, f Frame) {
 	}
 	if len(d.dests) == 0 {
 		seg.DroppedNoDest++
+		seg.sim.Trace.record(Event{Kind: EventDropNoDest, Time: seg.sim.Now(), Where: seg.name})
 		PutBuf(f.Buf)
 		releaseDelivery(d)
 		return
@@ -297,6 +394,10 @@ func (seg *Segment) send(from *NIC, f Frame) {
 	if seg.opts.JitterMax > 0 {
 		delay += vtime.Duration(seg.sim.Sched.Rand().Int63n(int64(seg.opts.JitterMax)))
 	}
+	if imp.ExtraDelay > 0 {
+		delay += imp.ExtraDelay
+		seg.ReorderedFrames++
+	}
 	if seg.opts.BandwidthBps > 0 {
 		now := seg.sim.Now()
 		start := seg.busyUntil
@@ -306,9 +407,26 @@ func (seg *Segment) send(from *NIC, f Frame) {
 		seg.QueueDelayTotal += start.Sub(now)
 		txTime := vtime.Duration(int64(wireBytes) * 8 * 1e9 / seg.opts.BandwidthBps)
 		seg.busyUntil = start.Add(txTime)
-		delay = seg.busyUntil.Sub(now) + seg.opts.Latency
+		delay = seg.busyUntil.Sub(now) + seg.opts.Latency + imp.ExtraDelay
 	}
 	seg.sim.Sched.AfterArg(delay, runDelivery, d)
+	if imp.Duplicate {
+		// Deliver an independent copy at the same delay: its payload is
+		// cloned into a fresh pooled buffer because the original is
+		// recycled when its own delivery completes. Duplicates skip
+		// bandwidth accounting — they model a confused relay, not a
+		// second transmission by the sender.
+		seg.DuplicatedFrames++
+		db := GetBuf()
+		db.B = append(db.B, f.Payload...)
+		dd := deliveryPool.Get().(*delivery)
+		dd.seg = seg
+		dd.frame = f
+		dd.frame.Payload = db.B
+		dd.frame.Buf = db
+		dd.dests = append(dd.dests, d.dests...)
+		seg.sim.Sched.AfterArg(delay, runDelivery, dd)
+	}
 }
 
 // NIC is a network interface attached to (at most) one segment. The

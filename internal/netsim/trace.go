@@ -27,6 +27,9 @@ const (
 	EventMove                             // mobile host changed attachment
 	EventRegister                         // mobile host (de)registered with an agent
 	EventNote                             // free-form annotation
+	EventDropNoDest                       // no attached receiver on the segment
+	EventDropDown                         // segment administratively down (fault window)
+	EventDropFault                        // fault-injection hook discarded the frame
 )
 
 func (k EventKind) String() string {
@@ -57,6 +60,12 @@ func (k EventKind) String() string {
 		return "register"
 	case EventNote:
 		return "note"
+	case EventDropNoDest:
+		return "drop-nodest"
+	case EventDropDown:
+		return "drop-down"
+	case EventDropFault:
+		return "drop-fault"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -236,7 +245,8 @@ func (t *Tracer) Path(pktID uint64) string {
 				if len(parts) == 0 || parts[len(parts)-1] != label {
 					parts = append(parts, label)
 				}
-			case EventDropFilter, EventDropTTL, EventDropNoRoute, EventDropMTU, EventDropLoss:
+			case EventDropFilter, EventDropTTL, EventDropNoRoute, EventDropMTU, EventDropLoss,
+				EventDropNoDest, EventDropDown, EventDropFault:
 				parts = append(parts, fmt.Sprintf("X(%s@%s)", e.Kind, e.Where))
 			}
 		}

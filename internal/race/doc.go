@@ -1,0 +1,11 @@
+// Package race exposes whether the race detector is compiled into the
+// current binary. Allocation-pinning tests consult it: the detector's
+// shadow memory and altered GC cadence make sync.Pool hit rates — and so
+// testing.AllocsPerRun counts — nondeterministic, so those assertions
+// only hold in non-race builds (the benchmark gate covers them there).
+package race
+
+// Enabled reports whether the race detector is compiled in. It is set by
+// an init function in a race-tagged file (a build-tagged constant pair
+// would trip tools that load all files regardless of tags).
+var Enabled bool

@@ -1,0 +1,5 @@
+//go:build race
+
+package race
+
+func init() { Enabled = true }

@@ -37,6 +37,16 @@ func (i *Iface) resolveAndSend(nexthop ipv4.Addr, pkt ipv4.Packet) {
 		i.sendARPRequest(nexthop)
 		i.armARPTimer(nexthop, job)
 	}
+	// Bound the per-nexthop queue: an unresolvable nexthop fed by a fast
+	// sender would otherwise pin copied payloads without limit until the
+	// resolution times out. Real stacks keep just one packet; ours keeps
+	// a small window and sheds the oldest.
+	if limit := i.host.ARPQueueLimit; limit > 0 && len(job.pkts) >= limit {
+		drop := len(job.pkts) - limit + 1
+		i.host.Stats.DroppedARPExpired += uint64(drop)
+		copy(job.pkts, job.pkts[drop:])
+		job.pkts = job.pkts[:len(job.pkts)-drop]
+	}
 	// The queued packet may alias a pooled frame buffer (forwarding path)
 	// that is recycled when the receive callback returns, while the queue
 	// waits for the ARP reply — take a private copy.
@@ -58,6 +68,7 @@ func (i *Iface) armARPTimer(target ipv4.Addr, job *resolveJob) {
 		}
 		delete(i.pending, target)
 		i.host.Stats.DropNoARP += uint64(len(job.pkts))
+		i.host.Stats.DroppedARPExpired += uint64(len(job.pkts))
 		for _, p := range job.pkts {
 			i.host.sim.Trace.Record(netsim.Event{
 				Kind: netsim.EventDropNoRoute, Time: i.host.sim.Now(),

@@ -39,6 +39,11 @@ type Stats struct {
 	DropFragSet   uint64 // DF set but fragmentation needed
 	FragsCreated  uint64
 	Reassembled   uint64
+	// DroppedARPExpired counts packets shed from the ARP-miss pending
+	// queue: evicted when the per-nexthop queue overflows ARPQueueLimit,
+	// or discarded when the resolution itself times out (those are also
+	// counted in DropNoARP).
+	DroppedARPExpired uint64
 }
 
 // Host is a simulated IP node.
@@ -71,6 +76,10 @@ type Host struct {
 
 	udpSocks  map[uint16]*UDPSocket
 	ephemeral uint16
+	// portProbe is SourceForDestinationPort's scratch transport header
+	// (dst port at [2:4]); a field rather than a local so the probe
+	// packet referencing it never forces a heap allocation.
+	portProbe [4]byte
 
 	reasm      *ipv4.Reassembler
 	reasmTimer *vtime.Timer
@@ -97,6 +106,10 @@ type Host struct {
 	ARPRetries int
 	// ARPCacheTTL bounds cache entry lifetime (0 = no expiry).
 	ARPCacheTTL vtime.Duration
+	// ARPQueueLimit bounds how many packets may wait per nexthop while
+	// ARP resolves; the oldest is shed (DroppedARPExpired) when a new
+	// packet arrives at a full queue. 0 means unbounded.
+	ARPQueueLimit int
 
 	Stats Stats
 }
@@ -123,6 +136,11 @@ func NewHost(sim *netsim.Sim, name string) *Host {
 		ARPTimeout:  vtime.Duration(1e9), // 1s
 		ARPRetries:  3,
 		ARPCacheTTL: vtime.Duration(300e9), // 5min, well above most runs
+		// High enough that no legitimate burst (a fragmented burst can
+		// queue hundreds of fragments during one ARP round-trip) ever
+		// hits it; low enough that an unresolvable nexthop cannot pin
+		// memory without bound.
+		ARPQueueLimit: 2048,
 	}
 	return h
 }

@@ -1,6 +1,7 @@
 package stack
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"mob4x4/internal/ipv4"
@@ -102,7 +103,11 @@ func (s *UDPSocket) sendFrom(src, dst ipv4.Addr, dstPort uint16, payload []byte)
 	// A zero source is legitimate for broadcasts: a host with no address
 	// yet (DHCP DISCOVER) sends from 0.0.0.0.
 	if src.IsZero() && !dst.IsBroadcast() {
-		src = s.host.SourceForDestination(dst)
+		// Resolve with the transport context: the mobility policy's port
+		// heuristic (§7.1.2) keys off the destination port, so an unbound
+		// socket must present it or short-lived services could never be
+		// elected onto the temporary address.
+		src = s.host.SourceForDestinationPort(dst, ipv4.ProtoUDP, dstPort)
 		if src.IsZero() {
 			return fmt.Errorf("%s: no source address for %s", s.host.name, dst)
 		}
@@ -133,7 +138,24 @@ func (s *UDPSocket) sendFrom(src, dst ipv4.Addr, dstPort uint16, payload []byte)
 // decides what address to use as the endpoint identifier" — transports
 // call this at connection setup.
 func (h *Host) SourceForDestination(dst ipv4.Addr) ipv4.Addr {
-	probe := ipv4.Packet{Header: ipv4.Header{Dst: dst}}
+	return h.SourceForDestinationPort(dst, 0, 0)
+}
+
+// SourceForDestinationPort is SourceForDestination with transport
+// context. The route override may consult the destination port (the
+// paper's §7.1.2 port heuristic elects the temporary address for
+// short-lived services), so source resolution for an unbound socket
+// must present the port the real packet will carry. proto 0 means "no
+// transport context" and behaves exactly like SourceForDestination.
+func (h *Host) SourceForDestinationPort(dst ipv4.Addr, proto uint8, dstPort uint16) ipv4.Addr {
+	probe := ipv4.Packet{Header: ipv4.Header{Protocol: proto, Dst: dst}}
+	if proto != 0 {
+		// portProbe is a Host-owned scratch (hosts are single-goroutine,
+		// like everything on a Sim): a stack [4]byte here would escape
+		// through the probe pointer and cost an allocation per send.
+		binary.BigEndian.PutUint16(h.portProbe[2:], dstPort)
+		probe.Payload = h.portProbe[:]
+	}
 	if h.RouteOverride != nil {
 		rt, ok := h.RouteOverride(&probe)
 		// The override may pin a source address even when it falls

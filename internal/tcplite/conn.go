@@ -1,11 +1,18 @@
 package tcplite
 
 import (
+	"errors"
 	"fmt"
 
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/vtime"
 )
+
+// ErrConnTimeout is the sentinel delivered (wrapped) through Conn.OnError
+// when a connection exhausts its retransmission budget: MaxRetries
+// consecutive RTOs without a single acknowledgement. Match it with
+// errors.Is.
+var ErrConnTimeout = errors.New("connection timed out")
 
 // State is a connection state (simplified TCP state machine).
 type State int
@@ -246,7 +253,7 @@ func (c *Conn) onRTO() {
 	c.retries++
 	if c.retries > c.ep.MaxRetries {
 		c.ep.Stats.ConnsFailed++
-		c.teardown(fmt.Errorf("tcplite: connection to %s timed out (state %v)", c.key.remoteAddr, c.state))
+		c.teardown(fmt.Errorf("tcplite: connection to %s (state %v): %w", c.key.remoteAddr, c.state, ErrConnTimeout))
 		return
 	}
 	c.ep.Stats.Retransmissions++

@@ -1,0 +1,47 @@
+package tcplite_test
+
+import (
+	"errors"
+	"testing"
+
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/tcplite"
+)
+
+// TestConnTimeoutUnder100PercentLoss pins the finite retransmission
+// budget: with every client-side frame lost, the SYN exchange must not
+// back off forever — after MaxRetries consecutive RTOs the connection
+// tears down and OnError surfaces ErrConnTimeout (wrapped, matchable
+// with errors.Is).
+func TestConnTimeoutUnder100PercentLoss(t *testing.T) {
+	n, ch, sh := pair(t, 1.0)
+	cep := tcplite.New(ch)
+	sep := tcplite.New(sh)
+	if _, err := sep.Listen(7, func(c *tcplite.Conn) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := cep.Dial(ipv4.Zero, sh.FirstAddr(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	conn.OnError = func(e error) { gotErr = e }
+
+	// Default budget: RTO 200ms doubling to a 10s cap over 8 retries
+	// (~42s worst case); 90s of virtual time covers it with margin.
+	n.RunFor(90e9)
+
+	if gotErr == nil {
+		t.Fatal("expected a timeout error under 100% loss")
+	}
+	if !errors.Is(gotErr, tcplite.ErrConnTimeout) {
+		t.Errorf("OnError = %v, want errors.Is(..., ErrConnTimeout)", gotErr)
+	}
+	if cep.Stats.ConnsFailed != 1 {
+		t.Errorf("ConnsFailed = %d, want 1", cep.Stats.ConnsFailed)
+	}
+	if cep.ConnCount() != 0 {
+		t.Errorf("client still tracks %d connections after teardown", cep.ConnCount())
+	}
+}

@@ -212,6 +212,16 @@ func (s *Scheduler) RunFor(d Duration) Time { return s.RunUntil(s.now.Add(d)) }
 // from the queue immediately, so they are never counted.
 func (s *Scheduler) Pending() int { return len(s.events) }
 
+// NextAt returns the timestamp of the earliest queued event. ok is false
+// when the queue is empty. Quiescence checks use it to report *what* is
+// still pending when a run fails to drain.
+func (s *Scheduler) NextAt() (Time, bool) {
+	if len(s.events) == 0 {
+		return 0, false
+	}
+	return s.events[0].at, true
+}
+
 func (s *Scheduler) step() {
 	e := s.events[0]
 	if e.timer != nil {
