@@ -4,7 +4,14 @@
 //
 // Usage:
 //
-//	mob4x4 [-seed N] [-parallel N] <experiment>
+//	mob4x4 [-seed N] [-parallel N] [-metrics | -metrics-json] <experiment>
+//
+// Flags may also follow the experiment name (mob4x4 fig10 -metrics).
+// With -metrics (text) or -metrics-json, the run's metrics registries
+// are dumped after the experiment output; grid/fig10 instead emit the
+// machine-readable 4x4 grid report (deterministic JSON, byte-identical
+// for any seed and worker count), and chaos emits each trial's final
+// snapshot plus the 2s-period drop-counter time series.
 //
 // Experiments:
 //
@@ -15,6 +22,7 @@
 //	fig5        smart correspondent: ICMP + DNS care-of discovery
 //	formats     packet formats of Figures 6-9 (s/d/S/D table)
 //	grid        the 4x4 matrix of Figure 10 (see also cmd/gridshow)
+//	fig10       alias for grid
 //	overhead    encapsulation size overhead and MTU crossing (Section 3.3)
 //	adaptive    start-strategy comparison (Section 7.1.2)
 //	durability  connection survival across movement (Section 2)
@@ -32,24 +40,61 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"mob4x4/internal/experiments"
+	"mob4x4/internal/metrics"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 1, "worker goroutines for independent trials (grid/adaptive/durability/webbrowse/chaos)")
 	trials := flag.Int("trials", 1, "independent chaos trials (seeds seed..seed+N-1)")
+	metricsText := flag.Bool("metrics", false, "dump metrics after the experiment (grid/fig10: the machine-readable 4x4 report)")
+	metricsJSON := flag.Bool("metrics-json", false, "like -metrics, as JSON")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mob4x4 [-seed N] [-parallel N] <experiment>\nrun 'go doc mob4x4/cmd/mob4x4' for the experiment list\n")
+		fmt.Fprintf(os.Stderr, "usage: mob4x4 [-seed N] [-parallel N] [-metrics | -metrics-json] <experiment>\nrun 'go doc mob4x4/cmd/mob4x4' for the experiment list\n")
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	if flag.NArg() > 1 {
+		// Allow flags after the experiment name: mob4x4 fig10 -metrics.
+		_ = flag.CommandLine.Parse(flag.Args()[1:])
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+	wantMetrics := *metricsText || *metricsJSON
+
+	// Every scenario built below registers its registry here; the dump
+	// after the experiment is sorted, so it is deterministic for any
+	// worker count.
+	var coll metrics.Collector
+	if wantMetrics {
+		experiments.SetCollector(&coll)
+	}
+	dumpCollector := func() {
+		if *metricsJSON {
+			b, err := json.MarshalIndent(coll.Snapshots(), "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mob4x4: marshal metrics: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(b))
+		} else if *metricsText {
+			if err := coll.WriteText(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "mob4x4: write metrics: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	run := map[string]func(int64){
@@ -70,6 +115,12 @@ func main() {
 		"fig5":    func(s int64) { fmt.Print(experiments.RunFig5(s).String()) },
 		"formats": func(int64) { fmt.Print(experiments.FormatsTable(experiments.RunFormats())) },
 		"grid": func(s int64) {
+			if wantMetrics {
+				// The machine-readable report: deterministic JSON,
+				// byte-identical for any seed and worker count.
+				fmt.Print(experiments.RunGridReport(s, *parallel).JSON())
+				return
+			}
 			grid := experiments.RunGridParallel(s, *parallel)
 			fmt.Print(experiments.GridTable(grid))
 			m, t, _ := experiments.GridAgreement(grid)
@@ -128,6 +179,23 @@ func main() {
 		"chaos": func(s int64) {
 			rows := experiments.RunChaosParallel(s, *trials, *parallel)
 			fmt.Print(experiments.ChaosTable(rows))
+			if wantMetrics {
+				for _, r := range rows {
+					fmt.Printf("== chaos seed=%d ==\n", r.Seed)
+					if *metricsJSON {
+						os.Stdout.Write(r.Metrics.JSON())
+					} else if err := r.Metrics.WriteText(os.Stdout); err != nil {
+						fmt.Fprintf(os.Stderr, "mob4x4: write metrics: %v\n", err)
+						os.Exit(1)
+					}
+					err := metrics.WriteTSV(os.Stdout, r.Series,
+						"ip/delivered", "drop/gilbert_elliott", "drop/blackhole", "drop/down")
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "mob4x4: write series: %v\n", err)
+						os.Exit(1)
+					}
+				}
+			}
 			for _, r := range rows {
 				if len(r.Violations) > 0 {
 					fmt.Fprintf(os.Stderr, "mob4x4: chaos invariant violations (reproduce: mob4x4 -seed %d chaos)\n", r.Seed)
@@ -139,16 +207,17 @@ func main() {
 			fmt.Print(experiments.Report(s))
 		},
 	}
+	run["fig10"] = run["grid"]
 	order := []string{"fig1", "fig2", "fig4", "fig5", "formats", "grid", "overhead",
 		"adaptive", "durability", "webbrowse", "fa", "transitions", "multicast", "trace",
 		"dualmobile", "asymmetry", "savings", "chaos"}
 
-	name := flag.Arg(0)
 	if name == "all" {
 		for _, exp := range order {
 			run[exp](*seed)
 			fmt.Println()
 		}
+		dumpCollector()
 		return
 	}
 	fn, ok := run[name]
@@ -158,4 +227,10 @@ func main() {
 		os.Exit(2)
 	}
 	fn(*seed)
+	switch name {
+	case "grid", "fig10", "chaos":
+		// These print their own metrics form above.
+	default:
+		dumpCollector()
+	}
 }

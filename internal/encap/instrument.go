@@ -1,0 +1,77 @@
+package encap
+
+import (
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
+)
+
+// Instrumented wraps a Codec so every successful encapsulation and
+// decapsulation is counted: once in the registry's global Encaps/Decaps
+// totals, and once in a per-role named counter ("<role>/encaps",
+// "<role>/decaps" — roles are "ha", "mn", "ch"). The named counters are
+// resolved once at construction, so the per-packet cost is two plain
+// increments; failures are not counted (the caller's error path owns
+// those).
+type Instrumented struct {
+	inner  Codec
+	reg    *metrics.Registry
+	encaps *metrics.Counter
+	decaps *metrics.Counter
+}
+
+// Instrument wraps c for the given registry and role. A nil registry
+// returns c unwrapped (tests that build codecs without a sim).
+func Instrument(c Codec, reg *metrics.Registry, role string) Codec {
+	if reg == nil {
+		return c
+	}
+	return &Instrumented{
+		inner:  c,
+		reg:    reg,
+		encaps: reg.Counter(role + "/encaps"),
+		decaps: reg.Counter(role + "/decaps"),
+	}
+}
+
+// Unwrap returns the underlying codec.
+func (ic *Instrumented) Unwrap() Codec { return ic.inner }
+
+// Name returns the wrapped codec's scheme name.
+func (ic *Instrumented) Name() string { return ic.inner.Name() }
+
+// Proto returns the wrapped codec's outer protocol number.
+func (ic *Instrumented) Proto() uint8 { return ic.inner.Proto() }
+
+// Overhead returns the wrapped codec's per-packet byte overhead.
+func (ic *Instrumented) Overhead() int { return ic.inner.Overhead() }
+
+// Encapsulate counts and delegates.
+func (ic *Instrumented) Encapsulate(inner ipv4.Packet, src, dst ipv4.Addr) (ipv4.Packet, error) {
+	//mob4x4vet:allow hotpathalloc delegation: the wrapped codec's own Encapsulate allocates, not the wrapper
+	out, err := ic.inner.Encapsulate(inner, src, dst)
+	if err == nil {
+		ic.reg.Encaps.Inc()
+		ic.encaps.Inc()
+	}
+	return out, err
+}
+
+// AppendEncap counts and delegates.
+func (ic *Instrumented) AppendEncap(inner ipv4.Packet, src, dst ipv4.Addr, buf []byte) (ipv4.Packet, error) {
+	out, err := ic.inner.AppendEncap(inner, src, dst, buf)
+	if err == nil {
+		ic.reg.Encaps.Inc()
+		ic.encaps.Inc()
+	}
+	return out, err
+}
+
+// Decapsulate counts and delegates.
+func (ic *Instrumented) Decapsulate(outer ipv4.Packet) (ipv4.Packet, error) {
+	in, err := ic.inner.Decapsulate(outer)
+	if err == nil {
+		ic.reg.Decaps.Inc()
+		ic.decaps.Inc()
+	}
+	return in, err
+}

@@ -1,0 +1,64 @@
+package encap
+
+import (
+	"testing"
+
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
+)
+
+func TestInstrumentCountsSuccessOnly(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := Instrument(IPIP{}, reg, "ha")
+	if c.Name() != "ipip" || c.Proto() != ipv4.ProtoIPIP || c.Overhead() != 20 {
+		t.Fatal("wrapper must delegate identity methods")
+	}
+	inner := ipv4.Packet{
+		Header:  ipv4.Header{Protocol: ipv4.ProtoUDP, Src: ipv4.MustParseAddr("10.0.0.1"), Dst: ipv4.MustParseAddr("10.0.0.2"), TTL: 64},
+		Payload: []byte("hello"),
+	}
+	src, dst := ipv4.MustParseAddr("192.0.2.1"), ipv4.MustParseAddr("192.0.2.2")
+
+	outer, err := c.Encapsulate(inner, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AppendEncap(inner, src, dst, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decapsulate(outer); err != nil {
+		t.Fatal(err)
+	}
+	// Failed decapsulation must not count.
+	if _, err := c.Decapsulate(inner); err == nil {
+		t.Fatal("expected decapsulation of a non-tunnel packet to fail")
+	}
+
+	if got := reg.Encaps.Value(); got != 2 {
+		t.Fatalf("global encaps = %d, want 2", got)
+	}
+	if got := reg.Decaps.Value(); got != 1 {
+		t.Fatalf("global decaps = %d, want 1", got)
+	}
+	if got := reg.Counter("ha/encaps").Value(); got != 2 {
+		t.Fatalf("ha/encaps = %d, want 2", got)
+	}
+	if got := reg.Counter("ha/decaps").Value(); got != 1 {
+		t.Fatalf("ha/decaps = %d, want 1", got)
+	}
+}
+
+func TestInstrumentNilRegistryPassthrough(t *testing.T) {
+	c := Instrument(GRE{}, nil, "mn")
+	if _, ok := c.(GRE); !ok {
+		t.Fatalf("nil registry must return the codec unwrapped, got %T", c)
+	}
+	ic := Instrument(MinEnc{}, metrics.NewRegistry(), "mn")
+	w, ok := ic.(*Instrumented)
+	if !ok {
+		t.Fatalf("got %T, want *Instrumented", ic)
+	}
+	if _, ok := w.Unwrap().(MinEnc); !ok {
+		t.Fatal("Unwrap must return the inner codec")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"mob4x4/internal/faults"
 	"mob4x4/internal/icmp"
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
 	"mob4x4/internal/mobileip"
 	"mob4x4/internal/stack"
 	"mob4x4/internal/tcplite"
@@ -52,10 +53,18 @@ type ChaosResult struct {
 	RegisteredAtEnd   bool
 	BindingsAtEnd     int
 
-	// Link-level damage tally.
+	// Link-level damage tally, read from the sim registry's drop-cause
+	// vector at end of run (the faults no longer keep private counts).
 	GEDrops        uint64
 	BlackholeDrops uint64
 	DownDrops      uint64
+
+	// Metrics is the registry snapshot after cleanup and drain; Series
+	// is the 2s-vtime sampler's trajectory through the storm. Both are
+	// pure functions of the seed, so the determinism and parallelism
+	// fixtures cover them for free.
+	Metrics metrics.Snapshot
+	Series  []metrics.Sample
 
 	// PostHealPing reports whether an echo to the home address completed
 	// after every fault lifted.
@@ -84,6 +93,8 @@ func RunChaos(seed int64) ChaosResult {
 	})
 	// Chaos reads counters and the fault log, never trace events.
 	s.Net.Sim.Trace.Discard()
+	// Sample the registry every 2s of vtime for the recovery trajectory.
+	samp := metrics.NewSampler(s.Net.Sched(), s.Net.Sim.Metrics, 2*Second)
 	// Enough retransmission budget to outlast the longest outage window.
 	s.MHTCP.MaxRetries = 12
 	s.CHFarTCP.MaxRetries = 12
@@ -182,14 +193,8 @@ func RunChaos(seed int64) ChaosResult {
 		bh = faults.BlackholeSource(uplink, s.MN.CareOf())
 	})
 	inj.CrashHomeAgent(at(6*Second), s.HA)
-	inj.At(at(10*Second), "heal backbone", func() {
-		res.GEDrops = ge.Drops
-		ge.Remove()
-	})
-	inj.At(at(14*Second), "remove blackhole", func() {
-		res.BlackholeDrops = bh.Drops
-		bh.Remove()
-	})
+	inj.At(at(10*Second), "heal backbone", func() { ge.Remove() })
+	inj.At(at(14*Second), "remove blackhole", func() { bh.Remove() })
 	inj.RestartHomeAgent(at(16*Second), s.HA)
 	inj.CutLink(at(18*Second), uplink, 4*Second)
 	inj.BounceInterface(at(24*Second), s.MN.Iface(), 500*Millisecond, s.MN.Reregister)
@@ -228,16 +233,24 @@ func RunChaos(seed int64) ChaosResult {
 	res.RecoveryProbes = s.MN.Stats.RecoveryProbes
 	res.RegisteredAtEnd = s.MN.Registered()
 	res.BindingsAtEnd = s.HA.Bindings()
-	res.DownDrops = uplink.DroppedDown
+	// Per-mechanism drop counts come from the one drop-cause vector the
+	// faults and the link layer share — no fault-object bookkeeping.
+	reg := s.Net.Sim.Metrics
+	res.GEDrops = reg.DropCount(metrics.DropGilbertElliott)
+	res.BlackholeDrops = reg.DropCount(metrics.DropBlackhole)
+	res.DownDrops = reg.DropCount(metrics.DropDown)
 	res.FaultLog = inj.Log()
 
 	// --- Cleanup: everything the run started must wind down. ---
+	samp.Stop() // before the drain: a rearming sampler never drains
 	conn.Close()
 	probeSock.Close()
 	srv.Close()
 	s.MN.GoHome(s.HomeLAN.Seg, s.HomeLAN.Gateway)
 	s.Net.Run() // drain every remaining timer (reassembly, ARP, FINs)
 	res.PendingAfterDrain = s.Net.Sched().Pending()
+	res.Metrics = reg.Snapshot()
+	res.Series = samp.Samples()
 
 	res.Violations = chaosInvariants(res)
 	return res

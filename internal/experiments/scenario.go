@@ -17,6 +17,7 @@ import (
 	"mob4x4/internal/icmphost"
 	"mob4x4/internal/inet"
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
 	"mob4x4/internal/mobileip"
 	"mob4x4/internal/netsim"
 	"mob4x4/internal/stack"
@@ -71,7 +72,20 @@ type Options struct {
 	RegLifetime      uint16
 	RegMaxRetries    int
 	RegProbeInterval vtime.Duration
+	// MetricsLabel names this scenario's registry when a collector is
+	// installed with SetCollector (default "seed=<Seed>").
+	MetricsLabel string
 }
+
+// collector, when non-nil, receives every scenario registry built in
+// this process. Install it once at startup (cmd tools) before any
+// Build; Register itself is safe under the parallel runners.
+var collector *metrics.Collector
+
+// SetCollector routes the registries of all subsequently built
+// scenarios into c (nil disables). Not safe to call concurrently with
+// Build.
+func SetCollector(c *metrics.Collector) { collector = c }
 
 // Scenario is the standard experiment topology:
 //
@@ -133,6 +147,13 @@ func Build(opts Options) *Scenario {
 	}
 	s := &Scenario{Opts: opts, Net: inet.New(opts.Seed + 1)}
 	n := s.Net
+	if collector != nil {
+		label := opts.MetricsLabel
+		if label == "" {
+			label = fmt.Sprintf("seed=%d", opts.Seed)
+		}
+		collector.Register(label, n.Sim.Metrics)
+	}
 
 	lanOpts := netsim.SegmentOpts{Latency: opts.LANLatency}
 	s.HomeLAN = n.AddLAN("home", "36.1.1.0/24", lanOpts)

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"testing"
+
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
+	"mob4x4/internal/netsim"
+)
+
+// TestDropCausesAreDistinct pins the faults→metrics contract: each fault
+// mechanism increments exactly one drop-cause counter in the sim's
+// registry, and nothing else. The chaos experiment's invariants (and any
+// future dashboard) depend on these causes never bleeding into each
+// other.
+func TestDropCausesAreDistinct(t *testing.T) {
+	victim := ipv4.MustParseAddr("128.9.1.50")
+
+	cases := []struct {
+		name  string
+		arm   func(sim *netsim.Sim, seg *netsim.Segment) // install the fault
+		fire  func(sim *netsim.Sim, tx, rx *netsim.NIC)  // provoke exactly one drop
+		cause metrics.DropCause
+	}{
+		{
+			name: "gilbert_elliott",
+			arm: func(sim *netsim.Sim, seg *netsim.Segment) {
+				ImpairLink(sim, seg, LinkFaultOpts{PGoodBad: 1, PBadGood: 0, BadLoss: 1})
+			},
+			fire: func(sim *netsim.Sim, tx, rx *netsim.NIC) {
+				send(tx, rx, []byte("doomed"))
+				sim.Sched.Run()
+			},
+			cause: metrics.DropGilbertElliott,
+		},
+		{
+			name: "blackhole",
+			arm: func(sim *netsim.Sim, seg *netsim.Segment) {
+				BlackholeSource(seg, victim)
+			},
+			fire: func(sim *netsim.Sim, tx, rx *netsim.NIC) {
+				send(tx, rx, ipv4Frame(victim))
+				sim.Sched.Run()
+			},
+			cause: metrics.DropBlackhole,
+		},
+		{
+			name: "partition",
+			arm: func(sim *netsim.Sim, seg *netsim.Segment) {
+				NewInjector(sim).CutLink(0, seg, 10e9)
+			},
+			fire: func(sim *netsim.Sim, tx, rx *netsim.NIC) {
+				sim.Sched.At(1e9, func() { send(tx, rx, []byte("into the void")) })
+				sim.Sched.Run()
+			},
+			cause: metrics.DropDown,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sim, seg, tx, rx, delivered := testPair(t)
+			tc.arm(sim, seg)
+			tc.fire(sim, tx, rx)
+
+			if *delivered != 0 {
+				t.Fatalf("frame delivered despite %s fault", tc.name)
+			}
+			for c := metrics.DropCause(0); c < metrics.NumDropCauses; c++ {
+				want := uint64(0)
+				if c == tc.cause {
+					want = 1
+				}
+				if got := sim.Metrics.DropCount(c); got != want {
+					t.Errorf("drop/%s = %d, want %d", c, got, want)
+				}
+			}
+		})
+	}
+}

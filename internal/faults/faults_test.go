@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
 	"mob4x4/internal/netsim"
 	"mob4x4/internal/stack"
 	"mob4x4/internal/vtime"
@@ -69,8 +70,8 @@ func TestGilbertElliottBadStateDropsEverything(t *testing.T) {
 	if *delivered != 0 {
 		t.Errorf("delivered %d frames through a 100%%-loss bad state", *delivered)
 	}
-	if lf.Drops != 10 || seg.DroppedFault != 10 {
-		t.Errorf("Drops = %d, DroppedFault = %d, want 10/10", lf.Drops, seg.DroppedFault)
+	if got := sim.Metrics.DropCount(metrics.DropGilbertElliott); got != 10 || seg.DroppedFault != 10 {
+		t.Errorf("gilbert_elliott drops = %d, DroppedFault = %d, want 10/10", got, seg.DroppedFault)
 	}
 	if !lf.InBadState() {
 		t.Error("chain should be pinned in the bad state")
@@ -115,7 +116,7 @@ func chaoticCounts(seed int64) [4]uint64 {
 		send(tx, rx, []byte{byte(k), byte(k >> 8)})
 	}
 	sim.Sched.Run()
-	return [4]uint64{lf.Drops, lf.Dups, lf.Corrupts, lf.Reorders}
+	return [4]uint64{sim.Metrics.DropCount(metrics.DropGilbertElliott), lf.Dups, lf.Corrupts, lf.Reorders}
 }
 
 func TestLinkFaultDeterministicPerSeed(t *testing.T) {
@@ -153,8 +154,8 @@ func TestBlackholeSourceMatchesOnlyThatSource(t *testing.T) {
 	if *delivered != 1 {
 		t.Errorf("delivered %d frames, want 1 (only the innocent source)", *delivered)
 	}
-	if bh.Drops != 2 {
-		t.Errorf("Drops = %d, want 2", bh.Drops)
+	if got := sim.Metrics.DropCount(metrics.DropBlackhole); got != 2 {
+		t.Errorf("blackhole drops = %d, want 2", got)
 	}
 
 	bh.Remove()

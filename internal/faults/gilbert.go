@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
 	"mob4x4/internal/netsim"
 	"mob4x4/internal/vtime"
 )
@@ -33,14 +34,16 @@ type LinkFaultOpts struct {
 
 // LinkFault is an installed link impairment: a Gilbert-Elliott loss chain
 // plus independent duplication / corruption / reordering draws, attached
-// to one segment's fault hook.
+// to one segment's fault hook. Drops are counted centrally: the verdict
+// attributes them to metrics.DropGilbertElliott, so the registry's
+// drop-cause vector — not a per-fault field — is the one source of
+// truth (read it with sim.Metrics.DropCount).
 type LinkFault struct {
 	seg  *netsim.Segment
 	opts LinkFaultOpts
 	rng  *rand.Rand
 	bad  bool
 
-	Drops    uint64
 	Dups     uint64
 	Corrupts uint64
 	Reorders uint64
@@ -72,8 +75,7 @@ func (lf *LinkFault) verdict(netsim.Frame) netsim.Impairment {
 		loss = lf.opts.BadLoss
 	}
 	if loss > 0 && lf.rng.Float64() < loss {
-		lf.Drops++
-		return netsim.Impairment{Drop: true}
+		return netsim.Impairment{Drop: true, Cause: metrics.DropGilbertElliott}
 	}
 	var imp netsim.Impairment
 	if lf.opts.DupRate > 0 && lf.rng.Float64() < lf.opts.DupRate {
@@ -104,11 +106,10 @@ func (lf *LinkFault) Remove() {
 // Blackhole silently discards IPv4 frames whose source address matches —
 // an ingress filter appearing mid-conversation (Section 3.1 of the
 // paper), from the sender's point of view: packets vanish with no error.
+// Drops land under metrics.DropBlackhole in the owning sim's registry.
 type Blackhole struct {
 	seg *netsim.Segment
 	src ipv4.Addr
-
-	Drops uint64
 }
 
 // BlackholeSource installs a blackhole on seg for IPv4 frames sourced
@@ -124,8 +125,7 @@ func (bh *Blackhole) verdict(f netsim.Frame) netsim.Impairment {
 	if f.Type == netsim.EtherTypeIPv4 && len(f.Payload) >= 20 &&
 		f.Payload[12] == bh.src[0] && f.Payload[13] == bh.src[1] &&
 		f.Payload[14] == bh.src[2] && f.Payload[15] == bh.src[3] {
-		bh.Drops++
-		return netsim.Impairment{Drop: true}
+		return netsim.Impairment{Drop: true, Cause: metrics.DropBlackhole}
 	}
 	return netsim.Impairment{}
 }

@@ -1,0 +1,271 @@
+// Package metrics is the deterministic observability layer for the
+// mobility reproduction. A Registry belongs to one netsim.Sim and is
+// updated single-threaded from inside the event loop, so instruments
+// carry no locks and no atomics: an increment is a plain integer add,
+// which is what keeps the steady-state forwarding path at zero
+// allocations and lets every metric be asserted byte-for-byte in tests
+// (the simulation is deterministic, therefore so are its counters).
+//
+// The registry has two tiers:
+//
+//   - Static hot families: fixed struct fields updated on the per-packet
+//     fast path (IP dispositions, link frames/bytes, encap/decap, the
+//     per-mode 4x4 packet/byte grids, the drop-cause vector). These are
+//     addressed at compile time — no map lookup, no interning, no
+//     allocation.
+//   - Named instruments: Counter/Gauge/Histogram looked up by string
+//     name. These are for control-plane events (registrations, moves,
+//     binding-table sizes) where a map lookup at setup time is fine;
+//     callers resolve the instrument once and keep the pointer.
+//
+// All timing flows through vtime; nothing here reads the wall clock.
+package metrics
+
+import "mob4x4/internal/vtime"
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is an instantaneous signed level (binding-table size, registered
+// flag). The zero value is ready to use.
+type Gauge struct{ v int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(n int64) { g.v = n }
+
+// Add moves the level by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v += delta }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Histogram accumulates observations into fixed upper-bound buckets
+// (ascending, in the unit the caller chooses — registration RTTs use
+// vtime nanoseconds). Observe is a linear scan over a handful of bounds:
+// no allocation, no branching on map state. counts has len(bounds)+1
+// entries; the last is the overflow bucket.
+type Histogram struct {
+	bounds []int64
+	counts []uint64
+	sum    int64
+	n      uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+// The bounds slice is retained; callers pass package-level arrays.
+func NewHistogram(bounds []int64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// ObserveDuration records a vtime duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d vtime.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// DefaultLatencyBuckets are nanosecond bounds spanning one LAN hop to a
+// badly-backed-off registration round trip.
+var DefaultLatencyBuckets = []int64{
+	1e6, 5e6, 10e6, 25e6, 50e6, 100e6, 250e6, 500e6, 1e9, 5e9,
+}
+
+// DropCause names why a packet died anywhere in the system — link faults,
+// stack dispositions, and injected failures share this one vector so the
+// chaos invariants (and the operator) read a single table instead of
+// cross-referencing tracer internals. DropFault is deliberately the zero
+// value: a netsim fault hook that drops without setting a cause still
+// lands in a real bucket.
+type DropCause int
+
+const (
+	// DropFault is a fault-hook drop with no more specific attribution.
+	DropFault DropCause = iota
+	// DropGilbertElliott is a loss-burst drop from the two-state channel.
+	DropGilbertElliott
+	// DropBlackhole is a drop by an injected silent-discard hook.
+	DropBlackhole
+	// DropDown is a frame offered to an administratively-down segment.
+	DropDown
+	// DropMTU is an oversized frame rejected by a segment.
+	DropMTU
+	// DropLoss is a segment's configured random loss.
+	DropLoss
+	// DropNoDest is a frame with no attached receiver on the segment.
+	DropNoDest
+	// DropFilter is a boundary-filter (ingress/egress) rejection.
+	DropFilter
+	// DropTTL is a forwardable packet whose TTL expired.
+	DropTTL
+	// DropNoRoute is a packet with no matching route.
+	DropNoRoute
+	// DropNoARP is a packet abandoned after ARP resolution failed.
+	DropNoARP
+	// DropMalformed is an unparseable IP header or bad reassembly.
+	DropMalformed
+	// DropNoProto is a delivered packet with no protocol handler.
+	DropNoProto
+	// DropFragNeeded is a DF-marked packet larger than the output MTU.
+	DropFragNeeded
+	// DropARPExpired is a packet shed from the ARP pending queue.
+	DropARPExpired
+
+	// NumDropCauses closes the enum (mob4x4vet:modeswitch sentinel).
+	NumDropCauses = 15
+)
+
+var dropCauseNames = [NumDropCauses]string{
+	"fault", "gilbert_elliott", "blackhole", "down", "mtu", "loss",
+	"no_dest", "filter", "ttl", "no_route", "no_arp", "malformed",
+	"no_proto", "frag_needed", "arp_expired",
+}
+
+// String returns the stable snake_case cause label used in snapshots.
+func (c DropCause) String() string {
+	if c < 0 || int(c) >= NumDropCauses {
+		return "invalid"
+	}
+	return dropCauseNames[c]
+}
+
+// NumModes is the side of the paper's grid. The registry deliberately
+// does not import core (core sits above netsim, which owns a Registry),
+// so the mode axes are mirrored here and cross-checked against
+// core.OutMode/core.InMode String() values by a test in experiments.
+const NumModes = 4
+
+// OutModeNames and InModeNames label the mode-indexed families below,
+// index-compatible with core.OutMode / core.InMode.
+var (
+	OutModeNames = [NumModes]string{"Out-IE", "Out-DE", "Out-DH", "Out-DT"}
+	InModeNames  = [NumModes]string{"In-IE", "In-DE", "In-DH", "In-DT"}
+)
+
+// Registry is one simulation's metric store.
+type Registry struct {
+	// IP dispositions (per-stack totals, summed over all hosts).
+	IPSent      Counter
+	IPForwarded Counter
+	IPDelivered Counter
+
+	// Link layer: frames and on-the-wire bytes actually carried.
+	LinkFrames Counter
+	LinkBytes  Counter
+
+	// Tunnel plumbing: encapsulations, decapsulations, and forwarding
+	// hops taken by packets still inside a tunnel (outer protocol is an
+	// encapsulation protocol).
+	Encaps         Counter
+	Decaps         Counter
+	TunnelForwards Counter
+
+	// The 4x4 grid, mobile-host centric: packets/bytes sent by the
+	// mobile host per Out mode, and delivered to it per In mode. Bytes
+	// count the inner (useful) packet, not tunnel overhead — overhead is
+	// Encaps × codec overhead, reported separately.
+	OutPackets [NumModes]Counter
+	OutBytes   [NumModes]Counter
+	InPackets  [NumModes]Counter
+	InBytes    [NumModes]Counter
+
+	drops [NumDropCauses]Counter
+
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Drop counts one packet death for the given cause. Out-of-range causes
+// (future enum growth crossing package versions) land in DropFault
+// rather than corrupting memory.
+func (r *Registry) Drop(c DropCause) {
+	if c < 0 || int(c) >= NumDropCauses {
+		c = DropFault
+	}
+	r.drops[c].Inc()
+}
+
+// DropN counts n packet deaths at once (batch sheds, e.g. an ARP queue
+// expiring with several packets waiting).
+func (r *Registry) DropN(c DropCause, n uint64) {
+	if c < 0 || int(c) >= NumDropCauses {
+		c = DropFault
+	}
+	r.drops[c].Add(n)
+}
+
+// DropCount returns the count for one cause.
+func (r *Registry) DropCount(c DropCause) uint64 {
+	if c < 0 || int(c) >= NumDropCauses {
+		return 0
+	}
+	return r.drops[c].Value()
+}
+
+// Counter returns the named counter, creating it on first use. Callers
+// on any hot path must resolve once at setup and keep the pointer.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use. Later calls ignore bounds (the first registration
+// wins), matching the resolve-once discipline.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h := NewHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}

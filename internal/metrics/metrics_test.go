@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mob4x4/internal/vtime"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 1+10+11+100+101+5000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	want := []uint64{2, 2, 2} // <=10, <=100, overflow
+	if !reflect.DeepEqual(h.counts, want) {
+		t.Fatalf("buckets = %v, want %v", h.counts, want)
+	}
+}
+
+func TestNamedInstrumentsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Fatal("Counter(name) must return the same instrument")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge(name) must return the same instrument")
+	}
+	if r.Histogram("h", DefaultLatencyBuckets) != r.Histogram("h", nil) {
+		t.Fatal("Histogram(name) must return the same instrument")
+	}
+}
+
+func TestDropCauseNamesAndBounds(t *testing.T) {
+	seen := map[string]bool{}
+	for c := 0; c < NumDropCauses; c++ {
+		name := DropCause(c).String()
+		if name == "" || name == "invalid" {
+			t.Fatalf("cause %d has no name", c)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate cause name %q", name)
+		}
+		seen[name] = true
+	}
+	if DropCause(-1).String() != "invalid" || DropCause(NumDropCauses).String() != "invalid" {
+		t.Fatal("out-of-range causes must stringify as invalid")
+	}
+	r := NewRegistry()
+	r.Drop(DropCause(99)) // out of range lands in the generic bucket
+	if r.DropCount(DropFault) != 1 {
+		t.Fatal("out-of-range drop must land in DropFault")
+	}
+	if r.DropCount(DropCause(99)) != 0 {
+		t.Fatal("out-of-range DropCount must read 0")
+	}
+}
+
+func TestSnapshotDeterministicAndSorted(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.IPForwarded.Add(3)
+		r.OutPackets[2].Inc()
+		r.InBytes[1].Add(40)
+		r.Drop(DropBlackhole)
+		r.Counter("mn/moves").Add(2)
+		r.Gauge("ha/bindings").Set(1)
+		r.Histogram("mn/reg_rtt", DefaultLatencyBuckets).Observe(3e6)
+		return r
+	}
+	s1, s2 := build().Snapshot(), build().Snapshot()
+	if !bytes.Equal(s1.JSON(), s2.JSON()) {
+		t.Fatal("identical registries must snapshot to identical JSON")
+	}
+	for i := 1; i < len(s1.Counters); i++ {
+		if s1.Counters[i-1].Name >= s1.Counters[i].Name {
+			t.Fatalf("counters not strictly sorted: %q >= %q", s1.Counters[i-1].Name, s1.Counters[i].Name)
+		}
+	}
+	if v, ok := s1.Counter("ip/forwarded"); !ok || v != 3 {
+		t.Fatalf("Counter lookup = %d,%v", v, ok)
+	}
+	if _, ok := s1.Counter("ip/sent"); ok {
+		t.Fatal("zero static counter must be elided")
+	}
+	if v, ok := s1.Counter("grid/out_pkts{Out-DH}"); !ok || v != 1 {
+		t.Fatalf("mode counter = %d,%v", v, ok)
+	}
+	if v, ok := s1.Counter("drop/blackhole"); !ok || v != 1 {
+		t.Fatalf("drop counter = %d,%v", v, ok)
+	}
+	var txt strings.Builder
+	if err := s1.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "mn/reg_rtt count=1 sum=3000000") {
+		t.Fatalf("text dump missing histogram line:\n%s", txt.String())
+	}
+	if !strings.Contains(txt.String(), "ha/bindings 1") {
+		t.Fatalf("text dump missing gauge line:\n%s", txt.String())
+	}
+}
+
+func TestSamplerSeriesAndStop(t *testing.T) {
+	sched := vtime.NewScheduler(1)
+	r := NewRegistry()
+	samp := NewSampler(sched, r, 10)
+	sched.After(5, func() { r.IPSent.Inc() })
+	sched.After(15, func() { r.IPSent.Inc() })
+	sched.RunUntil(25)
+	samp.Stop()
+	sched.RunUntil(100)
+	got := samp.Samples()
+	if len(got) != 2 {
+		t.Fatalf("samples = %d, want 2 (stop must cancel future samples)", len(got))
+	}
+	if got[0].At != 10 || got[1].At != 20 {
+		t.Fatalf("sample times = %v, %v", got[0].At, got[1].At)
+	}
+	v0, _ := got[0].Snap.Counter("ip/sent")
+	v1, _ := got[1].Snap.Counter("ip/sent")
+	if v0 != 1 || v1 != 2 {
+		t.Fatalf("sampled values = %d, %d, want 1, 2", v0, v1)
+	}
+	if sched.Pending() != 0 {
+		t.Fatalf("stopped sampler left %d pending events", sched.Pending())
+	}
+
+	var tsv strings.Builder
+	if err := WriteTSV(&tsv, got, "ip/sent", "absent"); err != nil {
+		t.Fatal(err)
+	}
+	want := "vtime_ns\tip/sent\tabsent\n10\t1\t0\n20\t2\t0\n"
+	if tsv.String() != want {
+		t.Fatalf("tsv = %q, want %q", tsv.String(), want)
+	}
+}
+
+func TestCollectorSortedByLabel(t *testing.T) {
+	var c Collector
+	rb := NewRegistry()
+	rb.IPSent.Inc()
+	ra := NewRegistry()
+	ra.IPForwarded.Inc()
+	c.Register("seed=2", rb)
+	c.Register("seed=1", ra)
+	c.Register("", nil) // nil registry is ignored
+	snaps := c.Snapshots()
+	if len(snaps) != 2 || snaps[0].Label != "seed=1" || snaps[1].Label != "seed=2" {
+		t.Fatalf("snapshots out of order: %+v", snaps)
+	}
+	var txt strings.Builder
+	if err := c.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "== seed=1 ==\nip/forwarded 1\n") {
+		t.Fatalf("collector text dump:\n%s", txt.String())
+	}
+}

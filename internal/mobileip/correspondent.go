@@ -8,6 +8,7 @@ import (
 	"mob4x4/internal/icmp"
 	"mob4x4/internal/icmphost"
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
 	"mob4x4/internal/netsim"
 	"mob4x4/internal/stack"
 	"mob4x4/internal/vtime"
@@ -56,6 +57,11 @@ type Correspondent struct {
 	inDE stack.Route
 
 	Stats CorrespondentStats
+
+	// Metric instruments, resolved once at construction.
+	mLearned *metrics.Counter
+	mSentDE  *metrics.Counter
+	mSentDH  *metrics.Counter
 }
 
 // NewCorrespondent installs correspondent-side mobility support on host.
@@ -65,11 +71,18 @@ func NewCorrespondent(host *stack.Host, ic *icmphost.ICMP, cfg CorrespondentConf
 	if cfg.Codec == nil {
 		cfg.Codec = encap.IPIP{}
 	}
+	// Count tunnel work under the "ch" role alongside the registry's
+	// global Encaps/Decaps totals.
+	cfg.Codec = encap.Instrument(cfg.Codec, host.Sim().Metrics, "ch")
+	reg := host.Sim().Metrics
 	c := &Correspondent{
-		host:   host,
-		cfg:    cfg,
-		policy: core.NewCorrespondentPolicy(cfg.MobileAware),
-		expiry: make(map[ipv4.Addr]*vtime.Timer),
+		host:     host,
+		cfg:      cfg,
+		policy:   core.NewCorrespondentPolicy(cfg.MobileAware),
+		expiry:   make(map[ipv4.Addr]*vtime.Timer),
+		mLearned: reg.Counter("ch/bindings_learned"),
+		mSentDE:  reg.Counter("ch/sent_in_de"),
+		mSentDH:  reg.Counter("ch/sent_in_dh"),
 	}
 	c.inDH = stack.Route{Name: "mip-ch-samelink", Output: c.sameLinkOutput}
 	c.inDE = stack.Route{Name: "mip-ch-tunnel", Output: c.tunnelOutput}
@@ -101,6 +114,7 @@ func (c *Correspondent) LearnBinding(b core.Binding, lifetimeSec uint16) {
 	}
 	c.policy.LearnBinding(b)
 	c.Stats.BindingsLearned++
+	c.mLearned.Inc()
 	// Same-segment detection: if the care-of address is on one of our
 	// own links, In-DH beats In-DE.
 	onLink := false
@@ -174,12 +188,14 @@ func (c *Correspondent) routeOverride(pkt *ipv4.Packet) (stack.Route, bool) {
 			return stack.Route{}, false
 		}
 		c.Stats.SentInDH++
+		c.mSentDH.Inc()
 		return c.inDH, true
 	case core.InDE:
 		if _, ok := c.policy.Binding(pkt.Dst); !ok {
 			return stack.Route{}, false
 		}
 		c.Stats.SentInDE++
+		c.mSentDE.Inc()
 		if pkt.Src.IsZero() {
 			pkt.Src = c.host.SourceForDestinationPlain(pkt.Dst)
 		}

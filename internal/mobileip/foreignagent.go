@@ -71,6 +71,8 @@ func NewForeignAgent(host *stack.Host, iface *stack.Iface, cfg ForeignAgentConfi
 	if cfg.VisitorLifetime == 0 {
 		cfg.VisitorLifetime = 300
 	}
+	// Count decapsulations for visitors under the "fa" role.
+	cfg.Codec = encap.Instrument(cfg.Codec, host.Sim().Metrics, "fa")
 	fa := &ForeignAgent{
 		host:     host,
 		iface:    iface,

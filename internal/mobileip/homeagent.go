@@ -7,6 +7,7 @@ import (
 	"mob4x4/internal/encap"
 	"mob4x4/internal/icmp"
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
 	"mob4x4/internal/netsim"
 	"mob4x4/internal/stack"
 	"mob4x4/internal/udp"
@@ -79,6 +80,13 @@ type HomeAgent struct {
 	crashed bool
 
 	Stats HomeAgentStats
+
+	// Metric instruments, resolved once at construction.
+	bindGauge  *metrics.Gauge
+	mForwarded *metrics.Counter
+	mReverse   *metrics.Counter
+	mNotices   *metrics.Counter
+	mExpiries  *metrics.Counter
 }
 
 // NewHomeAgent starts a home agent on host, using iface as the
@@ -91,11 +99,20 @@ func NewHomeAgent(host *stack.Host, iface *stack.Iface, cfg HomeAgentConfig) (*H
 	if cfg.NoticeLifetime == 0 {
 		cfg.NoticeLifetime = 60
 	}
+	// Count tunnel work under the "ha" role alongside the registry's
+	// global Encaps/Decaps totals.
+	cfg.Codec = encap.Instrument(cfg.Codec, host.Sim().Metrics, "ha")
+	reg := host.Sim().Metrics
 	ha := &HomeAgent{
-		host:     host,
-		iface:    iface,
-		cfg:      cfg,
-		bindings: make(map[ipv4.Addr]*binding),
+		host:       host,
+		iface:      iface,
+		cfg:        cfg,
+		bindings:   make(map[ipv4.Addr]*binding),
+		bindGauge:  reg.Gauge("ha/bindings"),
+		mForwarded: reg.Counter("ha/forwarded"),
+		mReverse:   reg.Counter("ha/reverse_relayed"),
+		mNotices:   reg.Counter("ha/notices_sent"),
+		mExpiries:  reg.Counter("ha/expiries"),
 	}
 	sock, err := host.OpenUDP(ipv4.Zero, udp.PortRegistration, ha.handleRegistration)
 	if err != nil {
@@ -152,6 +169,7 @@ func (ha *HomeAgent) Crash() {
 		ha.iface.Proxy().Remove(home)
 	}
 	ha.bindings = make(map[ipv4.Addr]*binding)
+	ha.bindGauge.Set(0)
 	ha.relayGroups = nil
 	ha.host.Sim().Trace.Record(netsim.Event{
 		Kind: netsim.EventNote, Time: ha.host.Sim().Now(), Where: ha.host.Name(),
@@ -268,8 +286,10 @@ func (ha *HomeAgent) register(req *Request) {
 	lifetime := vtime.Duration(req.Lifetime) * 1e9
 	b.expiry = ha.host.Sched().After(lifetime, func() {
 		ha.Stats.Expiries++
+		ha.mExpiries.Inc()
 		ha.deregister(home)
 	})
+	ha.bindGauge.Set(int64(len(ha.bindings)))
 	var detail string
 	if ha.host.Sim().Trace.Detailing() {
 		detail = fmt.Sprintf("binding %s -> %s lifetime=%ds", req.Home, req.CareOf, req.Lifetime)
@@ -289,6 +309,7 @@ func (ha *HomeAgent) deregister(home ipv4.Addr) {
 		b.expiry.Stop()
 	}
 	delete(ha.bindings, home)
+	ha.bindGauge.Set(int64(len(ha.bindings)))
 	ha.host.Unclaim(home)
 	ha.iface.Proxy().Remove(home)
 	var detail string
@@ -320,6 +341,7 @@ func (ha *HomeAgent) forwardToMobile(home ipv4.Addr, pkt ipv4.Packet) {
 		return
 	}
 	ha.Stats.Forwarded++
+	ha.mForwarded.Inc()
 	var detail string
 	if ha.host.Sim().Trace.Detailing() {
 		detail = tunnelDetail(ha.Addr(), b.careOf, pkt.Src, pkt.Dst)
@@ -345,6 +367,7 @@ func (ha *HomeAgent) forwardToMobile(home ipv4.Addr, pkt ipv4.Packet) {
 func (ha *HomeAgent) sendBindingNotice(to, home, careOf ipv4.Addr) {
 	msg := icmp.BindingNotice(home, careOf, ha.cfg.NoticeLifetime)
 	ha.Stats.NoticesSent++
+	ha.mNotices.Inc()
 	_ = ha.host.SendIP(ipv4.Packet{
 		Header:  ipv4.Header{Protocol: ipv4.ProtoICMP, Src: ha.Addr(), Dst: to},
 		Payload: msg.Marshal(),
@@ -385,6 +408,7 @@ func (ha *HomeAgent) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
 		}
 	}
 	ha.Stats.ReverseRelayed++
+	ha.mReverse.Inc()
 	var detail string
 	if ha.host.Sim().Trace.Detailing() {
 		detail = decapDetail("reverse tunnel: ", inner.Src, inner.Dst)

@@ -7,6 +7,7 @@ import (
 	"mob4x4/internal/core"
 	"mob4x4/internal/encap"
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
 	"mob4x4/internal/netsim"
 	"mob4x4/internal/stack"
 	"mob4x4/internal/udp"
@@ -122,6 +123,18 @@ type MobileNode struct {
 	OnRegistrationLost func()
 
 	Stats MobileNodeStats
+
+	// Metric instruments, resolved once at construction so the
+	// per-packet and per-exchange cost is a plain increment.
+	reg           *metrics.Registry
+	regGauge      *metrics.Gauge
+	regRTT        *metrics.Histogram
+	mRegs         *metrics.Counter
+	mRegFails     *metrics.Counter
+	mRenewals     *metrics.Counter
+	mProbes       *metrics.Counter
+	mMoves        *metrics.Counter
+	regExchangeAt vtime.Time
 }
 
 // NewMobileNode installs mobility support on host. The host must already
@@ -148,12 +161,24 @@ func NewMobileNode(host *stack.Host, ifc *stack.Iface, cfg MobileNodeConfig) (*M
 	if cfg.Ports == nil {
 		cfg.Ports = core.DefaultPortHeuristic()
 	}
+	// Count tunnel work (global Encaps/Decaps plus "mn/..." role
+	// counters) without touching the codec implementations.
+	cfg.Codec = encap.Instrument(cfg.Codec, host.Sim().Metrics, "mn")
+	reg := host.Sim().Metrics
 	mn := &MobileNode{
-		host:   host,
-		ifc:    ifc,
-		cfg:    cfg,
-		careOf: cfg.Home,
-		atHome: true,
+		host:      host,
+		ifc:       ifc,
+		cfg:       cfg,
+		careOf:    cfg.Home,
+		atHome:    true,
+		reg:       reg,
+		regGauge:  reg.Gauge("mn/registered"),
+		regRTT:    reg.Histogram("mn/reg_rtt_ns", metrics.DefaultLatencyBuckets),
+		mRegs:     reg.Counter("mn/registrations"),
+		mRegFails: reg.Counter("mn/registration_fails"),
+		mRenewals: reg.Counter("mn/renewals"),
+		mProbes:   reg.Counter("mn/recovery_probes"),
+		mMoves:    reg.Counter("mn/moves"),
 	}
 	mn.tunIE = stack.Route{Name: "mip-tunnel", Output: func(inner ipv4.Packet) {
 		mn.tunnelOutput(inner, mn.cfg.HomeAgent)
@@ -167,6 +192,9 @@ func NewMobileNode(host *stack.Host, ifc *stack.Iface, cfg MobileNodeConfig) (*M
 	host.Handle(cfg.Codec.Proto(), mn.handleTunneled)
 	// The mobility policy consults us before the route table.
 	host.RouteOverride = mn.routeOverride
+	// Classify over-the-wire arrivals into the In-mode half of the grid
+	// (tunneled arrivals are classified at decapsulation instead).
+	host.DeliveryHook = mn.classifyDelivery
 	sock, err := host.OpenUDP(ipv4.Zero, 0, mn.handleRegistrationReply)
 	if err != nil {
 		return nil, fmt.Errorf("mobileip: mobile node: %w", err)
@@ -195,6 +223,17 @@ func (mn *MobileNode) AtHome() bool { return mn.atHome }
 // with the home agent.
 func (mn *MobileNode) Registered() bool { return mn.registered }
 
+// setRegistered updates the flag and mirrors it into the mn/registered
+// gauge, so time-series samples show binding possession over time.
+func (mn *MobileNode) setRegistered(v bool) {
+	mn.registered = v
+	if v {
+		mn.regGauge.Set(1)
+	} else {
+		mn.regGauge.Set(0)
+	}
+}
+
 // Selector exposes the outgoing-mode engine (experiments feed it
 // retransmission signals).
 func (mn *MobileNode) Selector() *core.Selector { return mn.cfg.Selector }
@@ -208,11 +247,12 @@ func (mn *MobileNode) SetPrivacy(v bool) { mn.cfg.Privacy = v }
 // must again inform its home agent of its new location").
 func (mn *MobileNode) MoveTo(seg *netsim.Segment, careOf ipv4.Addr, prefix ipv4.Prefix, gateway ipv4.Addr) {
 	mn.cancelTimers()
-	mn.registered = false
+	mn.setRegistered(false)
 	mn.atHome = false
 	mn.viaFA = false
 	mn.careOf = careOf
 	mn.Stats.Moves++
+	mn.mMoves.Inc()
 	mn.ifc.Attach(seg)
 	mn.ifc.SetAddr(careOf, prefix)
 	mn.host.Routes().Remove(ipv4.Prefix{}) // old default route
@@ -234,11 +274,12 @@ func (mn *MobileNode) MoveTo(seg *netsim.Segment, careOf ipv4.Addr, prefix ipv4.
 // care-of address; registration is relayed through the agent.
 func (mn *MobileNode) MoveToForeignAgent(seg *netsim.Segment, faAddr ipv4.Addr) {
 	mn.cancelTimers()
-	mn.registered = false
+	mn.setRegistered(false)
 	mn.atHome = false
 	mn.viaFA = true
 	mn.careOf = faAddr
 	mn.Stats.Moves++
+	mn.mMoves.Inc()
 	mn.ifc.Attach(seg)
 	// Keep the home address; no on-link prefix is configured because the
 	// home address is not topologically valid here. The node answers ARP
@@ -260,6 +301,7 @@ func (mn *MobileNode) ViaForeignAgent() bool { return mn.viaFA }
 func (mn *MobileNode) GoHome(seg *netsim.Segment, gateway ipv4.Addr) {
 	mn.cancelTimers()
 	mn.Stats.Moves++
+	mn.mMoves.Inc()
 	mn.ifc.Attach(seg)
 	mn.ifc.SetAddr(mn.cfg.Home, mn.cfg.HomePrefix)
 	mn.host.Routes().Remove(ipv4.Prefix{})
@@ -269,7 +311,7 @@ func (mn *MobileNode) GoHome(seg *netsim.Segment, gateway ipv4.Addr) {
 	mn.careOf = mn.cfg.Home
 	mn.atHome = true
 	mn.viaFA = false
-	mn.registered = false
+	mn.setRegistered(false)
 	mn.cfg.Selector.Reset()
 	// Deregister and reclaim our address on the home segment.
 	mn.sendRegistration(0, mn.cfg.Home)
@@ -282,7 +324,7 @@ func (mn *MobileNode) GoHome(seg *netsim.Segment, gateway ipv4.Addr) {
 // (MoveTo/DHCP), or is explicitly returned home (GoHome).
 func (mn *MobileNode) Detach() {
 	mn.cancelTimers()
-	mn.registered = false
+	mn.setRegistered(false)
 	mn.atHome = false
 	mn.ifc.Detach()
 }
@@ -309,7 +351,7 @@ func (mn *MobileNode) Reregister() {
 		return
 	}
 	mn.cancelTimers()
-	mn.registered = false
+	mn.setRegistered(false)
 	mn.startExchange()
 }
 
@@ -320,6 +362,7 @@ func (mn *MobileNode) startExchange() {
 	mn.regTries = 0
 	mn.regBackoff = mn.cfg.RegRetryInterval
 	mn.awaitingReply = true
+	mn.regExchangeAt = mn.host.Sim().Now()
 	mn.sendRegistration(mn.cfg.Lifetime, mn.careOf)
 	mn.armRegRetry()
 }
@@ -382,8 +425,9 @@ func (mn *MobileNode) onRegRetry() {
 	mn.regTries++
 	if mn.regTries >= mn.cfg.RegMaxRetries {
 		mn.awaitingReply = false
-		mn.registered = false
+		mn.setRegistered(false)
 		mn.Stats.RegistrationFails++
+		mn.mRegFails.Inc()
 		var detail string
 		if mn.host.Sim().Trace.Detailing() {
 			detail = "registration abandoned: retries exhausted"
@@ -423,6 +467,7 @@ func (mn *MobileNode) onRecoveryProbe() {
 		return
 	}
 	mn.Stats.RecoveryProbes++
+	mn.mProbes.Inc()
 	mn.startExchange()
 }
 
@@ -431,6 +476,7 @@ func (mn *MobileNode) onRenew() {
 		return
 	}
 	mn.Stats.Renewals++
+	mn.mRenewals.Inc()
 	mn.startExchange()
 }
 
@@ -445,6 +491,7 @@ func (mn *MobileNode) handleRegistrationReply(src ipv4.Addr, srcPort uint16, dst
 	}
 	if rep.Code != CodeAccepted {
 		mn.Stats.RegistrationFails++
+		mn.mRegFails.Inc()
 		return
 	}
 	if rep.Lifetime == 0 {
@@ -452,10 +499,16 @@ func (mn *MobileNode) handleRegistrationReply(src ipv4.Addr, srcPort uint16, dst
 	}
 	mn.regTimer.Stop()
 	mn.probeTimer.Stop()
+	if mn.awaitingReply {
+		// Exchange latency: first transmission of this exchange to the
+		// accepted reply, including any retransmission backoff.
+		mn.regRTT.ObserveDuration(mn.host.Sim().Now().Sub(mn.regExchangeAt))
+	}
 	mn.awaitingReply = false
 	first := !mn.registered
-	mn.registered = true
+	mn.setRegistered(true)
 	mn.Stats.Registrations++
+	mn.mRegs.Inc()
 	var detail string
 	if mn.host.Sim().Trace.Detailing() {
 		detail = fmt.Sprintf("registered %s -> %s lifetime=%ds", mn.cfg.Home, mn.careOf, rep.Lifetime)
@@ -476,6 +529,36 @@ func (mn *MobileNode) handleRegistrationReply(src ipv4.Addr, srcPort uint16, dst
 	}
 }
 
+// classifyDelivery is the stack's DeliveryHook: it files every genuine
+// over-the-wire arrival (ifc == nil marks loopback/resubmitted inner
+// packets, which are skipped — their tunnel was classified at decap
+// time) into the In-mode half of the 4x4 grid. Packets to the home
+// address while away are In-DH (link-direct delivery, Section 5);
+// packets to the care-of address are In-DT — including registration
+// replies, which per Section 6.4 have no other mode available. Tunnel
+// outers to the care-of address are skipped here and counted as
+// In-IE/In-DE after decapsulation.
+func (mn *MobileNode) classifyDelivery(ifc *stack.Iface, pkt ipv4.Packet) {
+	if ifc == nil || mn.atHome {
+		return
+	}
+	switch pkt.Dst {
+	case mn.cfg.Home:
+		if pkt.Protocol == mn.cfg.Codec.Proto() {
+			return // tunneled to the home address: classified at decap
+		}
+		mn.Stats.InDirect++
+		mn.reg.InPackets[core.InDH].Inc()
+		mn.reg.InBytes[core.InDH].Add(uint64(pkt.TotalLen()))
+	case mn.careOf:
+		if pkt.Protocol == mn.cfg.Codec.Proto() {
+			return // tunnel outer: classified at decap
+		}
+		mn.reg.InPackets[core.InDT].Inc()
+		mn.reg.InBytes[core.InDT].Add(uint64(pkt.TotalLen()))
+	}
+}
+
 // handleTunneled decapsulates packets tunneled to our care-of address and
 // re-injects the inner packet (addressed to the home address, which we
 // claim, so it is delivered locally).
@@ -485,6 +568,14 @@ func (mn *MobileNode) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
 		return
 	}
 	mn.Stats.InTunneled++
+	// In-IE when the tunnel entry point was the home agent, In-DE when a
+	// correspondent encapsulated directly to us (Section 4's columns).
+	inMode := core.InDE
+	if outer.Src == mn.cfg.HomeAgent {
+		inMode = core.InIE
+	}
+	mn.reg.InPackets[inMode].Inc()
+	mn.reg.InBytes[inMode].Add(uint64(inner.TotalLen()))
 	if inner.Dst.IsMulticast() {
 		// Group traffic relayed by the home agent (Section 6.4's
 		// tunneled alternative): deliver to our own subscribers.
@@ -515,6 +606,14 @@ func transportDstPort(pkt *ipv4.Packet) (uint16, bool) {
 	return binary.BigEndian.Uint16(pkt.Payload[2:4]), true
 }
 
+// countOut files one outgoing packet under its Out mode, in both the
+// legacy per-node stats and the registry's grid families.
+func (mn *MobileNode) countOut(mode core.OutMode, pkt *ipv4.Packet) {
+	mn.Stats.OutByMode[mode]++
+	mn.reg.OutPackets[mode].Inc()
+	mn.reg.OutBytes[mode].Add(uint64(pkt.TotalLen()))
+}
+
 // routeOverride is the paper's policy-table-before-route-table hook. It
 // decides, per packet, which of the four outgoing modes to use and either
 // routes the packet onto the tunnel virtual interface (encapsulated
@@ -528,7 +627,7 @@ func (mn *MobileNode) routeOverride(pkt *ipv4.Packet) (stack.Route, bool) {
 		// outgoing traffic is plain IP from the home address, routed
 		// via the agent (the restriction Section 2 criticizes).
 		pkt.Src = mn.cfg.Home
-		mn.Stats.OutByMode[core.OutDH]++
+		mn.countOut(core.OutDH, pkt)
 		return stack.Route{}, false
 	}
 	// Never intercept our own registration/tunnel machinery, and honor
@@ -538,13 +637,13 @@ func (mn *MobileNode) routeOverride(pkt *ipv4.Packet) (stack.Route, bool) {
 	// physical interface(s), then the packets sent through that socket
 	// are sent directly", §7.1.1) — is Out-DT by application request.
 	if pkt.Src == mn.careOf {
-		mn.Stats.OutByMode[core.OutDT]++
+		mn.countOut(core.OutDT, pkt)
 		return stack.Route{}, false
 	}
 	if !pkt.Src.IsZero() && pkt.Src != mn.cfg.Home {
 		for _, ifc := range mn.host.Ifaces() {
 			if ifc.Addr() == pkt.Src {
-				mn.Stats.OutByMode[core.OutDT]++
+				mn.countOut(core.OutDT, pkt)
 				return stack.Route{}, false
 			}
 		}
@@ -571,7 +670,7 @@ func (mn *MobileNode) routeOverride(pkt *ipv4.Packet) (stack.Route, bool) {
 	default:
 		mode = core.Decide(mn.cfg.Selector, mn.cfg.Ports, pref, pkt.Dst, dstPort).Mode
 	}
-	mn.Stats.OutByMode[mode]++
+	mn.countOut(mode, pkt)
 
 	switch mode {
 	case core.OutDT:

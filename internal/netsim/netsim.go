@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strconv"
 
+	"mob4x4/internal/metrics"
 	"mob4x4/internal/vtime"
 )
 
@@ -64,8 +65,14 @@ const FrameHeaderLen = 14
 // Sim is the simulation container: scheduler, tracer, and allocation of
 // unique identifiers. Create one per experiment.
 type Sim struct {
-	Sched    *vtime.Scheduler
-	Trace    *Tracer
+	Sched *vtime.Scheduler
+	Trace *Tracer
+	// Metrics is the simulation-wide metric registry. Everything above
+	// the link layer (stack, mobileip, faults) funnels counts here; like
+	// the scheduler it is per-Sim state, updated single-threaded from
+	// inside the event loop, so parallel experiment workers never share
+	// an instrument.
+	Metrics  *metrics.Registry
 	nextMAC  MAC
 	segments []*Segment
 }
@@ -75,6 +82,7 @@ func NewSim(seed int64) *Sim {
 	return &Sim{
 		Sched:   vtime.NewScheduler(seed),
 		Trace:   NewTracer(),
+		Metrics: metrics.NewRegistry(),
 		nextMAC: 0x0200_0000_0001, // locally administered range
 	}
 }
@@ -210,6 +218,12 @@ func (seg *Segment) NICs() []*NIC { return seg.nics }
 type Impairment struct {
 	// Drop discards the frame (counted in DroppedFault).
 	Drop bool
+	// Cause attributes a Drop in the metrics drop-cause vector. The zero
+	// value is metrics.DropFault, so hooks that don't care still count
+	// under the generic fault bucket; the faults package sets specific
+	// causes (gilbert_elliott, blackhole) so chaos invariants can read
+	// per-mechanism counts from one registry.
+	Cause metrics.DropCause
 	// Duplicate delivers a second, independent copy of the frame at the
 	// same delay (counted in DuplicatedFrames).
 	Duplicate bool
@@ -243,6 +257,7 @@ func (seg *Segment) Down() bool { return seg.down }
 //go:noinline
 func (seg *Segment) dropDown(f Frame) {
 	seg.DroppedDown++
+	seg.sim.Metrics.Drop(metrics.DropDown)
 	seg.sim.Trace.record(Event{Kind: EventDropDown, Time: seg.sim.Now(), Where: seg.name})
 	PutBuf(f.Buf)
 }
@@ -307,6 +322,7 @@ func (seg *Segment) send(from *NIC, f Frame) {
 	}
 	if len(f.Payload) > seg.opts.MTU {
 		seg.DroppedMTU++
+		seg.sim.Metrics.Drop(metrics.DropMTU)
 		var detail string
 		if seg.sim.Trace.Detailing() {
 			var buf [40]byte
@@ -325,6 +341,7 @@ func (seg *Segment) send(from *NIC, f Frame) {
 	}
 	if seg.opts.LossRate > 0 && seg.sim.Sched.Rand().Float64() < seg.opts.LossRate {
 		seg.DroppedLoss++
+		seg.sim.Metrics.Drop(metrics.DropLoss)
 		seg.sim.Trace.record(Event{Kind: EventDropLoss, Time: seg.sim.Now(), Where: seg.name})
 		PutBuf(f.Buf)
 		return
@@ -334,6 +351,7 @@ func (seg *Segment) send(from *NIC, f Frame) {
 		imp = seg.fault(f)
 		if imp.Drop {
 			seg.DroppedFault++
+			seg.sim.Metrics.Drop(imp.Cause)
 			seg.sim.Trace.record(Event{Kind: EventDropFault, Time: seg.sim.Now(), Where: seg.name})
 			PutBuf(f.Buf)
 			return
@@ -350,6 +368,8 @@ func (seg *Segment) send(from *NIC, f Frame) {
 	}
 	wireBytes := len(f.Payload) + FrameHeaderLen
 	seg.BytesCarried += uint64(wireBytes)
+	seg.sim.Metrics.LinkFrames.Inc()
+	seg.sim.Metrics.LinkBytes.Add(uint64(wireBytes))
 	// Snapshot receivers now; attach/detach during flight should not
 	// retroactively affect this frame. The snapshot lives in a pooled
 	// delivery job so a steady-state hop allocates nothing.
@@ -383,6 +403,7 @@ func (seg *Segment) send(from *NIC, f Frame) {
 	}
 	if len(d.dests) == 0 {
 		seg.DroppedNoDest++
+		seg.sim.Metrics.Drop(metrics.DropNoDest)
 		seg.sim.Trace.record(Event{Kind: EventDropNoDest, Time: seg.sim.Now(), Where: seg.name})
 		PutBuf(f.Buf)
 		releaseDelivery(d)

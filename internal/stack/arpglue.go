@@ -3,6 +3,7 @@ package stack
 import (
 	"mob4x4/internal/arp"
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
 	"mob4x4/internal/netsim"
 	"mob4x4/internal/vtime"
 )
@@ -44,6 +45,7 @@ func (i *Iface) resolveAndSend(nexthop ipv4.Addr, pkt ipv4.Packet) {
 	if limit := i.host.ARPQueueLimit; limit > 0 && len(job.pkts) >= limit {
 		drop := len(job.pkts) - limit + 1
 		i.host.Stats.DroppedARPExpired += uint64(drop)
+		i.host.metrics.DropN(metrics.DropARPExpired, uint64(drop))
 		copy(job.pkts, job.pkts[drop:])
 		job.pkts = job.pkts[:len(job.pkts)-drop]
 	}
@@ -69,6 +71,7 @@ func (i *Iface) armARPTimer(target ipv4.Addr, job *resolveJob) {
 		delete(i.pending, target)
 		i.host.Stats.DropNoARP += uint64(len(job.pkts))
 		i.host.Stats.DroppedARPExpired += uint64(len(job.pkts))
+		i.host.metrics.DropN(metrics.DropNoARP, uint64(len(job.pkts)))
 		for _, p := range job.pkts {
 			i.host.sim.Trace.Record(netsim.Event{
 				Kind: netsim.EventDropNoRoute, Time: i.host.sim.Now(),

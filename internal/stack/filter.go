@@ -2,6 +2,7 @@ package stack
 
 import (
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
 	"mob4x4/internal/netsim"
 )
 
@@ -91,6 +92,7 @@ func (f *FilterPolicy) checkEgress(iface *Iface, pkt *ipv4.Packet) bool {
 
 func (h *Host) traceFilterDrop(direction string, iface *Iface, pkt *ipv4.Packet) {
 	h.Stats.DropFilter++
+	h.metrics.Drop(metrics.DropFilter)
 	var detail string
 	if h.sim.Trace.Detailing() {
 		detail = filterDetail(direction, iface.nic.Name(), pkt.Src, pkt.Dst)

@@ -14,6 +14,7 @@ package stack
 import (
 	"mob4x4/internal/arp"
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
 	"mob4x4/internal/netsim"
 	"mob4x4/internal/vtime"
 )
@@ -48,8 +49,11 @@ type Stats struct {
 
 // Host is a simulated IP node.
 type Host struct {
-	sim  *netsim.Sim
-	name string
+	sim *netsim.Sim
+	// metrics caches sim.Metrics so hot-path increments are one pointer
+	// chase, not two.
+	metrics *metrics.Registry
+	name    string
 
 	ifaces []*Iface
 
@@ -101,6 +105,16 @@ type Host struct {
 	// relay uses this).
 	MulticastTap func(ifc *Iface, pkt ipv4.Packet) bool
 
+	// DeliveryHook, when non-nil, observes every locally-delivered
+	// packet after stats and trace accounting, before demultiplexing.
+	// ifc is the arrival interface; nil marks loopback/resubmitted
+	// deliveries (a decapsulated inner packet re-entering IP), which
+	// lets the mobility code classify only genuine over-the-wire
+	// arrivals into the 4x4 In-mode grid. The hook takes the packet by
+	// value: a pointer would make the delivery path's packet escape to
+	// the heap and break the zero-allocation forwarding pins.
+	DeliveryHook func(ifc *Iface, pkt ipv4.Packet)
+
 	// ARPTimeout and ARPRetries control address resolution patience.
 	ARPTimeout vtime.Duration
 	ARPRetries int
@@ -129,6 +143,7 @@ const ReassemblyTimeout = 30 * 1e9 // 30s in nanoseconds (vtime.Duration)
 func NewHost(sim *netsim.Sim, name string) *Host {
 	h := &Host{
 		sim:         sim,
+		metrics:     sim.Metrics,
 		name:        name,
 		routes:      NewRouteTable(),
 		ephemeral:   49152,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
 	"mob4x4/internal/netsim"
 )
 
@@ -23,6 +24,7 @@ func (h *Host) SendIP(pkt ipv4.Packet) error {
 		pkt.TraceID = h.sim.Trace.NextPacketID()
 	}
 	h.Stats.IPSent++
+	h.metrics.IPSent.Inc()
 	var detail string
 	if h.sim.Trace.Detailing() {
 		detail = pktDetail(pkt.Src, pkt.Dst, pkt.Protocol, pkt.TotalLen())
@@ -86,6 +88,7 @@ func (h *Host) output(pkt ipv4.Packet, useOverride bool) error {
 	}
 	if !ok {
 		h.Stats.DropNoRoute++
+		h.metrics.Drop(metrics.DropNoRoute)
 		var detail string
 		if h.sim.Trace.Detailing() {
 			detail = dstDetail(pkt.Dst)
@@ -130,11 +133,13 @@ func (h *Host) transmit(ifc *Iface, nexthop ipv4.Addr, pkt ipv4.Packet) error {
 	if err != nil {
 		if err == ipv4.ErrFragNeeded {
 			h.Stats.DropFragSet++
+			h.metrics.Drop(metrics.DropFragNeeded)
 			if h.FragNeeded != nil {
 				h.FragNeeded(ifc, pkt, mtu)
 			}
 		} else {
 			h.Stats.DropMalformed++
+			h.metrics.Drop(metrics.DropMalformed)
 		}
 		return err
 	}
@@ -168,6 +173,7 @@ func (h *Host) SendIPLinkDirect(ifc *Iface, linkDst ipv4.Addr, pkt ipv4.Packet) 
 		pkt.Src = ifc.addr
 	}
 	h.Stats.IPSent++
+	h.metrics.IPSent.Inc()
 	var detail string
 	if h.sim.Trace.Detailing() {
 		detail = linkDirectDetail(pkt.Src, pkt.Dst, pkt.Protocol, linkDst)
@@ -197,6 +203,7 @@ func (ifc *Iface) receiveFrame(n *netsim.NIC, f netsim.Frame) {
 		pkt, err := ipv4.Unmarshal(f.Payload)
 		if err != nil {
 			h.Stats.DropMalformed++
+			h.metrics.Drop(metrics.DropMalformed)
 			return
 		}
 		pkt.TraceID = f.TraceID
@@ -244,6 +251,7 @@ func (h *Host) receiveIP(ifc *Iface, pkt ipv4.Packet) {
 func (h *Host) forward(in *Iface, pkt ipv4.Packet) {
 	if pkt.TTL <= 1 {
 		h.Stats.DropTTL++
+		h.metrics.Drop(metrics.DropTTL)
 		h.sim.Trace.Record(netsim.Event{
 			Kind: netsim.EventDropTTL, Time: h.sim.Now(), Where: h.name, PktID: pkt.TraceID,
 		})
@@ -257,6 +265,7 @@ func (h *Host) forward(in *Iface, pkt ipv4.Packet) {
 	rt, ok := h.routes.Lookup(pkt.Dst)
 	if !ok {
 		h.Stats.DropNoRoute++
+		h.metrics.Drop(metrics.DropNoRoute)
 		var detail string
 		if h.sim.Trace.Detailing() {
 			detail = dstDetail(pkt.Dst)
@@ -276,6 +285,12 @@ func (h *Host) forward(in *Iface, pkt ipv4.Packet) {
 		nexthop = pkt.Dst
 	}
 	h.Stats.IPForwarded++
+	h.metrics.IPForwarded.Inc()
+	if pkt.Protocol == ipv4.ProtoIPIP || pkt.Protocol == ipv4.ProtoMinEnc || pkt.Protocol == ipv4.ProtoGRE {
+		// A hop taken while still inside a tunnel: the indirect-route tax
+		// the paper's overhead discussion is about.
+		h.metrics.TunnelForwards.Inc()
+	}
 	var detail string
 	if h.sim.Trace.Detailing() {
 		detail = fwdDetail(pkt.Src, pkt.Dst, pkt.TTL)
@@ -293,6 +308,7 @@ func (h *Host) deliverLocal(ifc *Iface, pkt ipv4.Packet) {
 	full, done, err := h.reasm.Add(pkt)
 	if err != nil {
 		h.Stats.DropMalformed++
+		h.metrics.Drop(metrics.DropMalformed)
 		return
 	}
 	if !done {
@@ -302,6 +318,7 @@ func (h *Host) deliverLocal(ifc *Iface, pkt ipv4.Packet) {
 	if full.MoreFrags || full.FragOffset != 0 {
 		// Cannot happen: Add returns only whole packets. Defensive.
 		h.Stats.DropMalformed++
+		h.metrics.Drop(metrics.DropMalformed)
 		return
 	}
 	if full.TraceID == 0 {
@@ -311,6 +328,7 @@ func (h *Host) deliverLocal(ifc *Iface, pkt ipv4.Packet) {
 		h.Stats.Reassembled++
 	}
 	h.Stats.IPDelivered++
+	h.metrics.IPDelivered.Inc()
 	var detail string
 	if h.sim.Trace.Detailing() {
 		detail = pktDetail(full.Src, full.Dst, full.Protocol, full.TotalLen())
@@ -319,6 +337,9 @@ func (h *Host) deliverLocal(ifc *Iface, pkt ipv4.Packet) {
 		Kind: netsim.EventDeliver, Time: h.sim.Now(), Where: h.name, PktID: full.TraceID,
 		Detail: detail,
 	})
+	if h.DeliveryHook != nil {
+		h.DeliveryHook(ifc, full)
+	}
 
 	if full.Dst.IsMulticast() && h.MulticastTap != nil && h.MulticastTap(ifc, full) {
 		return // consumed by the tap (e.g. a home agent's group relay)
@@ -332,6 +353,7 @@ func (h *Host) deliverLocal(ifc *Iface, pkt ipv4.Packet) {
 		return
 	}
 	h.Stats.DropNoProto++
+	h.metrics.Drop(metrics.DropNoProto)
 }
 
 func (h *Host) armReassemblyTimer() {

@@ -46,7 +46,16 @@ func main() {
 	parse := flag.Bool("parse", false, "read `go test -bench` text on stdin, write JSON on stdout")
 	note := flag.String("note", "", "free-form note stored in the JSON (parse mode)")
 	nsTol := flag.Float64("ns-tolerance", 0.25, "allowed fractional ns/op slowdown before failing (compare mode)")
+	cover := flag.String("cover", "", "gate a `go test -coverprofile` file instead of benchmarks (cover mode)")
+	coverFloor := flag.Float64("cover-floor", 0, "minimum total statement coverage percent (cover mode)")
 	flag.Parse()
+
+	if *cover != "" {
+		if !coverGate(*cover, *coverFloor) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *parse {
 		f, err := parseBench(os.Stdin, *note)

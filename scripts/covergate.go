@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// coverGate is the coverage floor (benchdiff's sibling gate, same
+// binary): it reads a `go test -coverprofile` file, computes total
+// statement coverage, prints a per-package breakdown, and reports
+// whether the total clears the floor. Statement coverage is
+// sum(statements in blocks hit at least once) / sum(all statements) —
+// the same number `go tool cover -func` prints as "total:", computed
+// here without shelling out.
+func coverGate(profile string, floor float64) bool {
+	f, err := os.Open(profile)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	type tally struct{ covered, total int64 }
+	byPkg := map[string]*tally{}
+	var all tally
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// file.go:startLine.startCol,endLine.endCol numStmts hitCount
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			fatal(fmt.Errorf("%s: malformed coverage line %q", profile, line))
+		}
+		stmts, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("%s: bad statement count in %q", profile, line))
+		}
+		count, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("%s: bad hit count in %q", profile, line))
+		}
+		file := fields[0]
+		if i := strings.IndexByte(file, ':'); i >= 0 {
+			file = file[:i]
+		}
+		pkg := file
+		if i := strings.LastIndexByte(file, '/'); i >= 0 {
+			pkg = file[:i]
+		}
+		t := byPkg[pkg]
+		if t == nil {
+			t = &tally{}
+			byPkg[pkg] = t
+		}
+		t.total += stmts
+		all.total += stmts
+		if count > 0 {
+			t.covered += stmts
+			all.covered += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if all.total == 0 {
+		fatal(fmt.Errorf("%s: no coverage blocks found", profile))
+	}
+
+	pkgs := make([]string, 0, len(byPkg))
+	for p := range byPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	for _, p := range pkgs {
+		t := byPkg[p]
+		fmt.Printf("%-40s %6.1f%% (%d/%d statements)\n",
+			p, 100*float64(t.covered)/float64(t.total), t.covered, t.total)
+	}
+	pct := 100 * float64(all.covered) / float64(all.total)
+	fmt.Printf("%-40s %6.1f%% (%d/%d statements), floor %.1f%%\n", "total:", pct, all.covered, all.total, floor)
+	if pct < floor {
+		fmt.Println("covergate: FAIL — total coverage under the floor")
+		return false
+	}
+	return true
+}
