@@ -52,9 +52,10 @@ benchgate:
 # measured baseline (90.9% at the time of writing) by a small buffer;
 # raise it as coverage grows, never lower it to admit a regression.
 COVER_FLOOR ?= 88.0
+COVER_PKG_FLOORS ?= mob4x4/internal/fleet=90.0
 cover:
 	$(GO) test -coverprofile=/tmp/mob4x4_cover.out ./internal/...
-	$(GO) run ./scripts -cover /tmp/mob4x4_cover.out -cover-floor $(COVER_FLOOR)
+	$(GO) run ./scripts -cover /tmp/mob4x4_cover.out -cover-floor $(COVER_FLOOR) -cover-pkg-floor $(COVER_PKG_FLOORS)
 
 # Seeded chaos soak under the race detector: fault injection +
 # self-healing invariants, byte-determinism across runs and worker
@@ -64,6 +65,16 @@ CHAOS_SEED ?= 1
 chaos-smoke:
 	@echo "chaos soak (CHAOS_SEED=$(CHAOS_SEED))"
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test ./internal/experiments -race -count=1 -run 'TestChaos'
+
+# Seeded fleet handoff-storm smoke under the race detector: small fleet,
+# full storm schedule, all invariants + the E14 determinism fixtures.
+# Reproduce a CI failure locally with the seed it prints:
+#   FLEET_SEED=<n> make fleet-smoke
+FLEET_SEED ?= 1
+fleet-smoke:
+	@echo "fleet handoff storm (FLEET_SEED=$(FLEET_SEED))"
+	FLEET_SEED=$(FLEET_SEED) $(GO) test ./internal/experiments -race -count=1 -run 'TestFleet'
+	$(GO) test ./internal/fleet -race -count=1
 
 # Short fuzz pass over every target; CI runs this on every push, longer
 # runs are manual (`make fuzz-smoke FUZZ_TIME=5m`).

@@ -35,6 +35,7 @@
 //	asymmetry   latency/bandwidth asymmetry of the two path directions (§2)
 //	savings     shared-resource load per correspondent capability (§3.2)
 //	chaos       fault injection & self-healing soak (-trials N for more)
+//	fleet       fleet-scale handoff storm (-nodes N -cells K -model M)
 //	report      every experiment rendered as one markdown document
 //	all         every experiment in order
 package main
@@ -51,8 +52,11 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
-	parallel := flag.Int("parallel", 1, "worker goroutines for independent trials (grid/adaptive/durability/webbrowse/chaos)")
-	trials := flag.Int("trials", 1, "independent chaos trials (seeds seed..seed+N-1)")
+	parallel := flag.Int("parallel", 1, "worker goroutines for independent trials (grid/adaptive/durability/webbrowse/chaos/fleet)")
+	trials := flag.Int("trials", 1, "independent chaos/fleet trials (seeds seed..seed+N-1)")
+	nodes := flag.Int("nodes", 2000, "fleet: mobile node count")
+	cells := flag.Int("cells", 32, "fleet: visited cell count")
+	model := flag.String("model", "waypoint", "fleet: movement model (waypoint | markov)")
 	metricsText := flag.Bool("metrics", false, "dump metrics after the experiment (grid/fig10: the machine-readable 4x4 report)")
 	metricsJSON := flag.Bool("metrics-json", false, "like -metrics, as JSON")
 	flag.Usage = func() {
@@ -203,6 +207,29 @@ func main() {
 				}
 			}
 		},
+		"fleet": func(s int64) {
+			spec := experiments.FleetSpec{Nodes: *nodes, Cells: *cells, Model: *model}
+			rows := experiments.RunFleetParallel(s, *trials, *parallel, spec)
+			fmt.Print(experiments.FleetTable(rows))
+			if wantMetrics {
+				for _, r := range rows {
+					fmt.Printf("== fleet seed=%d ==\n", r.Seed)
+					if *metricsJSON {
+						os.Stdout.Write(r.Metrics.JSON())
+					} else if err := r.Metrics.WriteText(os.Stdout); err != nil {
+						fmt.Fprintf(os.Stderr, "mob4x4: write metrics: %v\n", err)
+						os.Exit(1)
+					}
+				}
+			}
+			for _, r := range rows {
+				if len(r.Violations) > 0 {
+					fmt.Fprintf(os.Stderr, "mob4x4: fleet invariant violations (reproduce: mob4x4 -seed %d -nodes %d -cells %d -model %s fleet)\n",
+						r.Seed, *nodes, *cells, *model)
+					os.Exit(1)
+				}
+			}
+		},
 		"report": func(s int64) {
 			fmt.Print(experiments.Report(s))
 		},
@@ -228,7 +255,7 @@ func main() {
 	}
 	fn(*seed)
 	switch name {
-	case "grid", "fig10", "chaos":
+	case "grid", "fig10", "chaos", "fleet":
 		// These print their own metrics form above.
 	default:
 		dumpCollector()

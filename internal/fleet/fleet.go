@@ -1,0 +1,271 @@
+// Package fleet is the fleet-scale roaming engine: a parameterized
+// metro-scale topology (one home network, K visited cells behind a
+// routed backbone, far correspondents), N mobile nodes driven by seeded
+// movement models, and a scripted handoff storm that stresses the
+// registration machinery the way Section 3 of the paper says real
+// deployments will — everything moving at once, the home network
+// partitioning mid-churn, and every drop accounted for.
+//
+// Determinism contract: a Fleet's Result is a pure function of its
+// Options. Every random draw comes either from the simulation
+// scheduler's seeded RNG or from a per-node RNG derived from (seed,
+// node index); no wall-clock time, no map-iteration-order dependence.
+// Two runs with the same Options are byte-identical, regardless of how
+// many sibling trials run concurrently in the same process.
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"mob4x4/internal/core"
+	"mob4x4/internal/icmphost"
+	"mob4x4/internal/inet"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
+	"mob4x4/internal/mobileip"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/stack"
+	"mob4x4/internal/udp"
+	"mob4x4/internal/vtime"
+)
+
+// Local duration units (vtime.Duration is nanoseconds).
+const (
+	millisecond = vtime.Duration(1e6)
+	second      = vtime.Duration(1e9)
+)
+
+// Movement model names accepted by Options.Model.
+const (
+	ModelWaypoint = "waypoint"
+	ModelMarkov   = "markov"
+)
+
+// maxCells bounds the cell count: cell i uses prefix 10.(i+1).0.0/16,
+// and the builder's point-to-point transfer networks are allocated from
+// 10.200.0.0, so cells must stay below that.
+const maxCells = 128
+
+// nodeHostBase is the first host number inside a cell prefix reserved
+// for node care-of addresses (numbers below it belong to the cell
+// gateway, foreign agent and kiosk). Node i's care-of address in any
+// cell is Prefix.Host(nodeHostBase+i) — allocated by arithmetic, not by
+// a per-move allocator, so moving never grows an address table.
+const nodeHostBase = 16
+
+// Workload classes, assigned round-robin by node index. Each exercises
+// a different region of the 4x4 grid.
+const (
+	clsPingNaive = iota // ICMP to an unaware far host: replies In-IE
+	clsPingAware        // Out-DE to an aware far host: replies In-IE then In-DE
+	clsProbe            // UDP to port 53: Out-DT out, In-DT back
+	clsKiosk            // UDP to the cell kiosk: Out-DH out, In-DH back
+	numClasses
+)
+
+// portKiosk is the UDP port the per-cell kiosk echo service listens on.
+const portKiosk = 9
+
+// handoffBuckets are nanosecond bounds for handoff latency: one
+// uncontested registration round trip sits in the low milliseconds; a
+// handoff that rode out a partition on retry backoff can take tens of
+// seconds.
+var handoffBuckets = []int64{
+	1e6, 2e6, 5e6, 10e6, 25e6, 50e6, 100e6, 250e6, 500e6,
+	1e9, 2e9, 5e9, 10e9, 20e9,
+}
+
+// Options parameterizes a fleet. The zero value of any field selects
+// the documented default.
+type Options struct {
+	Seed  int64
+	Nodes int    // mobile node count (default 256)
+	Cells int    // visited cell count (default 8, max 128)
+	Model string // ModelWaypoint (default) or ModelMarkov
+
+	Backbone    int // backbone router count (default 4)
+	FilterEvery int // every k-th cell gets a source-filtering boundary router (default 4, 0 disables)
+	FAEvery     int // every k-th node attaches via the cell's foreign agent (default 5, 0 disables)
+
+	RegLifetime       uint16         // registration lifetime in seconds (default 20)
+	ExpiryGranularity vtime.Duration // home agent expiry wheel coarseness (default 1s)
+
+	// Storm schedule, relative to the run start.
+	PlaceWindow    vtime.Duration // initial attach staggered over this window (default 2s)
+	PartitionAt    vtime.Duration // home uplink cut at (default 12s)
+	PartitionFor   vtime.Duration // ... for this long (default 6s)
+	MassMoveAt     vtime.Duration // commanded all-nodes move at (default 24s)
+	MassMoveWindow vtime.Duration // ... jittered over this window (default 2s)
+	QuiesceFor     vtime.Duration // movement stops this long before EndAt (default 3s)
+	EndAt          vtime.Duration // measurement ends at (default 34s)
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 256
+	}
+	if o.Cells <= 0 {
+		o.Cells = 8
+	}
+	if o.Cells > maxCells {
+		o.Cells = maxCells
+	}
+	if o.Model == "" {
+		o.Model = ModelWaypoint
+	}
+	if o.Backbone <= 0 {
+		o.Backbone = 4
+	}
+	if o.FilterEvery == 0 {
+		o.FilterEvery = 4
+	}
+	if o.FAEvery == 0 {
+		o.FAEvery = 5
+	}
+	if o.RegLifetime == 0 {
+		o.RegLifetime = 20
+	}
+	if o.PlaceWindow == 0 {
+		o.PlaceWindow = 2 * second
+	}
+	if o.PartitionAt == 0 {
+		o.PartitionAt = 12 * second
+	}
+	if o.PartitionFor == 0 {
+		o.PartitionFor = 6 * second
+	}
+	if o.MassMoveAt == 0 {
+		o.MassMoveAt = 24 * second
+	}
+	if o.MassMoveWindow == 0 {
+		o.MassMoveWindow = 2 * second
+	}
+	if o.QuiesceFor == 0 {
+		o.QuiesceFor = 3 * second
+	}
+	if o.EndAt == 0 {
+		o.EndAt = 34 * second
+	}
+	return o
+}
+
+// Cell is one visited network: a LAN behind its own gateway router,
+// with a foreign agent and a mobile-aware kiosk host on-link.
+type Cell struct {
+	Index    int
+	LAN      *inet.LAN
+	FA       *mobileip.ForeignAgent
+	Kiosk    ipv4.Addr // kiosk echo service address
+	Filtered bool      // gateway enforces source-address filtering
+
+	kioskSrv    *stack.UDPSocket
+	kioskCancel func()
+}
+
+// Node is one mobile host under fleet control.
+type Node struct {
+	Idx  int
+	MN   *mobileip.MobileNode
+	Host *stack.Host
+
+	ic    *icmphost.ICMP
+	sock  *stack.UDPSocket // workload socket (probe + kiosk traffic, reply sink)
+	rng   *rand.Rand
+	class int
+	viaFA bool
+
+	cell    int // current cell index; -1 until first placement
+	moveAt  vtime.Time
+	lastOut core.OutMode // out mode of the most recent workload send
+	hasOut  bool
+	seq     uint16
+
+	moveTimer *vtime.Timer
+	tickTimer *vtime.Timer
+	stopped   bool
+}
+
+// Fleet is a built (but not yet run) fleet simulation.
+type Fleet struct {
+	Opts Options
+	Net  *inet.Network
+	HA   *mobileip.HomeAgent
+
+	HomeLAN    *inet.LAN
+	HomeUplink *netsim.Segment // the link the storm partitions
+	Cells      []*Cell
+	Nodes      []*Node
+
+	chNaive ipv4.Addr
+	chAware ipv4.Addr
+	chProbe ipv4.Addr
+
+	probeSrv *stack.UDPSocket
+	cancels  []func() // listeners/sockets to close during cleanup
+
+	handoffHist *metrics.Histogram
+	mHandoffs   *metrics.Counter
+	handoffs    uint64
+	modeMix     [core.NumOutModes][core.NumInModes]uint64
+
+	// expectFilterDrops is set the moment a node emits a packet the
+	// boundary filter is guaranteed to drop (a foreign-agent-attached
+	// node sending home-sourced traffic out of a filtered cell), so the
+	// accounting invariant knows whether filter drops are owed.
+	expectFilterDrops bool
+
+	trafficOn  bool
+	movementOn bool
+}
+
+// New builds a fleet. The topology and all nodes are constructed; the
+// nodes start detached and attach during the placement window of Run.
+func New(opts Options) *Fleet {
+	opts = opts.withDefaults()
+	f := &Fleet{Opts: opts, trafficOn: true, movementOn: true}
+	f.Net = inet.New(opts.Seed)
+	// Fleet runs read counters, never trace events; tracing at this
+	// scale would dominate the run.
+	f.Net.Sim.Trace.Discard()
+	reg := f.Net.Sim.Metrics
+	f.handoffHist = reg.Histogram("fleet/handoff_ns", handoffBuckets)
+	f.mHandoffs = reg.Counter("fleet/handoffs")
+	f.buildTopology()
+	f.buildNodes()
+	return f
+}
+
+// careOf returns node idx's care-of address in cell c. Purely
+// arithmetic: every (node, cell) pair has a fixed, unique address.
+func (f *Fleet) careOf(c, idx int) ipv4.Addr {
+	return f.Cells[c].LAN.Prefix.Host(nodeHostBase + idx)
+}
+
+// onRegistered records a completed handoff: the re-registration that
+// followed the node's most recent attachment was accepted.
+func (f *Fleet) onRegistered(n *Node) {
+	f.handoffs++
+	f.mHandoffs.Inc()
+	f.handoffHist.ObserveDuration(f.Net.Sim.Now().Sub(n.moveAt))
+}
+
+// noteIn attributes one classified arrival to the (Out, In) pair of the
+// conversation that elicited it. Registration replies are the mobility
+// machinery's own traffic (always In-DT by Section 6.4) and are excluded
+// so the matrix reflects workload conversations only.
+func (f *Fleet) noteIn(n *Node, mode core.InMode, pkt ipv4.Packet) {
+	if pkt.Protocol == ipv4.ProtoUDP && len(pkt.Payload) >= 2 &&
+		binary.BigEndian.Uint16(pkt.Payload[0:2]) == udp.PortRegistration {
+		return
+	}
+	if !n.hasOut {
+		return
+	}
+	f.modeMix[n.lastOut][mode]++
+}
+
+// nodeName formats the canonical host name for node idx.
+func nodeName(idx int) string { return fmt.Sprintf("mh%04d", idx) }

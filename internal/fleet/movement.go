@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"math/rand"
+
+	"mob4x4/internal/vtime"
+)
+
+// Movement models. Each node owns a private RNG derived from (seed,
+// node index), so its itinerary is byte-reproducible per seed and
+// independent of every other node's — and of event interleaving, since
+// one node's draws are totally ordered by its own vtime events.
+//
+// Two models:
+//
+//   - waypoint: the classic random-waypoint pattern flattened onto the
+//     cell grid — pick a uniformly random destination cell, go there,
+//     dwell for a uniform [3s,8s) pause, repeat.
+//   - markov: a cell-transition chain with neighbor bias — from cell i
+//     the node hops to i-1 or i+1 (ring topology) with probability
+//     0.35 each, teleports uniformly with 0.1, and stays put with 0.2;
+//     dwell is uniform [2s,6s). Models campus-style locality.
+
+// rngFor derives node idx's private RNG from the fleet seed. The
+// multiplier keeps per-node streams disjoint for any fleet size below
+// one million nodes.
+func rngFor(seed int64, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(idx)))
+}
+
+// nextCell draws the node's next destination cell, or -1 to stay put
+// this step (markov self-transition).
+func (f *Fleet) nextCell(n *Node) int {
+	k := len(f.Cells)
+	if k == 1 {
+		if n.cell < 0 {
+			return 0
+		}
+		return -1
+	}
+	switch f.Opts.Model {
+	case ModelMarkov:
+		if n.cell < 0 {
+			return n.rng.Intn(k)
+		}
+		switch p := n.rng.Float64(); {
+		case p < 0.35:
+			return (n.cell + k - 1) % k
+		case p < 0.70:
+			return (n.cell + 1) % k
+		case p < 0.80:
+			return n.rng.Intn(k)
+		default:
+			return -1 // dwell in place
+		}
+	default: // ModelWaypoint
+		c := n.rng.Intn(k)
+		if c == n.cell {
+			// A waypoint is always somewhere else.
+			c = (c + 1) % k
+		}
+		return c
+	}
+}
+
+// dwell draws how long the node stays before its next movement step.
+func (f *Fleet) dwell(n *Node) vtime.Duration {
+	if f.Opts.Model == ModelMarkov {
+		return 2*second + vtime.Duration(n.rng.Int63n(int64(4*second)))
+	}
+	return 3*second + vtime.Duration(n.rng.Int63n(int64(5*second)))
+}
+
+// hop performs one movement step: draw a destination, move, and arm the
+// next step. Also the entry point for commanded moves (placement and
+// the mass-move storm), which simply hop early.
+func (f *Fleet) hop(n *Node) {
+	if n.stopped || !f.movementOn {
+		return
+	}
+	if c := f.nextCell(n); c >= 0 {
+		f.move(n, c)
+	}
+	d := f.dwell(n)
+	if n.moveTimer == nil {
+		n.moveTimer = f.Net.Sched().After(d, func() {
+			if f.movementOn && !n.stopped {
+				f.hop(n)
+			}
+		})
+	} else {
+		n.moveTimer.Reset(d)
+	}
+}
+
+// move attaches node n to cell c and starts the re-registration that
+// completes the handoff. Foreign-agent nodes attach through the cell's
+// agent (shared care-of address, relayed registration); self-sufficient
+// nodes take their own care-of address on the cell LAN.
+func (f *Fleet) move(n *Node, c int) {
+	n.moveAt = f.Net.Sim.Now()
+	n.cell = c
+	cell := f.Cells[c]
+	if n.viaFA && cell.FA != nil {
+		n.MN.MoveToForeignAgent(cell.LAN.Seg, cell.FA.Addr())
+	} else {
+		n.MN.MoveTo(cell.LAN.Seg, f.careOf(c, n.Idx), cell.LAN.Prefix, cell.LAN.Gateway)
+	}
+}

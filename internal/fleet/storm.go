@@ -1,0 +1,213 @@
+package fleet
+
+import (
+	"fmt"
+
+	"mob4x4/internal/core"
+	"mob4x4/internal/faults"
+	"mob4x4/internal/metrics"
+	"mob4x4/internal/vtime"
+)
+
+// Result is one fleet trial's deterministic outcome: a pure function of
+// the Options (see the package determinism contract).
+type Result struct {
+	Seed  int64
+	Nodes int
+	Cells int
+	Model string
+
+	// Handoff machinery.
+	Moves    uint64 // attach/reattach events commanded
+	Handoffs uint64 // completed (registration re-confirmed) handoffs
+	// Handoff latency quantiles, nanoseconds of vtime from attachment
+	// to the accepted registration reply.
+	HandoffP50 int64
+	HandoffP95 int64
+	HandoffP99 int64
+
+	// Traffic mix: the joint (Out, In) matrix of workload conversations
+	// (rows = Out mode of the request, columns = In mode of its reply),
+	// plus the marginal per-mode totals from the nodes' own counters.
+	ModeMix   [core.NumOutModes][core.NumInModes]uint64
+	OutByMode [core.NumOutModes]uint64
+	InByMode  [core.NumInModes]uint64
+
+	// Registration machinery totals across the fleet.
+	Registrations     uint64
+	Renewals          uint64
+	RegistrationFails uint64
+	RecoveryProbes    uint64
+	Expiries          uint64 // bindings the home agent timed out
+
+	// End-of-run state.
+	RegisteredAtEnd int // nodes holding a confirmed binding at EndAt
+	BindingsAtEnd   int // home agent's table size at EndAt
+
+	// Drop accounting, from the shared drop-cause vector.
+	DownDrops   uint64 // partition-window losses
+	FilterDrops uint64 // boundary-filter losses
+	NoDestDrops uint64 // frames to detached radios
+
+	FaultLog          []string
+	PendingAfterDrain int
+	Metrics           metrics.Snapshot
+	Violations        []string
+}
+
+// Run executes the handoff-storm schedule and returns the trial result:
+//
+//	[0, PlaceWindow)          staggered initial placement
+//	[..., PartitionAt)        steady roaming + workload
+//	[PartitionAt, +For)       home uplink dark: registrations die
+//	heal                      thundering-herd re-registration
+//	[MassMoveAt, +Window)     every node commanded to move at once
+//	[..., EndAt)              cooldown; all bindings must re-form
+//
+// followed by measurement, cleanup and a full drain.
+func (f *Fleet) Run() Result {
+	opts := f.Opts
+	sched := f.Net.Sched()
+	t0 := f.Net.Sim.Now()
+	at := func(d vtime.Duration) vtime.Time { return t0.Add(d) }
+	inj := faults.NewInjector(f.Net.Sim)
+
+	// Placement: spread initial attachments across the window, each
+	// jittered a little by the node's own RNG.
+	inj.At(at(0), fmt.Sprintf("placement: %d nodes over %v", len(f.Nodes), opts.PlaceWindow), nil)
+	for _, n := range f.Nodes {
+		n := n
+		off := vtime.Duration(int64(opts.PlaceWindow) * int64(n.Idx) / int64(len(f.Nodes)))
+		off += vtime.Duration(n.rng.Int63n(int64(20 * millisecond)))
+		sched.At(at(off), func() {
+			f.hop(n)
+			f.startTicker(n)
+		})
+	}
+
+	// The partition: home network unreachable mid-churn.
+	inj.CutLink(at(opts.PartitionAt), f.HomeUplink, opts.PartitionFor)
+
+	// The mass-move storm: every node commanded to move inside the
+	// window (jitter drawn per node now, deterministically).
+	inj.At(at(opts.MassMoveAt), fmt.Sprintf("mass-move storm: %d nodes over %v", len(f.Nodes), opts.MassMoveWindow), nil)
+	for _, n := range f.Nodes {
+		n := n
+		j := vtime.Duration(n.rng.Int63n(int64(opts.MassMoveWindow)))
+		sched.At(at(opts.MassMoveAt).Add(j), func() { f.hop(n) })
+	}
+
+	// Quiesce: movement stops a little before the end so the final
+	// handoffs can complete and the end-of-run binding census is
+	// well-defined (workload traffic keeps flowing).
+	inj.At(at(opts.EndAt-opts.QuiesceFor), "movement quiesced", func() { f.movementOn = false })
+	inj.At(at(opts.EndAt), "measurement ends", func() { f.trafficOn = false })
+	sched.RunUntil(at(opts.EndAt))
+
+	// --- Measurement, before any cleanup disturbs the state. ---
+	res := Result{
+		Seed:  opts.Seed,
+		Nodes: opts.Nodes,
+		Cells: opts.Cells,
+		Model: opts.Model,
+	}
+	res.Handoffs = f.handoffs
+	res.HandoffP50 = f.handoffHist.Quantile(0.50)
+	res.HandoffP95 = f.handoffHist.Quantile(0.95)
+	res.HandoffP99 = f.handoffHist.Quantile(0.99)
+	res.ModeMix = f.modeMix
+	for _, n := range f.Nodes {
+		st := &n.MN.Stats
+		res.Moves += st.Moves
+		res.Registrations += st.Registrations
+		res.Renewals += st.Renewals
+		res.RegistrationFails += st.RegistrationFails
+		res.RecoveryProbes += st.RecoveryProbes
+		for m := 0; m < core.NumOutModes; m++ {
+			res.OutByMode[m] += st.OutByMode[m]
+		}
+		for m := 0; m < core.NumInModes; m++ {
+			res.InByMode[m] += st.InByMode[m]
+		}
+		if n.MN.Registered() {
+			res.RegisteredAtEnd++
+		}
+	}
+	res.Expiries = f.HA.Stats.Expiries
+	res.BindingsAtEnd = f.HA.Bindings()
+	reg := f.Net.Sim.Metrics
+	res.DownDrops = reg.DropCount(metrics.DropDown)
+	res.FilterDrops = reg.DropCount(metrics.DropFilter)
+	res.FaultLog = inj.Log()
+
+	// --- Cleanup: everything the run started must wind down. ---
+	for _, n := range f.Nodes {
+		n.stopped = true
+		n.moveTimer.Stop()
+		n.tickTimer.Stop()
+		n.MN.Detach() // also cancels the registration timers
+		n.sock.Close()
+	}
+	for _, c := range f.Cells {
+		if c.FA != nil {
+			c.FA.Crash() // drops the visitor table and its expiry timers
+		}
+		c.kioskCancel()
+		c.kioskSrv.Close()
+	}
+	f.probeSrv.Close()
+	for _, cancel := range f.cancels {
+		cancel()
+	}
+	// The agent last: Crash resets the binding table and disarms the
+	// expiry wheel together (the pairing the wheel's staleness contract
+	// requires), leaving zero pending expiry timers.
+	f.HA.Crash()
+	f.Net.Run() // drain remaining one-shot timers (ARP, binding expiry)
+	res.PendingAfterDrain = sched.Pending()
+	res.NoDestDrops = reg.DropCount(metrics.DropNoDest)
+	res.Metrics = reg.Snapshot()
+
+	res.Violations = f.invariants(&res)
+	return res
+}
+
+// invariants checks a finished trial against the fleet contract.
+func (f *Fleet) invariants(r *Result) []string {
+	var v []string
+	bad := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+	if r.RegisteredAtEnd != r.Nodes {
+		bad("only %d/%d nodes hold a confirmed binding at end of run", r.RegisteredAtEnd, r.Nodes)
+	}
+	if r.BindingsAtEnd != r.Nodes {
+		bad("home agent holds %d bindings at end, want %d (every node away)", r.BindingsAtEnd, r.Nodes)
+	}
+	if r.Handoffs == 0 {
+		bad("no handoff ever completed")
+	}
+	if r.Handoffs > r.Moves {
+		bad("%d handoffs completed but only %d moves commanded", r.Handoffs, r.Moves)
+	}
+	if r.DownDrops == 0 {
+		bad("partition window dropped nothing; the storm never bit")
+	}
+	if f.expectFilterDrops && r.FilterDrops == 0 {
+		bad("home-sourced traffic left a filtered cell but the boundary filter dropped nothing")
+	}
+	var mixTotal, inTotal uint64
+	for _, row := range r.ModeMix {
+		for _, c := range row {
+			mixTotal += c
+		}
+	}
+	for _, c := range r.InByMode {
+		inTotal += c
+	}
+	if mixTotal > inTotal {
+		bad("mode-mix matrix attributes %d replies but only %d packets arrived", mixTotal, inTotal)
+	}
+	if r.PendingAfterDrain != 0 {
+		bad("%d scheduler events leaked after cleanup", r.PendingAfterDrain)
+	}
+	return v
+}

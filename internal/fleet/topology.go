@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"fmt"
+
+	"mob4x4/internal/assert"
+	"mob4x4/internal/core"
+	"mob4x4/internal/icmphost"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/mobileip"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/stack"
+	"mob4x4/internal/vtime"
+)
+
+// buildTopology constructs the metro: home network and agent, a routed
+// backbone, K visited cells (each with gateway, foreign agent and
+// kiosk), and a far network of correspondents.
+//
+//	home(36.1/16) --hagw-- bb0 -- bb1 -- ... -- bbB-1 --fargw-- far(17.5.1/24)
+//	                        |      |             |
+//	                     cell0   cell1  ...   cellK-1   (10.(i+1)/16, i%B)
+func (f *Fleet) buildTopology() {
+	n := f.Net
+	opts := f.Opts
+
+	f.HomeLAN = n.AddLAN("home", "36.1.0.0/16", netsim.SegmentOpts{Latency: 1 * millisecond})
+	hagw := n.AddRouter("hagw")
+	n.AttachRouter(hagw, f.HomeLAN)
+
+	bb := n.Chain("bb", opts.Backbone, 5*millisecond)
+	n.Link(hagw, bb[0], 2*millisecond)
+
+	far := n.AddLAN("far", "17.5.1.0/24", netsim.SegmentOpts{Latency: 1 * millisecond})
+	fargw := n.AddRouter("fargw")
+	n.AttachRouter(fargw, far)
+	n.Link(fargw, bb[len(bb)-1], 8*millisecond)
+
+	// Far correspondents: one per reply style.
+	// chNaive is a conventional 1996 host: it answers pings to whatever
+	// source address they carried; replies to the home address arrive
+	// In-IE via the home agent's tunnel.
+	chNaiveHost := n.AddHost("ch-naive", far)
+	icmphost.Install(chNaiveHost)
+	f.chNaive = chNaiveHost.FirstAddr()
+
+	// chAware is mobile-aware: it learns bindings from the home agent's
+	// notices and switches its replies to In-DE. It can also
+	// decapsulate, so nodes may send to it Out-DE.
+	chAwareHost := n.AddHost("ch-aware", far)
+	chAwareIC := icmphost.Install(chAwareHost)
+	mobileip.NewCorrespondent(chAwareHost, chAwareIC, mobileip.CorrespondentConfig{
+		MobileAware:    true,
+		CanDecapsulate: true,
+	})
+	f.chAware = chAwareHost.FirstAddr()
+
+	// chProbe answers UDP probes on port 53; the port heuristic elects
+	// Out-DT for them, and the echoed reply comes back In-DT.
+	chProbeHost := n.AddHost("ch-probe", far)
+	f.chProbe = chProbeHost.FirstAddr()
+	probeSrv, err := chProbeHost.OpenUDP(ipv4.Zero, 53,
+		func(src ipv4.Addr, srcPort uint16, _ ipv4.Addr, payload []byte) {
+			_ = f.probeSrv.SendTo(src, srcPort, payload)
+		})
+	assert.NoError(err, "fleet: open probe server")
+	f.probeSrv = probeSrv
+
+	// The visited cells. Cell i hangs off backbone router i%B with a
+	// small deterministic latency spread, so handoff latency varies by
+	// destination cell.
+	f.Cells = make([]*Cell, opts.Cells)
+	for i := 0; i < opts.Cells; i++ {
+		lan := n.AddLAN(fmt.Sprintf("cell%d", i), fmt.Sprintf("10.%d.0.0/16", i+1),
+			netsim.SegmentOpts{Latency: 1 * millisecond})
+		gw := n.AddRouter(fmt.Sprintf("cgw%d", i))
+		n.AttachRouter(gw, lan)
+		n.Link(gw, bb[i%len(bb)], vtime.Duration(2+i%5)*millisecond)
+
+		c := &Cell{Index: i, LAN: lan}
+		if opts.FilterEvery > 0 && (i+1)%opts.FilterEvery == 0 {
+			// A source-filtering edge: home-sourced packets may not
+			// leave this cell (the Section 3 hostility Out-DH dies to).
+			n.SetBoundaryFilter(gw, true, true, lan.Prefix.String())
+			c.Filtered = true
+		}
+
+		if opts.FAEvery > 0 {
+			faHost := n.AddHost(fmt.Sprintf("fa%d", i), lan)
+			fa, err := mobileip.NewForeignAgent(faHost, faHost.Ifaces()[0],
+				mobileip.ForeignAgentConfig{VisitorLifetime: 60})
+			assert.NoError(err, "fleet: create foreign agent")
+			c.FA = fa
+		}
+
+		// The kiosk: a mobile-aware host on the cell LAN that learns
+		// visiting nodes from presence announcements and answers their
+		// UDP echoes In-DH — the paper's Row C same-segment case.
+		kioskHost := n.AddHost(fmt.Sprintf("kiosk%d", i), lan)
+		kc := mobileip.NewCorrespondent(kioskHost, icmphost.Install(kioskHost),
+			mobileip.CorrespondentConfig{MobileAware: true})
+		cancel, err := kc.ListenForVisitors(30)
+		assert.NoError(err, "fleet: kiosk visitor listener")
+		c.kioskCancel = cancel
+		c.Kiosk = kioskHost.FirstAddr()
+		srv := kioskHost
+		c.kioskSrv, err = srv.OpenUDP(ipv4.Zero, portKiosk, f.kioskHandler(c))
+		assert.NoError(err, "fleet: kiosk echo server")
+
+		f.Cells[i] = c
+	}
+
+	// The home agent, on the home LAN behind hagw.
+	haHost := n.AddHost("ha", f.HomeLAN)
+	ha, err := mobileip.NewHomeAgent(haHost, haHost.Ifaces()[0], mobileip.HomeAgentConfig{
+		SendBindingNotices: true,
+		NoticeLifetime:     30,
+		ExpiryGranularity:  opts.ExpiryGranularity,
+	})
+	assert.NoError(err, "fleet: create home agent")
+	f.HA = ha
+
+	n.ComputeRoutes()
+
+	f.HomeUplink = n.Sim.SegmentByName("p2p-hagw-bb0")
+	if f.HomeUplink == nil {
+		assert.Unreachable("fleet: home uplink segment missing")
+	}
+}
+
+// kioskHandler returns the cell kiosk's UDP echo handler.
+func (f *Fleet) kioskHandler(c *Cell) stack.UDPHandler {
+	return func(src ipv4.Addr, srcPort uint16, _ ipv4.Addr, payload []byte) {
+		_ = c.kioskSrv.SendTo(src, srcPort, payload)
+	}
+}
+
+// buildNodes creates the mobile hosts on the home network and installs
+// their mobility support. Every node is detached immediately after
+// construction: a fleet-sized home segment would otherwise broadcast
+// every gratuitous ARP to every node, and the run starts with the
+// placement storm anyway.
+func (f *Fleet) buildNodes() {
+	n := f.Net
+	opts := f.Opts
+	haAddr := f.HA.Addr()
+	f.Nodes = make([]*Node, opts.Nodes)
+	for i := 0; i < opts.Nodes; i++ {
+		host, ifc := n.AddMobileHost(nodeName(i), f.HomeLAN)
+		ic := icmphost.Install(host)
+
+		sel := core.NewSelector(core.StartPessimistic)
+		class := i % numClasses
+		if class == clsPingAware {
+			// The aware correspondent can decapsulate, so these nodes
+			// are configured (the user-rule mechanism of Section 7.1.2)
+			// to tunnel to it directly: Out-DE.
+			de := core.OutDE
+			sel.AddRule(core.Rule{Prefix: ipv4.PrefixFrom(f.chAware, 32), ForceMode: &de})
+		}
+
+		mn, err := mobileip.NewMobileNode(host, ifc, mobileip.MobileNodeConfig{
+			Home:             ifc.Addr(),
+			HomePrefix:       f.HomeLAN.Prefix,
+			HomeAgent:        haAddr,
+			Lifetime:         opts.RegLifetime,
+			RegProbeInterval: 4 * second,
+			Selector:         sel,
+			AnnouncePresence: class == clsKiosk,
+		})
+		assert.NoError(err, "fleet: create mobile node")
+
+		sock, err := host.OpenUDP(ipv4.Zero, 0, func(ipv4.Addr, uint16, ipv4.Addr, []byte) {})
+		assert.NoError(err, "fleet: node workload socket")
+
+		node := &Node{
+			Idx:   i,
+			MN:    mn,
+			Host:  host,
+			ic:    ic,
+			sock:  sock,
+			rng:   rngFor(opts.Seed, i),
+			class: class,
+			viaFA: opts.FAEvery > 0 && i%opts.FAEvery == 0,
+			cell:  -1,
+		}
+		mn.OnRegistered = func() { f.onRegistered(node) }
+		mn.OnInPacket = func(mode core.InMode, pkt ipv4.Packet) { f.noteIn(node, mode, pkt) }
+		// Built detached; the placement storm attaches it.
+		mn.Detach()
+		f.Nodes[i] = node
+	}
+}

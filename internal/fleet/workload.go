@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"mob4x4/internal/core"
+	"mob4x4/internal/vtime"
+)
+
+// Workload: every node sends one small request per ~1s tick; the reply
+// (if any) comes back through whichever In mode the correspondent
+// chooses, and noteIn attributes it to the Out mode of the send. One
+// outstanding conversation per node keeps the attribution sound.
+
+var (
+	pingPayload  = []byte("fleet-ping")
+	probePayload = []byte("fleet-probe")
+	kioskPayload = []byte("fleet-kiosk")
+)
+
+// startTicker arms node n's workload tick, phase-offset by the node's
+// RNG so ticks spread across the period instead of bursting.
+func (f *Fleet) startTicker(n *Node) {
+	first := vtime.Duration(n.rng.Int63n(int64(second)))
+	n.tickTimer = f.Net.Sched().After(first, func() { f.tick(n) })
+}
+
+// tick sends one workload request and re-arms.
+func (f *Fleet) tick(n *Node) {
+	if !f.trafficOn || n.stopped {
+		return
+	}
+	f.sendWorkload(n)
+	n.tickTimer.Reset(second + vtime.Duration(n.rng.Int63n(int64(100*millisecond))))
+}
+
+// sendWorkload emits node n's class-specific request and records which
+// Out mode the policy chose for it (read off the node's own per-mode
+// counters around the synchronous send).
+func (f *Fleet) sendWorkload(n *Node) {
+	if n.cell < 0 {
+		return
+	}
+	before := n.MN.Stats.OutByMode
+	n.seq++
+	switch n.class {
+	case clsPingNaive:
+		_ = n.ic.Ping(n.MN.Home(), f.chNaive, uint16(n.Idx), n.seq, pingPayload)
+	case clsPingAware:
+		_ = n.ic.Ping(n.MN.Home(), f.chAware, uint16(n.Idx), n.seq, pingPayload)
+	case clsProbe:
+		_ = n.sock.SendTo(f.chProbe, 53, probePayload)
+	case clsKiosk:
+		_ = n.sock.SendTo(f.Cells[n.cell].Kiosk, portKiosk, kioskPayload)
+	}
+	after := n.MN.Stats.OutByMode
+	for m := range after {
+		if after[m] != before[m] {
+			n.lastOut = core.OutMode(m)
+			n.hasOut = true
+		}
+	}
+	// A foreign-agent visitor in a filtered cell has no choice but
+	// home-sourced packets (Out-DH), and any of them bound past the
+	// boundary router is guaranteed dead: the invariant suite now owes
+	// the drop-cause vector at least one filter drop.
+	if n.viaFA && n.class != clsKiosk && f.Cells[n.cell].Filtered {
+		f.expectFilterDrops = true
+	}
+}

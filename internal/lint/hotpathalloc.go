@@ -20,11 +20,17 @@ var hotpathallocMethods = map[string]string{
 
 // hotpathallocPkgs are the per-packet datapath packages: every packet in
 // every experiment crosses them, so a fresh []byte per call here is a
-// fresh allocation per simulated packet.
+// fresh allocation per simulated packet. internal/mobileip is on the
+// list because registration processing runs once per handoff and a
+// fleet-scale storm performs tens of thousands of handoffs per trial;
+// internal/fleet because its workload ticker fires once per node per
+// simulated second.
 var hotpathallocPkgs = map[string]bool{
-	"internal/netsim": true,
-	"internal/stack":  true,
-	"internal/encap":  true,
+	"internal/netsim":   true,
+	"internal/stack":    true,
+	"internal/encap":    true,
+	"internal/mobileip": true,
+	"internal/fleet":    true,
 }
 
 // HotPathAlloc returns the analyzer keeping allocating codec calls out of
@@ -34,7 +40,7 @@ var hotpathallocPkgs = map[string]bool{
 func HotPathAlloc() *Analyzer {
 	a := &Analyzer{
 		Name: "hotpathalloc",
-		Doc:  "no allocating Marshal/Clone/Encapsulate calls in the packet datapath (internal/netsim, internal/stack, internal/encap); use the Append* forms with pooled buffers",
+		Doc:  "no allocating Marshal/Clone/Encapsulate calls in the packet datapath (internal/netsim, internal/stack, internal/encap, internal/mobileip, internal/fleet); use the Append* forms with pooled buffers",
 	}
 	a.Run = func(pass *Pass) {
 		pkg := pass.Pkg

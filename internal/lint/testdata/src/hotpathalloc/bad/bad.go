@@ -8,6 +8,7 @@ import (
 
 	"mob4x4/internal/encap"
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/mobileip"
 )
 
 // Transmit allocates three times per packet; all three must be flagged.
@@ -31,4 +32,11 @@ func Queue(q []ipv4.Packet, pkt ipv4.Packet) []ipv4.Packet {
 // method on a module type, so it is out of scope.
 func Encode(v any) ([]byte, error) {
 	return json.Marshal(v)
+}
+
+// Register serializes a registration request the allocating way. The
+// registration path runs once per handoff — tens of thousands of times
+// in a fleet storm — so this must be flagged too.
+func Register(req *mobileip.Request) []byte {
+	return req.Marshal()
 }

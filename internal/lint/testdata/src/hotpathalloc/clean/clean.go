@@ -6,6 +6,7 @@ package hotpathallocclean
 import (
 	"mob4x4/internal/encap"
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/mobileip"
 )
 
 // Transmit reuses buf for both the tunnel wrap and the wire bytes.
@@ -15,4 +16,10 @@ func Transmit(c encap.Codec, pkt ipv4.Packet, src, dst ipv4.Addr, buf []byte) ([
 		return nil, err
 	}
 	return outer.AppendMarshal(buf[len(buf):])
+}
+
+// Register marshals the registration request into a caller-provided
+// (pooled) buffer — the handoff fast path's shape.
+func Register(req *mobileip.Request, buf []byte) []byte {
+	return req.AppendMarshal(buf[:0])
 }

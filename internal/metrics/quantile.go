@@ -1,0 +1,65 @@
+package metrics
+
+// Quantile estimation from fixed histogram buckets, Prometheus-style:
+// find the bucket holding the q-th observation and interpolate linearly
+// inside it. Every experiment used to re-derive summary statistics from
+// the raw bucket vector by hand; the fleet report was the third copy,
+// so the derivation moved here.
+
+// quantileFromBuckets estimates the q-quantile of a bucketed
+// distribution. counts is per-bucket (not cumulative) with one overflow
+// entry beyond bounds; n is the total observation count. Values in the
+// overflow bucket are clamped to the last bound (there is no upper edge
+// to interpolate toward). Returns 0 when the histogram is empty.
+func quantileFromBuckets(bounds []int64, counts []uint64, n uint64, q float64) int64 {
+	if n == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the (1-based, fractional) position of the quantile in the
+	// sorted observation sequence.
+	rank := q * float64(n)
+	var cum uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: no upper edge, clamp to the last bound.
+			return bounds[len(bounds)-1]
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		// Position of the rank within this bucket's count.
+		within := (rank - float64(cum-c)) / float64(c)
+		return lo + int64(float64(hi-lo)*within)
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values
+// by linear interpolation within the bucket containing the rank. The
+// estimate is exact at bucket edges and deterministic — the same
+// histogram always yields the same value — which is all the fleet
+// report's p50/p95/p99 need.
+func (h *Histogram) Quantile(q float64) int64 {
+	return quantileFromBuckets(h.bounds, h.counts, h.n, q)
+}
+
+// Quantile estimates the q-quantile of a snapshotted histogram; see
+// Histogram.Quantile.
+func (h HistogramSample) Quantile(q float64) int64 {
+	return quantileFromBuckets(h.Bounds, h.Buckets, h.Count, q)
+}

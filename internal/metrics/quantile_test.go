@@ -1,0 +1,93 @@
+package metrics
+
+import "testing"
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 30})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %d, want 0", got)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram([]int64{100})
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	// All mass in [0,100]: p50 interpolates to the middle of the bucket.
+	if got := h.Quantile(0.5); got != 50 {
+		t.Fatalf("p50 = %d, want 50", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("p100 = %d, want 100", got)
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 30, 40})
+	// One observation per bucket: quartiles land on bucket edges.
+	for _, v := range []int64{5, 15, 25, 35} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.25, 10},
+		{0.5, 20},
+		{0.75, 30},
+		{1, 40},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	h := NewHistogram([]int64{10, 110})
+	h.Observe(5) // bucket [0,10]
+	for i := 0; i < 9; i++ {
+		h.Observe(60) // bucket (10,110]
+	}
+	// p50: rank 5 of 10; first bucket holds 1, so the rank sits 4/9 of
+	// the way through the second bucket: 10 + 100*4/9 ≈ 54.
+	got := h.Quantile(0.5)
+	if got < 50 || got > 58 {
+		t.Fatalf("p50 = %d, want ≈54", got)
+	}
+}
+
+func TestQuantileOverflowClamps(t *testing.T) {
+	h := NewHistogram([]int64{10, 20})
+	h.Observe(1000)
+	h.Observe(2000)
+	if got := h.Quantile(0.99); got != 20 {
+		t.Fatalf("overflow p99 = %d, want clamp to last bound 20", got)
+	}
+}
+
+func TestQuantileSnapshotMatchesLive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test", []int64{10, 20, 30})
+	for _, v := range []int64{3, 12, 17, 22, 29} {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	var hs HistogramSample
+	found := false
+	for _, c := range s.Histograms {
+		if c.Name == "q_test" {
+			hs, found = c, true
+		}
+	}
+	if !found {
+		t.Fatal("q_test histogram missing from snapshot")
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if hs.Quantile(q) != h.Quantile(q) {
+			t.Errorf("Quantile(%v): snapshot %d != live %d", q, hs.Quantile(q), h.Quantile(q))
+		}
+	}
+}

@@ -81,6 +81,7 @@ func (fa *ForeignAgent) Advertise(interval vtime.Duration) (cancel func()) {
 			Lifetime: fa.cfg.VisitorLifetime,
 			Sequence: seq,
 		}
+		//mob4x4vet:allow hotpathalloc agent beacons are periodic control traffic, not per-packet datapath
 		_ = sock.SendToFrom(fa.Addr(), ipv4.Broadcast, PortAgentAdvert, adv.Marshal())
 		fa.host.Sched().After(interval, beacon)
 	}

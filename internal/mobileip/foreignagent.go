@@ -143,13 +143,17 @@ func (fa *ForeignAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ip
 	if fa.crashed {
 		return
 	}
-	msg, err := ParseMessage(payload)
-	if err != nil {
+	if len(payload) < 1 {
 		fa.Stats.BadRequests++
 		return
 	}
-	switch m := msg.(type) {
-	case *Request:
+	switch payload[0] {
+	case TypeRegistrationRequest:
+		var m Request
+		if !m.Unmarshal(payload) {
+			fa.Stats.BadRequests++
+			return
+		}
 		// A visitor on our segment: substitute our address as the
 		// care-of address and relay to the home agent.
 		m.CareOf = fa.Addr()
@@ -172,8 +176,16 @@ func (fa *ForeignAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ip
 			delete(fa.visitors, home)
 		}
 		fa.Stats.Relayed++
-		_ = fa.sock.SendToFrom(fa.Addr(), m.HomeAgent, udp.PortRegistration, m.Marshal())
-	case *Reply:
+		// Relay from a pooled buffer; SendToFrom copies synchronously.
+		buf := netsim.GetBuf()
+		_ = fa.sock.SendToFrom(fa.Addr(), m.HomeAgent, udp.PortRegistration, m.AppendMarshal(buf.B))
+		netsim.PutBuf(buf)
+	case TypeRegistrationReply:
+		var m Reply
+		if !m.Unmarshal(payload) {
+			fa.Stats.BadRequests++
+			return
+		}
 		// From a home agent: forward to the visitor over the local
 		// link. The visitor's home address is not routable here, so the
 		// delivery is link-direct (ARP resolves the visitor's answer
@@ -186,14 +198,19 @@ func (fa *ForeignAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ip
 		}
 		fa.Stats.Replies++
 		d := udp.Datagram{SrcPort: udp.PortRegistration, DstPort: v.port, Payload: payload}
-		b, err := d.Marshal(fa.Addr(), m.Home)
+		buf := netsim.GetBuf()
+		b, err := d.AppendMarshal(fa.Addr(), m.Home, buf.B)
 		if err != nil {
+			netsim.PutBuf(buf)
 			return
 		}
 		_ = fa.host.SendIPLinkDirect(fa.iface, m.Home, ipv4.Packet{
 			Header:  ipv4.Header{Protocol: ipv4.ProtoUDP, Src: fa.Addr(), Dst: m.Home},
 			Payload: b,
 		})
+		netsim.PutBuf(buf)
+	default:
+		fa.Stats.BadRequests++
 	}
 }
 

@@ -2,7 +2,6 @@ package mobileip
 
 import (
 	"fmt"
-	"sort"
 
 	"mob4x4/internal/encap"
 	"mob4x4/internal/icmp"
@@ -27,18 +26,10 @@ type HomeAgentConfig struct {
 	NoticeLifetime uint16
 	// MaxBindings bounds the binding table (0 = unlimited).
 	MaxBindings int
-}
-
-// binding is one mobile host's registration.
-type binding struct {
-	careOf ipv4.Addr
-	flags  uint8
-	expiry *vtime.Timer
-	lastID uint64
-	// noticed tracks which correspondents already got a binding notice
-	// for this binding generation (simple rate limit: one per source
-	// per registration).
-	noticed map[ipv4.Addr]bool
+	// ExpiryGranularity is the coarseness of the binding-expiry timer
+	// wheel (default 1s): a binding may outlive its exact lifetime by up
+	// to this much. See expiryWheel.
+	ExpiryGranularity vtime.Duration
 }
 
 // HomeAgentStats counts agent activity.
@@ -62,13 +53,22 @@ type HomeAgentStats struct {
 // ARP, tunnels them to the current care-of address, relays reverse-
 // tunneled packets, and optionally tells smart correspondents where the
 // mobile host is.
+//
+// The agent is built to hold thousands of bindings: registrations live
+// in an indexed slot table (bindingTable) and expiries share a coarse
+// timer wheel (expiryWheel) instead of one scheduler timer per binding,
+// so a fleet-wide renewal storm costs O(1) scheduler work per renewal.
 type HomeAgent struct {
 	host  *stack.Host
 	iface *stack.Iface // home-network interface used for proxy ARP
 	cfg   HomeAgentConfig
 	sock  *stack.UDPSocket
 
-	bindings map[ipv4.Addr]*binding // keyed by home address
+	bindings *bindingTable
+	wheel    *expiryWheel
+	// fireExpiry is the wheel's sweep callback, bound once so re-arming
+	// the wheel timer never allocates a closure.
+	fireExpiry func()
 
 	// relayGroups maps multicast groups to the home addresses of mobile
 	// hosts subscribed through this agent (Section 6.4 relay mode).
@@ -107,13 +107,15 @@ func NewHomeAgent(host *stack.Host, iface *stack.Iface, cfg HomeAgentConfig) (*H
 		host:       host,
 		iface:      iface,
 		cfg:        cfg,
-		bindings:   make(map[ipv4.Addr]*binding),
+		bindings:   newBindingTable(),
+		wheel:      newExpiryWheel(cfg.ExpiryGranularity),
 		bindGauge:  reg.Gauge("ha/bindings"),
 		mForwarded: reg.Counter("ha/forwarded"),
 		mReverse:   reg.Counter("ha/reverse_relayed"),
 		mNotices:   reg.Counter("ha/notices_sent"),
 		mExpiries:  reg.Counter("ha/expiries"),
 	}
+	ha.fireExpiry = ha.sweepExpiries
 	sock, err := host.OpenUDP(ipv4.Zero, udp.PortRegistration, ha.handleRegistration)
 	if err != nil {
 		return nil, fmt.Errorf("mobileip: home agent: %w", err)
@@ -132,12 +134,12 @@ func (ha *HomeAgent) Host() *stack.Host { return ha.host }
 func (ha *HomeAgent) Addr() ipv4.Addr { return ha.iface.Addr() }
 
 // Bindings returns the number of active bindings.
-func (ha *HomeAgent) Bindings() int { return len(ha.bindings) }
+func (ha *HomeAgent) Bindings() int { return ha.bindings.len() }
 
 // CareOf returns the registered care-of address for a home address.
 func (ha *HomeAgent) CareOf(home ipv4.Addr) (ipv4.Addr, bool) {
-	b, ok := ha.bindings[home]
-	if !ok {
+	b := ha.bindings.get(home)
+	if b == nil {
 		return ipv4.Zero, false
 	}
 	return b.careOf, true
@@ -154,21 +156,15 @@ func (ha *HomeAgent) Crash() {
 	}
 	ha.crashed = true
 	ha.Stats.Crashes++
-	// Tear down in sorted order so crash cleanup is trace-deterministic.
-	homes := make([]ipv4.Addr, 0, len(ha.bindings))
-	for home := range ha.bindings {
-		homes = append(homes, home)
-	}
-	sort.Slice(homes, func(i, j int) bool { return homes[i].Less(homes[j]) })
-	for _, home := range homes {
-		b := ha.bindings[home]
-		if b.expiry != nil {
-			b.expiry.Stop()
-		}
-		ha.host.Unclaim(home)
-		ha.iface.Proxy().Remove(home)
-	}
-	ha.bindings = make(map[ipv4.Addr]*binding)
+	// Slot order is deterministic (a pure function of the registration
+	// history), so crash cleanup stays trace-deterministic without the
+	// sort the old map-keyed table needed.
+	ha.bindings.forEach(func(b *binding) {
+		ha.host.Unclaim(b.home)
+		ha.iface.Proxy().Remove(b.home)
+	})
+	ha.bindings.reset()
+	ha.wheel.reset()
 	ha.bindGauge.Set(0)
 	ha.relayGroups = nil
 	ha.host.Sim().Trace.Record(netsim.Event{
@@ -202,13 +198,8 @@ func (ha *HomeAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ipv4.
 	if ha.crashed {
 		return
 	}
-	msg, err := ParseMessage(payload)
-	if err != nil {
-		ha.Stats.BadRequests++
-		return
-	}
-	req, ok := msg.(*Request)
-	if !ok {
+	var req Request
+	if !req.Unmarshal(payload) {
 		ha.Stats.BadRequests++
 		return
 	}
@@ -226,7 +217,7 @@ func (ha *HomeAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ipv4.
 		// We can only proxy for hosts that actually live on our
 		// home network segment.
 		reply.Code = CodeDeniedNotHomeAgent
-	case ha.isStale(req):
+	case ha.isStale(&req):
 		// Replay protection: the identification must advance with
 		// every request for the binding ([Per96a] uses timestamps or
 		// nonces; the simulation's mobile nodes use a counter).
@@ -236,35 +227,38 @@ func (ha *HomeAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ipv4.
 		ha.deregister(req.Home)
 		ha.Stats.Deregistrations++
 	default:
-		if ha.cfg.MaxBindings > 0 && len(ha.bindings) >= ha.cfg.MaxBindings {
-			if _, exists := ha.bindings[req.Home]; !exists {
+		if ha.cfg.MaxBindings > 0 && ha.bindings.len() >= ha.cfg.MaxBindings {
+			if ha.bindings.get(req.Home) == nil {
 				reply.Code = CodeDeniedUnreachable
 			}
 		}
 		if reply.Code == CodeAccepted {
-			ha.register(req)
+			ha.register(&req)
 			ha.Stats.Registrations++
 		}
 	}
-	rb := reply.Marshal()
+	// Marshal into a pooled buffer: SendToFrom copies the payload into
+	// the datagram it builds before returning, so the buffer is recycled
+	// immediately and a renewal storm's replies cost zero allocations.
+	buf := netsim.GetBuf()
+	rb := reply.AppendMarshal(buf.B)
 	if err := ha.sock.SendToFrom(ha.Addr(), src, srcPort, rb); err != nil {
 		// Reply undeliverable; the mobile host will retransmit.
 		_ = err
 	}
+	netsim.PutBuf(buf)
 }
 
 // isStale reports whether the request's identification fails to advance
 // past the binding's last accepted one.
 func (ha *HomeAgent) isStale(req *Request) bool {
-	b, ok := ha.bindings[req.Home]
-	return ok && req.ID <= b.lastID
+	b := ha.bindings.get(req.Home)
+	return b != nil && req.ID <= b.lastID
 }
 
 func (ha *HomeAgent) register(req *Request) {
-	b := ha.bindings[req.Home]
-	if b == nil {
-		b = &binding{noticed: make(map[ipv4.Addr]bool)}
-		ha.bindings[req.Home] = b
+	b, created := ha.bindings.getOrCreate(req.Home)
+	if created {
 		// Claim the home address: packets for the mobile host arriving
 		// at this host are diverted to the tunnel forwarder.
 		home := req.Home
@@ -275,21 +269,23 @@ func (ha *HomeAgent) register(req *Request) {
 		// segment now deliver the mobile host's frames to us.
 		ha.iface.Proxy().Add(req.Home)
 		ha.iface.GratuitousARP(req.Home)
-	} else if b.expiry != nil {
-		b.expiry.Stop()
+	} else {
+		// New binding generation: the wheel entry for the previous
+		// lifetime goes stale (lazy deletion — nothing to cancel).
+		b.gen++
 	}
 	b.careOf = req.CareOf
 	b.flags = req.Flags
 	b.lastID = req.ID
-	b.noticed = make(map[ipv4.Addr]bool) // new binding generation
-	home := req.Home
+	if b.noticed == nil {
+		b.noticed = make(map[ipv4.Addr]bool)
+	} else {
+		clear(b.noticed) // new generation, same map — renewals don't allocate
+	}
 	lifetime := vtime.Duration(req.Lifetime) * 1e9
-	b.expiry = ha.host.Sched().After(lifetime, func() {
-		ha.Stats.Expiries++
-		ha.mExpiries.Inc()
-		ha.deregister(home)
-	})
-	ha.bindGauge.Set(int64(len(ha.bindings)))
+	b.expiresAt = ha.host.Sched().Now().Add(lifetime)
+	ha.wheel.schedule(ha.host.Sched(), b.expiresAt, req.Home, b.gen, ha.fireExpiry)
+	ha.bindGauge.Set(int64(ha.bindings.len()))
 	var detail string
 	if ha.host.Sim().Trace.Detailing() {
 		detail = fmt.Sprintf("binding %s -> %s lifetime=%ds", req.Home, req.CareOf, req.Lifetime)
@@ -300,16 +296,29 @@ func (ha *HomeAgent) register(req *Request) {
 	})
 }
 
+// sweepExpiries is the wheel timer's callback: expire every binding in
+// the due slot whose generation still matches (renewed bindings are
+// skipped), then re-arm for the next slot.
+func (ha *HomeAgent) sweepExpiries() {
+	bucket := ha.wheel.take()
+	for _, e := range bucket {
+		b := ha.bindings.get(e.home)
+		if b == nil || b.gen != e.gen {
+			continue // renewed or deregistered since scheduling: stale
+		}
+		ha.Stats.Expiries++
+		ha.mExpiries.Inc()
+		ha.deregister(e.home)
+	}
+	ha.wheel.recycle(bucket)
+	ha.wheel.rearm(ha.host.Sched(), ha.fireExpiry)
+}
+
 func (ha *HomeAgent) deregister(home ipv4.Addr) {
-	b, ok := ha.bindings[home]
-	if !ok {
+	if !ha.bindings.remove(home) {
 		return
 	}
-	if b.expiry != nil {
-		b.expiry.Stop()
-	}
-	delete(ha.bindings, home)
-	ha.bindGauge.Set(int64(len(ha.bindings)))
+	ha.bindGauge.Set(int64(ha.bindings.len()))
 	ha.host.Unclaim(home)
 	ha.iface.Proxy().Remove(home)
 	var detail string
@@ -328,8 +337,8 @@ func (ha *HomeAgent) forwardToMobile(home ipv4.Addr, pkt ipv4.Packet) {
 	if ha.crashed {
 		return
 	}
-	b, ok := ha.bindings[home]
-	if !ok {
+	b := ha.bindings.get(home)
+	if b == nil {
 		return // binding raced away; packet is lost (higher layers recover)
 	}
 	// Build the tunnel payload in a pooled buffer; Resubmit copies it
@@ -354,6 +363,8 @@ func (ha *HomeAgent) forwardToMobile(home ipv4.Addr, pkt ipv4.Packet) {
 	_ = ha.host.Resubmit(outer)
 	netsim.PutBuf(buf)
 
+	// Resubmit never registers bindings, so b still points at the same
+	// slot here (inserts are the only operation that may move slots).
 	if ha.cfg.SendBindingNotices && !b.noticed[pkt.Src] {
 		b.noticed[pkt.Src] = true
 		ha.sendBindingNotice(pkt.Src, home, b.careOf)
@@ -368,9 +379,11 @@ func (ha *HomeAgent) sendBindingNotice(to, home, careOf ipv4.Addr) {
 	msg := icmp.BindingNotice(home, careOf, ha.cfg.NoticeLifetime)
 	ha.Stats.NoticesSent++
 	ha.mNotices.Inc()
+	//mob4x4vet:allow hotpathalloc binding notices are rate-limited to one per correspondent per binding generation
+	payload := msg.Marshal()
 	_ = ha.host.SendIP(ipv4.Packet{
 		Header:  ipv4.Header{Protocol: ipv4.ProtoICMP, Src: ha.Addr(), Dst: to},
-		Payload: msg.Marshal(),
+		Payload: payload,
 	})
 }
 
@@ -387,12 +400,12 @@ func (ha *HomeAgent) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
 	if err != nil {
 		return
 	}
-	b, registered := ha.bindings[inner.Src]
-	if !registered {
+	b := ha.bindings.get(inner.Src)
+	if b == nil {
 		// Not one of ours. If the inner destination is a registered
 		// mobile host this is a correspondent's tunnel that happened to
 		// target us — forward it on; otherwise drop.
-		if _, isForMH := ha.bindings[inner.Dst]; !isForMH {
+		if ha.bindings.get(inner.Dst) == nil {
 			return
 		}
 	} else {

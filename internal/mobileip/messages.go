@@ -63,7 +63,16 @@ const requestLen = 1 + 1 + 2 + 4 + 4 + 4 + 8
 
 // Marshal serializes the request.
 func (r *Request) Marshal() []byte {
-	b := make([]byte, requestLen)
+	return r.AppendMarshal(make([]byte, 0, requestLen))
+}
+
+// AppendMarshal appends the serialized request to dst and returns the
+// extended slice. Marshalling into a pooled buffer with AppendMarshal is
+// the allocation-free form used on the registration path.
+func (r *Request) AppendMarshal(dst []byte) []byte {
+	n := len(dst)
+	dst = append(dst, make([]byte, requestLen)...)
+	b := dst[n:]
 	b[0] = TypeRegistrationRequest
 	b[1] = r.Flags
 	binary.BigEndian.PutUint16(b[2:], r.Lifetime)
@@ -71,7 +80,23 @@ func (r *Request) Marshal() []byte {
 	copy(b[8:12], r.HomeAgent[:])
 	copy(b[12:16], r.CareOf[:])
 	binary.BigEndian.PutUint64(b[16:], r.ID)
-	return b
+	return dst
+}
+
+// Unmarshal decodes a registration request in place, without the
+// interface boxing of ParseMessage. It reports whether b held a
+// well-formed request.
+func (r *Request) Unmarshal(b []byte) bool {
+	if len(b) < requestLen || b[0] != TypeRegistrationRequest {
+		return false
+	}
+	r.Flags = b[1]
+	r.Lifetime = binary.BigEndian.Uint16(b[2:])
+	copy(r.Home[:], b[4:8])
+	copy(r.HomeAgent[:], b[8:12])
+	copy(r.CareOf[:], b[12:16])
+	r.ID = binary.BigEndian.Uint64(b[16:])
+	return true
 }
 
 // Reply is a registration reply.
@@ -87,14 +112,35 @@ const replyLen = 1 + 1 + 2 + 4 + 4 + 8
 
 // Marshal serializes the reply.
 func (r *Reply) Marshal() []byte {
-	b := make([]byte, replyLen)
+	return r.AppendMarshal(make([]byte, 0, replyLen))
+}
+
+// AppendMarshal appends the serialized reply to dst and returns the
+// extended slice.
+func (r *Reply) AppendMarshal(dst []byte) []byte {
+	n := len(dst)
+	dst = append(dst, make([]byte, replyLen)...)
+	b := dst[n:]
 	b[0] = TypeRegistrationReply
 	b[1] = r.Code
 	binary.BigEndian.PutUint16(b[2:], r.Lifetime)
 	copy(b[4:8], r.Home[:])
 	copy(b[8:12], r.HomeAgent[:])
 	binary.BigEndian.PutUint64(b[12:], r.ID)
-	return b
+	return dst
+}
+
+// Unmarshal decodes a registration reply in place; see Request.Unmarshal.
+func (r *Reply) Unmarshal(b []byte) bool {
+	if len(b) < replyLen || b[0] != TypeRegistrationReply {
+		return false
+	}
+	r.Code = b[1]
+	r.Lifetime = binary.BigEndian.Uint16(b[2:])
+	copy(r.Home[:], b[4:8])
+	copy(r.HomeAgent[:], b[8:12])
+	r.ID = binary.BigEndian.Uint64(b[12:])
+	return true
 }
 
 // ParseMessage decodes a registration datagram into *Request or *Reply.

@@ -65,6 +65,7 @@ type MobileNodeStats struct {
 	Renewals          uint64
 	RecoveryProbes    uint64
 	OutByMode         [core.NumOutModes]uint64
+	InByMode          [core.NumInModes]uint64
 	InTunneled        uint64 // packets received through the tunnel
 	InDirect          uint64 // plain packets to the home address (In-DH)
 }
@@ -121,6 +122,16 @@ type MobileNode struct {
 	// periodic probing. Applications use it to stop relying on
 	// tunnel-dependent delivery modes.
 	OnRegistrationLost func()
+
+	// OnInPacket, when non-nil, observes every arrival the node classifies
+	// into the In half of the grid, after the mode counters are bumped.
+	// The packet's payload is only valid for the duration of the call
+	// (pooled buffers). It is passed by value so a nil hook costs nothing:
+	// taking the packet's address here would make escape analysis heap-
+	// copy every classified arrival whether or not a hook is installed.
+	// The fleet engine uses it to attribute replies to the (Out, In) pair
+	// of the conversation that elicited them.
+	OnInPacket func(mode core.InMode, pkt ipv4.Packet)
 
 	Stats MobileNodeStats
 
@@ -382,17 +393,24 @@ func (mn *MobileNode) sendRegistration(lifetime uint16, careOf ipv4.Addr) {
 		ID:        mn.regID,
 	}
 	if mn.viaFA {
+		req.Flags |= FlagViaForeignAgent
+	}
+	// Marshal into a pooled buffer: SendToFrom copies the payload before
+	// returning, so a renewal storm's requests cost zero allocations.
+	buf := netsim.GetBuf()
+	rb := req.AppendMarshal(buf.B)
+	if mn.viaFA {
 		// Via a foreign agent: the request goes to the agent (one
 		// link-layer hop) from the home address; the agent substitutes
 		// its own address as the care-of address and relays.
-		req.Flags |= FlagViaForeignAgent
-		_ = mn.sock.SendToFrom(mn.cfg.Home, mn.careOf, udp.PortRegistration, req.Marshal())
-		return
+		_ = mn.sock.SendToFrom(mn.cfg.Home, mn.careOf, udp.PortRegistration, rb)
+	} else {
+		// Self-sufficient: registration always travels Out-DT — "It has no
+		// choice, since until it has registered with the home agent the
+		// other Mobile IP delivery services are not available" (Section 6.4).
+		_ = mn.sock.SendToFrom(mn.careOf, mn.cfg.HomeAgent, udp.PortRegistration, rb)
 	}
-	// Self-sufficient: registration always travels Out-DT — "It has no
-	// choice, since until it has registered with the home agent the
-	// other Mobile IP delivery services are not available" (Section 6.4).
-	_ = mn.sock.SendToFrom(mn.careOf, mn.cfg.HomeAgent, udp.PortRegistration, req.Marshal())
+	netsim.PutBuf(buf)
 }
 
 // armRegRetry schedules the next retransmission at the current backoff.
@@ -481,12 +499,11 @@ func (mn *MobileNode) onRenew() {
 }
 
 func (mn *MobileNode) handleRegistrationReply(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte) {
-	msg, err := ParseMessage(payload)
-	if err != nil {
+	var rep Reply
+	if !rep.Unmarshal(payload) {
 		return
 	}
-	rep, ok := msg.(*Reply)
-	if !ok || rep.ID != mn.regID || rep.Home != mn.cfg.Home {
+	if rep.ID != mn.regID || rep.Home != mn.cfg.Home {
 		return
 	}
 	if rep.Code != CodeAccepted {
@@ -548,14 +565,22 @@ func (mn *MobileNode) classifyDelivery(ifc *stack.Iface, pkt ipv4.Packet) {
 			return // tunneled to the home address: classified at decap
 		}
 		mn.Stats.InDirect++
+		mn.Stats.InByMode[core.InDH]++
 		mn.reg.InPackets[core.InDH].Inc()
 		mn.reg.InBytes[core.InDH].Add(uint64(pkt.TotalLen()))
+		if mn.OnInPacket != nil {
+			mn.OnInPacket(core.InDH, pkt)
+		}
 	case mn.careOf:
 		if pkt.Protocol == mn.cfg.Codec.Proto() {
 			return // tunnel outer: classified at decap
 		}
+		mn.Stats.InByMode[core.InDT]++
 		mn.reg.InPackets[core.InDT].Inc()
 		mn.reg.InBytes[core.InDT].Add(uint64(pkt.TotalLen()))
+		if mn.OnInPacket != nil {
+			mn.OnInPacket(core.InDT, pkt)
+		}
 	}
 }
 
@@ -574,8 +599,12 @@ func (mn *MobileNode) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
 	if outer.Src == mn.cfg.HomeAgent {
 		inMode = core.InIE
 	}
+	mn.Stats.InByMode[inMode]++
 	mn.reg.InPackets[inMode].Inc()
 	mn.reg.InBytes[inMode].Add(uint64(inner.TotalLen()))
+	if mn.OnInPacket != nil {
+		mn.OnInPacket(inMode, inner)
+	}
 	if inner.Dst.IsMulticast() {
 		// Group traffic relayed by the home agent (Section 6.4's
 		// tunneled alternative): deliver to our own subscribers.

@@ -44,7 +44,7 @@ func (ha *HomeAgent) RelayGroup(group ipv4.Addr, home ipv4.Addr) error {
 	if !group.IsMulticast() {
 		return fmt.Errorf("mobileip: %s is not a multicast group", group)
 	}
-	if _, ok := ha.bindings[home]; !ok {
+	if ha.bindings.get(home) == nil {
 		return fmt.Errorf("mobileip: no binding for %s", home)
 	}
 	if ha.relayGroups == nil {
@@ -82,12 +82,16 @@ func (ha *HomeAgent) tapMulticast(ifc *stack.Iface, pkt ipv4.Packet) bool {
 		return false
 	}
 	for _, home := range subs {
-		b, ok := ha.bindings[home]
-		if !ok {
+		b := ha.bindings.get(home)
+		if b == nil {
 			continue
 		}
-		outer, err := ha.cfg.Codec.Encapsulate(pkt, ha.Addr(), b.careOf)
+		// Relay fan-out builds each copy in a pooled buffer; Resubmit
+		// copies it onward synchronously, so the buffer recycles per sub.
+		buf := netsim.GetBuf()
+		outer, err := ha.cfg.Codec.AppendEncap(pkt, ha.Addr(), b.careOf, buf.B)
 		if err != nil {
+			netsim.PutBuf(buf)
 			continue
 		}
 		// Group traffic is link-scoped (TTL 1); the tunnel is a fresh
@@ -100,6 +104,7 @@ func (ha *HomeAgent) tapMulticast(ifc *stack.Iface, pkt ipv4.Packet) bool {
 			Detail: fmt.Sprintf("multicast relay %s -> %s via %s", pkt.Dst, home, b.careOf),
 		})
 		_ = ha.host.Resubmit(outer)
+		netsim.PutBuf(buf)
 	}
 	return true
 }

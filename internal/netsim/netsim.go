@@ -270,6 +270,7 @@ func (seg *Segment) attach(n *NIC) {
 	if seg.nics == nil {
 		seg.nics = make([]*NIC, 0, 4)
 	}
+	n.segIdx = len(seg.nics)
 	seg.nics = append(seg.nics, n)
 	if seg.byMAC != nil {
 		seg.byMAC[n.mac] = n
@@ -285,25 +286,24 @@ func (seg *Segment) attach(n *NIC) {
 }
 
 func (seg *Segment) detach(n *NIC) {
-	i := -1
-	for j, m := range seg.nics {
-		if m == n {
-			i = j
-			break
-		}
-	}
-	if i < 0 {
+	// The NIC records its own slot, so removal is O(1): a handoff storm
+	// detaches thousands of NICs from cell segments, and the old linear
+	// scan made fleet-scale roaming quadratic in the population.
+	i := n.segIdx
+	if i < 0 || i >= len(seg.nics) || seg.nics[i] != n {
 		return
 	}
 	last := len(seg.nics) - 1
 	if i != last {
 		seg.nics[i] = seg.nics[last]
+		seg.nics[i].segIdx = i
 	}
 	// Nil the trailing slot: the old append-based removal left the final
 	// element aliased in the backing array, keeping detached NICs (and
 	// their whole host) reachable.
 	seg.nics[last] = nil
 	seg.nics = seg.nics[:last]
+	n.segIdx = -1
 	if seg.byMAC != nil {
 		delete(seg.byMAC, n.mac)
 	}
@@ -453,10 +453,13 @@ func (seg *Segment) send(from *NIC, f Frame) {
 // NIC is a network interface attached to (at most) one segment. The
 // owning stack provides the receive callback.
 type NIC struct {
-	sim         *Sim
-	name        string
-	mac         MAC
-	segment     *Segment
+	sim     *Sim
+	name    string
+	mac     MAC
+	segment *Segment
+	// segIdx is this NIC's slot in segment.nics (-1 while detached),
+	// maintained by attach/detach so detaching is O(1) instead of a scan.
+	segIdx      int
 	recv        func(*NIC, Frame)
 	promiscuous bool
 	// Stats
@@ -466,7 +469,7 @@ type NIC struct {
 
 // NewNIC allocates a NIC with a fresh MAC. It starts detached.
 func (s *Sim) NewNIC(name string) *NIC {
-	return &NIC{sim: s, name: name, mac: s.AllocMAC()}
+	return &NIC{sim: s, name: name, mac: s.AllocMAC(), segIdx: -1}
 }
 
 // Name returns the interface name.

@@ -48,10 +48,15 @@ func main() {
 	nsTol := flag.Float64("ns-tolerance", 0.25, "allowed fractional ns/op slowdown before failing (compare mode)")
 	cover := flag.String("cover", "", "gate a `go test -coverprofile` file instead of benchmarks (cover mode)")
 	coverFloor := flag.Float64("cover-floor", 0, "minimum total statement coverage percent (cover mode)")
+	coverPkgFloors := flag.String("cover-pkg-floor", "", "comma-separated per-package floors, pkg=percent (cover mode)")
 	flag.Parse()
 
 	if *cover != "" {
-		if !coverGate(*cover, *coverFloor) {
+		pkgFloors, err := parsePkgFloors(*coverPkgFloors)
+		if err != nil {
+			fatal(err)
+		}
+		if !coverGate(*cover, *coverFloor, pkgFloors) {
 			os.Exit(1)
 		}
 		return

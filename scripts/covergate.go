@@ -15,8 +15,10 @@ import (
 // whether the total clears the floor. Statement coverage is
 // sum(statements in blocks hit at least once) / sum(all statements) —
 // the same number `go tool cover -func` prints as "total:", computed
-// here without shelling out.
-func coverGate(profile string, floor float64) bool {
+// here without shelling out. pkgFloors adds per-package minimums on top
+// of the total floor, so a new package can be held to its own standard
+// without the rest of the tree's surplus hiding a gap.
+func coverGate(profile string, floor float64, pkgFloors map[string]float64) bool {
 	f, err := os.Open(profile)
 	if err != nil {
 		fatal(err)
@@ -79,16 +81,55 @@ func coverGate(profile string, floor float64) bool {
 		pkgs = append(pkgs, p)
 	}
 	sort.Strings(pkgs)
+	ok := true
 	for _, p := range pkgs {
 		t := byPkg[p]
-		fmt.Printf("%-40s %6.1f%% (%d/%d statements)\n",
-			p, 100*float64(t.covered)/float64(t.total), t.covered, t.total)
+		pkgPct := 100 * float64(t.covered) / float64(t.total)
+		suffix := ""
+		if pf, has := pkgFloors[p]; has {
+			suffix = fmt.Sprintf(", floor %.1f%%", pf)
+			if pkgPct < pf {
+				suffix += "  FAIL"
+				ok = false
+			}
+		}
+		fmt.Printf("%-40s %6.1f%% (%d/%d statements)%s\n",
+			p, pkgPct, t.covered, t.total, suffix)
+	}
+	for p := range pkgFloors {
+		if byPkg[p] == nil {
+			fmt.Printf("covergate: FAIL — package %s has a floor but no coverage blocks\n", p)
+			ok = false
+		}
 	}
 	pct := 100 * float64(all.covered) / float64(all.total)
 	fmt.Printf("%-40s %6.1f%% (%d/%d statements), floor %.1f%%\n", "total:", pct, all.covered, all.total, floor)
 	if pct < floor {
 		fmt.Println("covergate: FAIL — total coverage under the floor")
-		return false
+		ok = false
 	}
-	return true
+	if !ok {
+		fmt.Println("covergate: FAIL")
+	}
+	return ok
+}
+
+// parsePkgFloors parses "pkg=NN,pkg=NN" into a floor map.
+func parsePkgFloors(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		pkg, val, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found || pkg == "" {
+			return nil, fmt.Errorf("bad -cover-pkg-floor entry %q (want pkg=percent)", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -cover-pkg-floor percent in %q: %v", part, err)
+		}
+		out[pkg] = f
+	}
+	return out, nil
 }
