@@ -13,7 +13,7 @@ FUZZ_TARGETS = \
 	./internal/encap:FuzzDecapsulateGREKeyed \
 	./internal/encap:FuzzEncapRoundTrip
 
-.PHONY: check build vet lint test race fuzz-smoke bench benchgate chaos-smoke cover
+.PHONY: check build vet lint test race fuzz-smoke bench benchgate chaos-smoke fleet-smoke cover determinism
 
 check: build vet lint test
 
@@ -30,8 +30,15 @@ lint:
 test:
 	$(GO) test ./...
 
+# Race matrix: the unit suite plus the chaos and fleet smokes, all under
+# the race detector. The smokes matter here because their drivers fan
+# trials over -parallel workers — the only place distinct goroutines
+# touch scheduler-adjacent state concurrently. CI runs the same three
+# legs (check/chaos-smoke/fleet-smoke).
 race:
 	$(GO) test -race ./...
+	$(MAKE) chaos-smoke
+	$(MAKE) fleet-smoke
 
 # Run the full benchmark suite and record it as BENCH_<date>.json.
 # Promote a run to the regression gate with:
@@ -75,6 +82,22 @@ fleet-smoke:
 	@echo "fleet handoff storm (FLEET_SEED=$(FLEET_SEED))"
 	FLEET_SEED=$(FLEET_SEED) $(GO) test ./internal/experiments -race -count=1 -run 'TestFleet'
 	$(GO) test ./internal/fleet -race -count=1
+
+# Runtime determinism gate (scripts/determinismdiff.go): build
+# ./cmd/mob4x4 once, run every experiment twice per seed plus once under
+# -parallel for the fan-out drivers, SHA-256 each run's full stdout
+# (tables, metrics dumps, report JSON, chaos series), fail on any
+# divergence.
+# DET_SEEDS is capped at two seeds in CI on purpose: each extra seed
+# re-runs the whole experiment surface three times over, and two seeds
+# already exercise the seed-dependent branches (loss draws, storm
+# phasing) — determinism bugs are order bugs, not seed bugs, so breadth
+# buys little. Widen locally when hunting one:
+#   make determinism DET_SEEDS=1,7,42,1996
+DET_SEEDS ?= 1,7
+DET_PARALLEL ?= 4
+determinism:
+	$(GO) run ./scripts -determinism -determinism-seeds $(DET_SEEDS) -determinism-parallel $(DET_PARALLEL)
 
 # Short fuzz pass over every target; CI runs this on every push, longer
 # runs are manual (`make fuzz-smoke FUZZ_TIME=5m`).

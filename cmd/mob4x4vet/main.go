@@ -1,7 +1,7 @@
 // Command mob4x4vet runs the repository's static-analysis suite
-// (internal/lint) over the module: the wallclock, modeswitch,
-// brokencombo, errcheck and panicpolicy analyzers that machine-check the
-// determinism and Figure 10 grid invariants the paper's claims rest on.
+// (internal/lint) over the module: the analyzers that machine-check the
+// determinism, shard-safety and Figure 10 grid invariants the paper's
+// claims rest on (run -list for the full set).
 //
 // Usage:
 //
@@ -12,9 +12,17 @@
 // what keeps cross-package rules (vtime exemptions, core enum sentinels)
 // sound. Diagnostics print as file:line:col and the exit status is 1
 // when any invariant is violated, 2 on a load or usage error.
+//
+// With -json, diagnostics are emitted instead as one JSON array of
+// objects {"file","line","col","analyzer","message"} on stdout — file is
+// module-root-relative with forward slashes, line and col are 1-based —
+// sorted by position, an empty array when the module is clean. Exit
+// status is unchanged, so CI can both gate on it and archive the
+// machine-readable listing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +31,15 @@ import (
 
 	"mob4x4/internal/lint"
 )
+
+// jsonDiag is the -json wire form of one diagnostic.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -33,8 +50,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and the invariant each encodes, then exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array (file/line/col/analyzer/message) instead of text")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mob4x4vet [-list] [-only a,b] [./...]\n")
+		fmt.Fprintf(stderr, "usage: mob4x4vet [-list] [-json] [-only a,b] [./...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -88,12 +106,32 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			name := d.Pos.Filename
+			if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = filepath.ToSlash(rel)
+			}
+			out = append(out, jsonDiag{
+				File: name, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "mob4x4vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			name := d.Pos.Filename
+			if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "mob4x4vet: %d violation(s)\n", len(diags))

@@ -50,10 +50,11 @@ type LinkFault struct {
 }
 
 // ImpairLink installs a LinkFault on seg, replacing any previous fault
-// hook. Draws come from sim's scheduler RNG so runs are reproducible per
-// seed. Remove() detaches it.
+// hook. The fault owns a stream derived from (seed, index) so its chain
+// clocking is reproducible per seed and independent of every other
+// entity's draws. Remove() detaches it.
 func ImpairLink(sim *netsim.Sim, seg *netsim.Segment, opts LinkFaultOpts) *LinkFault {
-	lf := &LinkFault{seg: seg, opts: opts, rng: sim.Sched.Rand()}
+	lf := &LinkFault{seg: seg, opts: opts, rng: sim.Sched.NewStream()}
 	seg.SetFaultHook(lf.verdict)
 	return lf
 }

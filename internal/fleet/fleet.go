@@ -68,13 +68,16 @@ const (
 // portKiosk is the UDP port the per-cell kiosk echo service listens on.
 const portKiosk = 9
 
-// handoffBuckets are nanosecond bounds for handoff latency: one
+// handoffBuckets returns nanosecond bounds for handoff latency: one
 // uncontested registration round trip sits in the low milliseconds; a
 // handoff that rode out a partition on retry backoff can take tens of
-// seconds.
-var handoffBuckets = []int64{
-	1e6, 2e6, 5e6, 10e6, 25e6, 50e6, 100e6, 250e6, 500e6,
-	1e9, 2e9, 5e9, 10e9, 20e9,
+// seconds. A fresh slice per call keeps the package free of mutable
+// globals (shard safety); it is called once per Fleet.
+func handoffBuckets() []int64 {
+	return []int64{
+		1e6, 2e6, 5e6, 10e6, 25e6, 50e6, 100e6, 250e6, 500e6,
+		1e9, 2e9, 5e9, 10e9, 20e9,
+	}
 }
 
 // Options parameterizes a fleet. The zero value of any field selects
@@ -203,6 +206,11 @@ type Fleet struct {
 	chAware ipv4.Addr
 	chProbe ipv4.Addr
 
+	// Per-fleet workload payloads (see initPayloads).
+	pingPayload  []byte
+	probePayload []byte
+	kioskPayload []byte
+
 	probeSrv *stack.UDPSocket
 	cancels  []func() // listeners/sockets to close during cleanup
 
@@ -226,12 +234,13 @@ type Fleet struct {
 func New(opts Options) *Fleet {
 	opts = opts.withDefaults()
 	f := &Fleet{Opts: opts, trafficOn: true, movementOn: true}
+	f.initPayloads()
 	f.Net = inet.New(opts.Seed)
 	// Fleet runs read counters, never trace events; tracing at this
 	// scale would dominate the run.
 	f.Net.Sim.Trace.Discard()
 	reg := f.Net.Sim.Metrics
-	f.handoffHist = reg.Histogram("fleet/handoff_ns", handoffBuckets)
+	f.handoffHist = reg.Histogram("fleet/handoff_ns", handoffBuckets())
 	f.mHandoffs = reg.Counter("fleet/handoffs")
 	f.buildTopology()
 	f.buildNodes()

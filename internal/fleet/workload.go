@@ -10,11 +10,13 @@ import (
 // chooses, and noteIn attributes it to the Out mode of the send. One
 // outstanding conversation per node keeps the attribution sound.
 
-var (
-	pingPayload  = []byte("fleet-ping")
-	probePayload = []byte("fleet-probe")
-	kioskPayload = []byte("fleet-kiosk")
-)
+// Workload payload bytes, built once per Fleet (not package-level: the
+// slices would be process-global mutable state shared across shards).
+func (f *Fleet) initPayloads() {
+	f.pingPayload = []byte("fleet-ping")
+	f.probePayload = []byte("fleet-probe")
+	f.kioskPayload = []byte("fleet-kiosk")
+}
 
 // startTicker arms node n's workload tick, phase-offset by the node's
 // RNG so ticks spread across the period instead of bursting.
@@ -43,13 +45,13 @@ func (f *Fleet) sendWorkload(n *Node) {
 	n.seq++
 	switch n.class {
 	case clsPingNaive:
-		_ = n.ic.Ping(n.MN.Home(), f.chNaive, uint16(n.Idx), n.seq, pingPayload)
+		_ = n.ic.Ping(n.MN.Home(), f.chNaive, uint16(n.Idx), n.seq, f.pingPayload)
 	case clsPingAware:
-		_ = n.ic.Ping(n.MN.Home(), f.chAware, uint16(n.Idx), n.seq, pingPayload)
+		_ = n.ic.Ping(n.MN.Home(), f.chAware, uint16(n.Idx), n.seq, f.pingPayload)
 	case clsProbe:
-		_ = n.sock.SendTo(f.chProbe, 53, probePayload)
+		_ = n.sock.SendTo(f.chProbe, 53, f.probePayload)
 	case clsKiosk:
-		_ = n.sock.SendTo(f.Cells[n.cell].Kiosk, portKiosk, kioskPayload)
+		_ = n.sock.SendTo(f.Cells[n.cell].Kiosk, portKiosk, f.kioskPayload)
 	}
 	after := n.MN.Stats.OutByMode
 	for m := range after {

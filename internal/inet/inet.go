@@ -222,7 +222,7 @@ func (n *Network) adjacency() map[*stack.Host]map[*stack.Host]neighbor {
 	// Routers sharing a LAN are adjacent too.
 	routers := n.sortedRouters()
 	var attached []*stack.Host
-	for _, lan := range n.lans {
+	for _, lan := range n.sortedLANs() {
 		attached = attached[:0]
 		for _, r := range routers {
 			if ifaceOn(r, lan.Seg) != nil {
@@ -263,6 +263,22 @@ func (n *Network) sortedRouters() []*stack.Host {
 	return rs
 }
 
+// sortedLANs returns the LANs in name order. Adjacency edges and route
+// candidates are discovered by walking LANs, so the walk order must not
+// come from the map.
+func (n *Network) sortedLANs() []*LAN {
+	names := make([]string, 0, len(n.lans))
+	for name := range n.lans {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ls := make([]*LAN, 0, len(names))
+	for _, name := range names {
+		ls = append(ls, n.lans[name])
+	}
+	return ls
+}
+
 // ComputeRoutes installs shortest-path (hop count) routes on every router
 // for every LAN prefix and transfer net, and default routes on hosts via
 // their LAN gateway. Call after the topology is complete; call again
@@ -277,13 +293,7 @@ func (n *Network) ComputeRoutes() {
 		attached []*stack.Host
 	}
 	var dests []dest
-	lanNames := make([]string, 0, len(n.lans))
-	for name := range n.lans {
-		lanNames = append(lanNames, name)
-	}
-	sort.Strings(lanNames)
-	for _, name := range lanNames {
-		lan := n.lans[name]
+	for _, lan := range n.sortedLANs() {
 		d := dest{prefix: lan.Prefix}
 		for _, r := range routers {
 			if ifaceOn(r, lan.Seg) != nil {
@@ -378,7 +388,7 @@ func (n *Network) ComputeRoutes() {
 	for _, name := range hostNames {
 		h := n.hosts[name]
 		ifc := h.Ifaces()[0]
-		for _, lan := range n.lans {
+		for _, lan := range n.sortedLANs() {
 			if lan.Seg == ifc.NIC().Segment() && !lan.Gateway.IsZero() {
 				h.Routes().Remove(ipv4.Prefix{})
 				h.Routes().AddDefault(ifc, lan.Gateway)

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// bufretainPkgs are the consumers of the pooled-frame ownership contract
+// (netsim.Buf): every package whose callbacks are handed a netsim.Frame
+// or ipv4.Packet whose payload storage returns to the pool the moment
+// the callback returns. internal/netsim itself is exempt — it is the
+// owner side of the contract (it retains frames while they are in
+// flight and is the one place PutBuf is called).
+var bufretainPkgs = map[string]bool{
+	"internal/stack":    true,
+	"internal/encap":    true,
+	"internal/mobileip": true,
+	"internal/fleet":    true,
+	"internal/tcplite":  true,
+	"internal/udp":      true,
+	"internal/icmp":     true,
+	"internal/icmphost": true,
+	"internal/arp":      true,
+	"internal/faults":   true,
+}
+
+// BufRetain returns the analyzer enforcing the receive-side half of the
+// netsim.GetBuf/PutBuf ownership contract: a callback handed a
+// netsim.Frame or ipv4.Packet may read the payload only until it
+// returns. The check is intra-procedural taint: the frame/packet
+// parameters (and simple aliases and subslices of their payload) must
+// not be stored into a field, a map or slice element, a package var,
+// sent on a channel, handed to a goroutine, or captured by a deferred
+// function literal. Retention by copy (append([]byte(nil), p...),
+// Clone) launders the taint and is always legal; a deliberate aliasing
+// retention carries a //mob4x4vet:allow bufretain directive.
+func BufRetain() *Analyzer {
+	a := &Analyzer{
+		Name: "bufretain",
+		Doc:  "receive callbacks must not retain a pooled frame payload past return (netsim.GetBuf/PutBuf ownership contract): no field stores, element stores, channel sends or escaping closures over Frame/Packet params in the datapath packages; copy instead",
+	}
+	a.Run = func(pass *Pass) {
+		pkg := pass.Pkg
+		rel := strings.TrimPrefix(pkg.Path, pkg.ModulePath+"/")
+		if !bufretainPkgs[rel] &&
+			!strings.HasPrefix(pkg.Path, pkg.ModulePath+"/internal/lintfixture/bufretain/") {
+			return
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					checkRetention(pass, fn.Type, fn.Body)
+				case *ast.FuncLit:
+					checkRetention(pass, fn.Type, fn.Body)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// frameParam reports whether t is (a pointer to) netsim.Frame or
+// ipv4.Packet — the two borrowed-payload carriers of the contract.
+func frameParam(modulePath string, t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case modulePath + "/internal/netsim":
+		return obj.Name() == "Frame"
+	case modulePath + "/internal/ipv4":
+		return obj.Name() == "Packet"
+	}
+	return false
+}
+
+// checkRetention taints ftype's Frame/Packet parameters and walks body
+// flagging every way a tainted value can outlive the call.
+func checkRetention(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	if body == nil || ftype.Params == nil {
+		return
+	}
+	pkg := pass.Pkg
+	taint := make(map[types.Object]bool)
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			obj := pkg.Info.Defs[name]
+			if obj != nil && frameParam(pkg.ModulePath, obj.Type()) {
+				taint[obj] = true
+			}
+		}
+	}
+	if len(taint) == 0 {
+		return
+	}
+	r := &retentionCheck{pass: pass, taint: taint}
+	r.walk(body)
+}
+
+type retentionCheck struct {
+	pass  *Pass
+	taint map[types.Object]bool
+}
+
+// walk visits stmts in source order so alias tracking is flow-ordered.
+// Nested function literals are only checked for captures: a literal that
+// captures no tainted ident cannot retain anything, and one that does is
+// flagged once at the capture (its body can create no new taint — the
+// literal's own Frame/Packet params are visited independently by Run).
+func (r *retentionCheck) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			r.checkCapture(n)
+			return false
+		case *ast.AssignStmt:
+			r.assign(n)
+		case *ast.SendStmt:
+			if r.tainted(n.Value) {
+				r.pass.Report(n.Arrow,
+					"sending a borrowed frame payload on a channel retains it past the callback; the pooled buffer is recycled when the callback returns — copy first")
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if r.tainted(arg) {
+					r.pass.Report(arg.Pos(),
+						"passing a borrowed frame payload to a goroutine lets it outlive the callback; the pooled buffer is recycled when the callback returns — copy first")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assign handles both alias tracking (x := tainted taints x; x = clean
+// untaints it) and the store checks (tainted into a field, element or
+// package var escapes the callback).
+func (r *retentionCheck) assign(as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break // x, y := f() — call results are never tainted
+		}
+		rhs := as.Rhs[i]
+		rhsTainted := r.tainted(rhs)
+		if id, ok := lhs.(*ast.Ident); ok {
+			// Plain (re)assignment: a package-level target escapes, a
+			// local one propagates or clears taint.
+			obj := r.pass.Pkg.Info.Defs[id]
+			if obj == nil {
+				obj = r.pass.Pkg.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if v, ok := obj.(*types.Var); ok && v.Parent() == r.pass.Pkg.Types.Scope() {
+				if rhsTainted {
+					r.pass.Report(id.Pos(),
+						"storing a borrowed frame payload in package-level var %s retains it past the callback; the pooled buffer is recycled when the callback returns — copy first", id.Name)
+				}
+				continue
+			}
+			r.taint[obj] = rhsTainted
+			continue
+		}
+		if !rhsTainted {
+			continue
+		}
+		switch lhs := lhs.(type) {
+		case *ast.SelectorExpr:
+			// x.f = tainted: writing INTO the borrowed object itself
+			// (pkt.Payload[...] rewrites, pkt.Header = h) is mutation,
+			// not retention; storing into anything else escapes.
+			if r.tainted(lhs.X) {
+				continue
+			}
+			r.pass.Report(lhs.Sel.Pos(),
+				"storing a borrowed frame payload in field %s retains it past the callback; the pooled buffer is recycled when the callback returns — copy first (append([]byte(nil), p...) or Clone)", lhs.Sel.Name)
+		case *ast.IndexExpr:
+			if r.tainted(lhs.X) {
+				continue
+			}
+			r.pass.Report(lhs.Lbrack,
+				"storing a borrowed frame payload in a map or slice element retains it past the callback; the pooled buffer is recycled when the callback returns — copy first (append([]byte(nil), p...) or Clone)")
+		}
+	}
+}
+
+// checkCapture flags a function literal that closes over a tainted
+// ident: closures are how retention sneaks through schedulers (the
+// literal runs after the callback returned and the buffer was recycled).
+// Immediately-invoked literals never outlive the statement, but they are
+// rare enough here that the annotation escape hatch covers them.
+func (r *retentionCheck) checkCapture(fl *ast.FuncLit) {
+	// Idents re-bound as the literal's own params are not captures.
+	local := make(map[types.Object]bool)
+	if fl.Type.Params != nil {
+		for _, field := range fl.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := r.pass.Pkg.Info.Defs[name]; obj != nil {
+					local[obj] = true
+				}
+			}
+		}
+	}
+	reported := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := r.pass.Pkg.Info.Uses[id]
+		if obj == nil || local[obj] || !r.taint[obj] {
+			return true
+		}
+		reported = true
+		r.pass.Report(id.Pos(),
+			"closure captures borrowed frame payload %s; the literal can run after the callback returned and the pooled buffer was recycled — copy before capturing", id.Name)
+		return false
+	})
+}
+
+// tainted reports whether e aliases a borrowed frame payload: a tainted
+// ident, a slice/pointer-typed field of a tainted value (Frame.Payload,
+// Frame.Buf, Packet.Payload), a subslice of a tainted slice, a composite
+// literal embedding a tainted element, or append whose destination is
+// tainted. Call results (Clone, parse helpers, append-to-fresh copies)
+// are clean — the check is intra-procedural by design.
+func (r *retentionCheck) tainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := r.pass.Pkg.Info.Uses[e]
+		if obj == nil {
+			obj = r.pass.Pkg.Info.Defs[e]
+		}
+		return obj != nil && r.taint[obj]
+	case *ast.SelectorExpr:
+		if !r.tainted(e.X) {
+			return false
+		}
+		// Only reference-typed fields alias the borrowed storage; a
+		// copied header or scalar is safe.
+		if tv, ok := r.pass.Pkg.Info.Types[e]; ok {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Pointer:
+				return true
+			}
+			return false
+		}
+		return true
+	case *ast.SliceExpr:
+		return r.tainted(e.X)
+	case *ast.ParenExpr:
+		return r.tainted(e.X)
+	case *ast.UnaryExpr:
+		return r.tainted(e.X)
+	case *ast.StarExpr:
+		return r.tainted(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if r.tainted(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		// append(tainted, ...) still aliases the tainted backing array;
+		// every other call result (Clone, append-to-fresh) is a copy or
+		// the callee's responsibility.
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			return r.tainted(e.Args[0])
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// globalstatePkgs are the shard-candidate packages: the sharded engine
+// will run many instances of this code concurrently, one per region
+// shard, and any package-level mutable state — a counter, a cache map, a
+// sync.Once, a reusable scratch buffer — is invisibly shared between
+// shards. Per-Sim state lives on the Sim (or an object hanging off it);
+// genuinely process-wide state (a sync.Pool, an atomic leak counter)
+// carries an annotation whose justification says why sharing is safe.
+var globalstatePkgs = map[string]bool{
+	"internal/vtime":    true,
+	"internal/netsim":   true,
+	"internal/stack":    true,
+	"internal/encap":    true,
+	"internal/mobileip": true,
+	"internal/fleet":    true,
+	"internal/core":     true,
+}
+
+// GlobalState returns the analyzer banning package-level mutable state in
+// shard-candidate packages. Error sentinels (var ErrX = errors.New(...))
+// are exempt: they are write-once by convention and compared by identity.
+// Everything else needs a //mob4x4vet:allow globalstate directive WITH a
+// justification string, or a move into per-Sim state.
+func GlobalState() *Analyzer {
+	a := &Analyzer{
+		Name:          "globalstate",
+		Doc:           "no package-level mutable state in shard-candidate packages (internal/vtime, internal/netsim, internal/stack, internal/encap, internal/mobileip, internal/fleet, internal/core); move it into per-Sim state or annotate with a justification",
+		RequireReason: true,
+	}
+	a.Run = func(pass *Pass) {
+		pkg := pass.Pkg
+		rel := strings.TrimPrefix(pkg.Path, pkg.ModulePath+"/")
+		if !globalstatePkgs[rel] &&
+			!strings.HasPrefix(pkg.Path, pkg.ModulePath+"/internal/lintfixture/globalstate/") {
+			return
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok.String() != "var" {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.Name == "_" || errSentinel(pkg, vs, i) {
+							continue
+						}
+						pass.Report(name.Pos(),
+							"package-level var %s is mutable state shared across every shard and Sim in the process; move it into per-Sim state, or annotate why process-wide sharing is safe",
+							name.Name)
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+// errSentinel reports whether the i-th name of vs is a conventional error
+// sentinel: error-typed, Err-prefixed, initialized from errors.New or
+// fmt.Errorf. Sentinels are package-level vars only because Go has no
+// const errors; nothing ever assigns to them.
+func errSentinel(pkg *Package, vs *ast.ValueSpec, i int) bool {
+	name := vs.Names[i]
+	if !strings.HasPrefix(name.Name, "Err") && !strings.HasPrefix(name.Name, "err") {
+		return false
+	}
+	obj := pkg.Info.Defs[name]
+	if obj == nil || !types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	if i >= len(vs.Values) {
+		return false
+	}
+	call, ok := vs.Values[i].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pn.Imported().Path() {
+	case "errors":
+		return sel.Sel.Name == "New"
+	case "fmt":
+		return sel.Sel.Name == "Errorf"
+	}
+	return false
+}

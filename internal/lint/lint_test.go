@@ -109,6 +109,10 @@ func TestDiagnosticPositions(t *testing.T) {
 		{"brokencombo", 3, 11, 18, "InDT"},
 		{"errcheck", 4, 13, 2, "ParseAddr"},
 		{"panicpolicy", 2, 9, 3, "bare panic"},
+		{"mapiter", 3, 11, 2, "map iteration order is randomized"},
+		{"globalstate", 5, 13, 5, "package-level var seq"},
+		{"sharedrand", 4, 10, 5, "process-wide RNG stream"},
+		{"bufretain", 6, 22, 4, "field last"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.analyzer, func(t *testing.T) {
@@ -186,5 +190,45 @@ func TestDirectiveSuppression(t *testing.T) {
 	if diags := lint.Run([]*lint.Package{bad}, []*lint.Analyzer{bc}); len(diags) != 3 {
 		t.Errorf("got %d diagnostics on bad fixture, want 3 (wrong-name directive must not suppress):\n%s",
 			len(diags), format(diags))
+	}
+}
+
+// TestAllowlistMechanism pins the suppression semantics position by
+// position on one fixture holding three identical-shape loops: an
+// annotated map range (suppressed — exactly that one, at that position),
+// an unannotated twin (still flagged), and a well-formed directive over
+// a slice range (no matching finding, so the directive itself must be
+// reported stale under the staleallow name at the directive's position).
+func TestAllowlistMechanism(t *testing.T) {
+	l := loader(t)
+	a, err := lint.ByName("mapiter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := loadFixtureAs(t, l, "allowlist", "mapiter",
+		l.ModulePath+"/internal/lintfixture/mapiter/allowlist")
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (one flagged loop + one stale directive):\n%s",
+			len(diags), format(diags))
+	}
+	flagged := diags[0]
+	if flagged.Analyzer != "mapiter" || flagged.Pos.Line != 21 || flagged.Pos.Column != 2 {
+		t.Errorf("unannotated loop: got %s at %d:%d, want mapiter at 21:2",
+			flagged.Analyzer, flagged.Pos.Line, flagged.Pos.Column)
+	}
+	stale := diags[1]
+	if stale.Analyzer != lint.StaleAllowName || stale.Pos.Line != 31 || stale.Pos.Column != 2 {
+		t.Errorf("stale directive: got %s at %d:%d, want %s at 31:2",
+			stale.Analyzer, stale.Pos.Line, stale.Pos.Column, lint.StaleAllowName)
+	}
+	if !strings.Contains(stale.Message, "suppresses no mapiter finding") {
+		t.Errorf("stale message %q does not say the directive suppresses nothing", stale.Message)
+	}
+	// The annotated twin at 12:2 must not appear anywhere.
+	for _, d := range diags {
+		if d.Pos.Line == 12 {
+			t.Errorf("annotated loop at line 12 was flagged: %s", d.Message)
+		}
 	}
 }

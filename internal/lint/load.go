@@ -33,7 +33,8 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
-	directives map[directiveKey][]string
+	directives     map[directiveKey][]*directive
+	directiveOrder []*directive
 }
 
 // A Loader parses and type-checks packages of a single module using only

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// mapiterPkgs are the packages whose control flow reaches schedules,
+// exports or reports: the experiment drivers, the metrics export layer,
+// the whole simulated protocol stack (link layer through Mobile IP, TCP,
+// ICMP, DNS and DHCP — every callback there runs inside a scheduler
+// event), the fleet storm, the topology builder and the event scheduler
+// itself. A `for range` over a map anywhere here injects Go's
+// per-iteration randomized map order into byte-compared output or into
+// event ordering unless the loop's results are sorted before use.
+var mapiterPkgs = map[string]bool{
+	"internal/metrics":     true,
+	"internal/experiments": true,
+	"internal/fleet":       true,
+	"internal/vtime":       true,
+	"internal/netsim":      true,
+	"internal/dhcpsim":     true,
+	"internal/stack":       true,
+	"internal/mobileip":    true,
+	"internal/inet":        true,
+	"internal/core":        true,
+	"internal/tcplite":     true,
+	"internal/faults":      true,
+	"internal/icmphost":    true,
+	"internal/dnssim":      true,
+}
+
+// sortCallPkgs are the packages whose calls count as "feeding a sort":
+// a loop that only collects into a slice later passed to one of these is
+// deterministic no matter what order the map yielded.
+var sortCallPkgs = map[string]bool{"sort": true, "slices": true}
+
+// MapIter returns the analyzer banning raw map iteration on the
+// deterministic-output paths. A loop is fine when a slice it appends to
+// is subsequently passed to sort/slices in the same function; anything
+// genuinely order-insensitive (say, summing values into a scalar) takes a
+// //mob4x4vet:allow mapiter directive naming why order cannot leak.
+func MapIter() *Analyzer {
+	a := &Analyzer{
+		Name: "mapiter",
+		Doc:  "no unsorted map iteration on export/report/scheduling paths (metrics, experiments, fleet, the scheduler and the whole simulated stack); sort the collected results or annotate an order-insensitive sink",
+	}
+	a.Run = func(pass *Pass) {
+		pkg := pass.Pkg
+		rel := strings.TrimPrefix(pkg.Path, pkg.ModulePath+"/")
+		if !mapiterPkgs[rel] &&
+			!strings.HasPrefix(pkg.Path, pkg.ModulePath+"/internal/lintfixture/mapiter/") {
+			return
+		}
+		for _, f := range pkg.Files {
+			// Walk function bodies so each range statement can be judged
+			// against the statements that follow it in the same function.
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					body = fn.Body
+				case *ast.FuncLit:
+					body = fn.Body
+				}
+				if body == nil {
+					return true
+				}
+				checkMapRanges(pass, body)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkMapRanges flags each range-over-map in body whose collected
+// results are not sorted later in the same body. Nested function literals
+// are skipped here — the Inspect in Run visits them as their own bodies.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if feedsSort(pass.Pkg, body, rng) {
+			return true
+		}
+		pass.Report(rng.Pos(),
+			"map iteration order is randomized per run and leaks into schedules/reports; collect and sort the keys, use a slice-backed table, or annotate an order-insensitive sink")
+		return true
+	})
+}
+
+// feedsSort reports whether some slice the loop appends to is, after the
+// loop, handed to a sort/slices call in the same body — the canonical
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// shape and its variants (struct rows sorted with sort.Slice, sort.Sort
+// over a named slice type, slices.SortFunc, ...).
+func feedsSort(pkg *Package, body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	// Destinations: every `x = append(x, ...)` target inside the loop.
+	var dests []string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" || i >= len(as.Lhs) {
+				continue
+			}
+			dests = append(dests, types.ExprString(as.Lhs[i]))
+		}
+		return true
+	})
+	if len(dests) == 0 {
+		return false
+	}
+	// A sort call after the loop mentioning any destination.
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted || n == nil || n.Pos() <= rng.End() {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+		if !ok || !sortCallPkgs[pn.Imported().Path()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			argStr := types.ExprString(arg)
+			for _, d := range dests {
+				if argStr == d || strings.Contains(argStr, d) {
+					sorted = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// sharedrandDraws are the math/rand package-level functions that consume
+// the process-global locked stream (plus Seed, which reseeds it). One
+// draw from the global stream makes the result depend on every other
+// goroutine's draws — the exact coupling the sharded engine must not
+// have. rand.New/rand.NewSource are constructors and stay legal.
+var sharedrandDraws = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// SharedRand returns the analyzer enforcing per-entity RNG streams in
+// internal/*: every consumer of randomness owns a *rand.Rand derived from
+// (seed, index) — vtime's Scheduler.NewStream or an explicit
+// rand.New(rand.NewSource(mix(seed, idx))) — so the draw sequence each
+// entity sees is a pure function of the seed, independent of how events
+// from different entities interleave. Three shapes break that:
+//
+//   - the global math/rand stream (package-level Intn/Float64/...),
+//   - accessor methods named Rand that hand one entity's stream to
+//     another (two consumers of one stream couple their draw sequences
+//     to event order),
+//   - package-level *rand.Rand / rand.Source vars (a process-wide
+//     stream shared by every Sim and shard).
+func SharedRand() *Analyzer {
+	a := &Analyzer{
+		Name: "sharedrand",
+		Doc:  "no global math/rand stream, no shared *rand.Rand between entities in internal/*; derive per-entity streams from (seed, index) via Scheduler.NewStream or rand.New(rand.NewSource(...))",
+	}
+	a.Run = func(pass *Pass) {
+		pkg := pass.Pkg
+		if !strings.HasPrefix(pkg.Path, pkg.ModulePath+"/internal/") {
+			return
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkRandCall(pass, n)
+				case *ast.GenDecl:
+					if n.Tok.String() != "var" {
+						return true
+					}
+					for _, spec := range n.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, name := range vs.Names {
+							obj := pkg.Info.Defs[name]
+							if obj == nil || obj.Parent() != pkg.Types.Scope() {
+								continue // not package-level
+							}
+							if isRandStream(obj.Type()) {
+								pass.Report(name.Pos(),
+									"package-level var %s is a process-wide RNG stream shared by every Sim and shard; derive a per-entity stream from (seed, index) instead",
+									name.Name)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkRandCall flags the two call shapes: a math/rand package-level draw
+// and a module-owned accessor method named Rand returning *rand.Rand.
+func checkRandCall(pass *Pass, call *ast.CallExpr) {
+	pkg := pass.Pkg
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Global stream: rand.Intn(...) et al.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "math/rand" && sharedrandDraws[sel.Sel.Name] {
+				pass.Report(sel.Pos(),
+					"rand.%s draws from the process-global math/rand stream, coupling this draw to every other goroutine; use a per-entity stream derived from (seed, index)",
+					sel.Sel.Name)
+			}
+			return
+		}
+	}
+	// Accessor: x.Rand() returning *rand.Rand from a module-owned method.
+	if sel.Sel.Name != "Rand" {
+		return
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 || !isRandStream(sig.Results().At(0).Type()) {
+		return
+	}
+	owner := fn.Pkg()
+	if owner == nil || (owner.Path() != pkg.ModulePath &&
+		!strings.HasPrefix(owner.Path(), pkg.ModulePath+"/")) {
+		return
+	}
+	pass.Report(sel.Sel.Pos(),
+		"%s() hands out another entity's RNG stream; two consumers of one stream couple their draw sequences to event interleaving — derive an owned stream from (seed, index) (Scheduler.NewStream)",
+		sel.Sel.Name)
+}
+
+// isRandStream reports whether t is *math/rand.Rand or math/rand.Source.
+func isRandStream(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "math/rand" {
+		return false
+	}
+	return obj.Name() == "Rand" || obj.Name() == "Source"
+}

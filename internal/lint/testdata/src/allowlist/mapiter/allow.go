@@ -1,0 +1,36 @@
+// Package allowlist exercises the suppression mechanism end to end: one
+// annotated violation (suppressed), one identical unannotated violation
+// (still flagged), and one well-formed directive with no matching
+// finding (reported stale). The positions are pinned by
+// TestAllowlistMechanism — keep line numbers stable.
+package allowlist
+
+// Excused sums values under a justified directive: suppressed.
+func Excused(m map[string]int) int {
+	total := 0
+	//mob4x4vet:allow mapiter commutative sum, only the scalar escapes
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Flagged is the identical loop without a directive: still flagged.
+func Flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Stale carries a directive over a loop that is not a map range; the
+// directive suppresses nothing and must itself be reported.
+func Stale(xs []int) int {
+	total := 0
+	//mob4x4vet:allow mapiter slices iterate in index order
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,47 @@
+// Package bufretainbad retains borrowed frame payloads in every way the
+// ownership contract forbids: field stores, element stores, channel
+// sends, whole-packet stores, goroutine handoff and closure capture. One
+// annotated retention at the end must be excused.
+package bufretainbad
+
+import (
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
+)
+
+type sink struct {
+	last []byte
+	byID map[uint16][]byte
+	ch   chan []byte
+	pkt  ipv4.Packet
+}
+
+// OnFrame is an OnInPacket-style receive callback: the pooled buffer
+// behind f.Payload is recycled the moment it returns.
+func (s *sink) OnFrame(n *netsim.NIC, f netsim.Frame) {
+	s.last = f.Payload
+	s.byID[7] = f.Payload[2:]
+	s.ch <- f.Payload
+}
+
+// OnPacket retains through an alias, a whole-struct store and a deferred
+// closure.
+func (s *sink) OnPacket(pkt ipv4.Packet) {
+	p := pkt.Payload
+	s.pkt = pkt
+	defer func() { use(p) }()
+}
+
+// Fan hands the frame to a goroutine that outlives the callback.
+func Fan(out func(netsim.Frame), f netsim.Frame) {
+	go out(f)
+}
+
+// Retain is a deliberate, documented retention point; the directive
+// excuses it.
+func (s *sink) Retain(f netsim.Frame) {
+	//mob4x4vet:allow bufretain owner guarantees the buffer outlives this queue
+	s.last = f.Payload
+}
+
+func use([]byte) {}

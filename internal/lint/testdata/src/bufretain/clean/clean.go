@@ -1,0 +1,34 @@
+// Package bufretainclean is the contract-respecting shape of the same
+// callbacks: read freely until return, copy anything kept, mutate in
+// place when transforming. The bufretain analyzer must stay silent.
+package bufretainclean
+
+import (
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/netsim"
+)
+
+type sink struct {
+	last []byte
+	byID map[uint16][]byte
+	pkt  ipv4.Packet
+}
+
+// OnFrame copies what it keeps into owned storage and mutates the
+// borrowed payload in place (corruption modeling does this).
+func (s *sink) OnFrame(n *netsim.NIC, f netsim.Frame) {
+	s.last = append(s.last[:0], f.Payload...)
+	f.Payload[0] ^= 1
+}
+
+// OnPacket keeps deep copies, reads headers by value, and lets a local
+// alias die with the call.
+func (s *sink) OnPacket(pkt ipv4.Packet) {
+	s.byID[pkt.Header.ID] = append([]byte(nil), pkt.Payload...)
+	s.pkt = pkt.Clone()
+	hdr := pkt.Header
+	p := pkt.Payload[2:]
+	parse(hdr.TTL, p)
+}
+
+func parse(uint8, []byte) {}

@@ -1,0 +1,37 @@
+// Package globalstatebad declares the package-level mutable state shapes
+// the sharded engine cannot tolerate: a plain counter, a cache map
+// literal, hidden sync state, and a bare allow directive with no
+// justification (which suppresses nothing and is itself reported).
+package globalstatebad
+
+import (
+	"errors"
+	"sync"
+)
+
+// seq is the classic hidden coupling: every Sim in the process shares it.
+var seq uint64
+
+// routeCache looks innocent but is written from every shard at once.
+var routeCache = map[string]int{}
+
+// Hidden mutable state: a sync.Once fires for the first shard only.
+var initOnce sync.Once
+
+// A bare directive carries no justification, so it must not suppress —
+// the var is still flagged and the directive reported as needing a
+// reason.
+//
+//mob4x4vet:allow globalstate
+var scratch []byte
+
+// ErrNotReady is an exempt error sentinel: write-once by convention.
+var ErrNotReady = errors.New("globalstatebad: not ready")
+
+// Next bumps the shared counter (the uses keep the vars referenced).
+func Next() uint64 {
+	initOnce.Do(func() { routeCache["warm"] = 1 })
+	scratch = append(scratch[:0], 0)
+	seq++
+	return seq
+}

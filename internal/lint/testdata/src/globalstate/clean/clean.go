@@ -1,0 +1,35 @@
+// Package globalstateclean keeps every piece of mutable state on a
+// per-Sim struct; the one deliberate process-wide object carries a
+// justified annotation. The globalstate analyzer must stay silent.
+package globalstateclean
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrDrained is an exempt error sentinel.
+var ErrDrained = errors.New("globalstateclean: drained")
+
+// bufPool is process-wide on purpose: sync.Pool is safe for concurrent
+// shards and pooled buffers carry no cross-Sim information.
+//
+//mob4x4vet:allow globalstate sync.Pool is concurrency-safe and buffers carry no state between users
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+// Sim owns its state: counters and caches live here, one per shard.
+type Sim struct {
+	seq        uint64
+	routeCache map[string]int
+}
+
+// Next is the shard-safe shape of the same logic.
+func (s *Sim) Next() uint64 {
+	if s.routeCache == nil {
+		s.routeCache = map[string]int{"warm": 1}
+	}
+	b := bufPool.Get().([]byte)
+	bufPool.Put(b[:0])
+	s.seq++
+	return s.seq
+}

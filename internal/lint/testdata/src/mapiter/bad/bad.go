@@ -1,0 +1,33 @@
+// Package mapiterbad iterates maps straight into output and scheduling
+// decisions; every loop here must be flagged.
+package mapiterbad
+
+import "strconv"
+
+// Export renders counters in whatever order the map yields — the dump
+// differs between two runs of the same binary.
+func Export(counters map[string]uint64) []string {
+	var out []string
+	for name, v := range counters {
+		out = append(out, name+"="+strconv.FormatUint(v, 10))
+	}
+	return out
+}
+
+// Arm schedules one timer per peer; the map order decides the scheduler
+// sequence numbers, so the whole event trace inherits the randomness.
+func Arm(peers map[int]func(), schedule func(int, func())) {
+	for id, fn := range peers {
+		schedule(id, fn)
+	}
+}
+
+// Sum collects but never sorts — appending alone does not launder the
+// order, only a later sort call does.
+func Sum(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	return vals
+}

@@ -1,0 +1,50 @@
+// Package mapiterclean shows the three deterministic shapes: collect
+// keys then sort, collect rows then sort.Slice, and an annotated
+// order-insensitive reduction. The mapiter analyzer must stay silent.
+package mapiterclean
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Export sorts the keys before rendering, so the dump is byte-identical
+// for any map iteration order.
+func Export(counters map[string]uint64) []string {
+	keys := make([]string, 0, len(counters))
+	for name := range counters {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, name := range keys {
+		out = append(out, name+"="+strconv.FormatUint(counters[name], 10))
+	}
+	return out
+}
+
+// Rows collects structured rows and sorts them as a unit.
+func Rows(m map[int]string) []row {
+	var rows []row
+	for id, label := range m {
+		rows = append(rows, row{id, label})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	return rows
+}
+
+type row struct {
+	id    int
+	label string
+}
+
+// Total is order-insensitive by construction: integer addition commutes,
+// and nothing but the final scalar leaves the loop.
+func Total(m map[string]int) int {
+	total := 0
+	//mob4x4vet:allow mapiter commutative sum, only the scalar escapes
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

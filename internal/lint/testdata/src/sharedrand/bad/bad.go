@@ -1,0 +1,36 @@
+// Package sharedrandbad draws from the process-global math/rand stream,
+// hands one entity's stream to another through a Rand() accessor, and
+// parks a stream in a package-level var — the three shapes that couple
+// draw sequences to event interleaving.
+package sharedrandbad
+
+import "math/rand"
+
+// shared is one stream for every Sim and shard in the process.
+var shared = rand.New(rand.NewSource(1))
+
+// Jitter draws from the global locked stream: the value depends on every
+// other goroutine's draws since process start.
+func Jitter() int64 {
+	return rand.Int63n(100)
+}
+
+// Reseed makes it worse: it perturbs every other consumer.
+func Reseed(seed int64) {
+	rand.Seed(seed)
+}
+
+// sched owns a stream and leaks it through an accessor.
+type sched struct {
+	rng *rand.Rand
+}
+
+// Rand hands the scheduler's stream to whoever asks.
+func (s *sched) Rand() *rand.Rand { return s.rng }
+
+// Impair couples its loss draws to every other consumer of the
+// scheduler's stream: reordering unrelated events changes which frames
+// drop.
+func Impair(s *sched) bool {
+	return s.Rand().Float64() < 0.5
+}

@@ -1,0 +1,34 @@
+// Package sharedrandclean derives one stream per entity from
+// (seed, index): each entity's draw sequence is a pure function of the
+// seed, whatever order events interleave in. The sharedrand analyzer
+// must stay silent.
+package sharedrandclean
+
+import "math/rand"
+
+// sched mints streams; it never hands out its own.
+type sched struct {
+	seed    int64
+	streams int64
+}
+
+// NewStream derives an independent stream for the next entity index.
+func (s *sched) NewStream() *rand.Rand {
+	s.streams++
+	return rand.New(rand.NewSource(s.seed*1_000_003 + s.streams))
+}
+
+// link owns its stream for its whole lifetime.
+type link struct {
+	rng *rand.Rand
+}
+
+// newLink threads a freshly derived stream into the entity.
+func newLink(s *sched) *link {
+	return &link{rng: s.NewStream()}
+}
+
+// Impair draws only from the link's own stream.
+func (l *link) Impair() bool {
+	return l.rng.Float64() < 0.5
+}

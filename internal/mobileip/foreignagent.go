@@ -109,6 +109,7 @@ func (fa *ForeignAgent) Crash() {
 	}
 	fa.crashed = true
 	fa.Stats.Crashes++
+	//mob4x4vet:allow mapiter Stop removes by handle and pop order is (time,seq); stop order cannot leak
 	for _, v := range fa.visitors {
 		if v.expiry != nil {
 			v.expiry.Stop()

@@ -3,6 +3,7 @@ package mobileip
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 
 	"mob4x4/internal/core"
 	"mob4x4/internal/encap"
@@ -146,6 +147,11 @@ type MobileNode struct {
 	mProbes       *metrics.Counter
 	mMoves        *metrics.Counter
 	regExchangeAt vtime.Time
+
+	// rng is the node's own jitter stream, derived from (seed, index) at
+	// construction; retry desynchronization draws must not couple this
+	// node's schedule to any other entity's draw sequence.
+	rng *rand.Rand
 }
 
 // NewMobileNode installs mobility support on host. The host must already
@@ -190,6 +196,7 @@ func NewMobileNode(host *stack.Host, ifc *stack.Iface, cfg MobileNodeConfig) (*M
 		mRenewals: reg.Counter("mn/renewals"),
 		mProbes:   reg.Counter("mn/recovery_probes"),
 		mMoves:    reg.Counter("mn/moves"),
+		rng:       host.Sched().NewStream(),
 	}
 	mn.tunIE = stack.Route{Name: "mip-tunnel", Output: func(inner ipv4.Packet) {
 		mn.tunnelOutput(inner, mn.cfg.HomeAgent)
@@ -422,7 +429,7 @@ func (mn *MobileNode) armRegRetry() {
 	d := mn.regBackoff
 	if d > mn.cfg.RegRetryInterval {
 		if q := int64(d / 4); q > 0 {
-			d += vtime.Duration(mn.host.Sched().Rand().Int63n(q))
+			d += vtime.Duration(mn.rng.Int63n(q))
 		}
 	}
 	if mn.regTimer == nil {

@@ -1,6 +1,8 @@
 package mobileip
 
 import (
+	"slices"
+
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/vtime"
 )
@@ -116,6 +118,7 @@ func (w *expiryWheel) recycle(bucket []wheelEntry) {
 // drains assert.
 func (w *expiryWheel) rearm(sched *vtime.Scheduler, fire func()) {
 	min := armedNone
+	//mob4x4vet:allow mapiter min over keys is a commutative reduction; only the scalar escapes
 	for slot := range w.slots {
 		if min == armedNone || slot < min {
 			min = slot
@@ -133,9 +136,16 @@ func (w *expiryWheel) reset() {
 	if w.timer != nil {
 		w.timer.Stop()
 	}
-	for slot, bucket := range w.slots {
+	// Drain in slot order so the spare pool is rebuilt identically every
+	// run — recycle order decides which capacities later slots inherit.
+	slots := make([]int64, 0, len(w.slots))
+	for slot := range w.slots {
+		slots = append(slots, slot)
+	}
+	slices.Sort(slots)
+	for _, slot := range slots {
+		w.recycle(w.slots[slot])
 		delete(w.slots, slot)
-		w.recycle(bucket)
 	}
 	w.armed = armedNone
 }

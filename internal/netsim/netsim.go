@@ -15,6 +15,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strconv"
 
@@ -165,6 +166,12 @@ type Segment struct {
 	// while down is dropped and counted. Fault schedules flip it to model
 	// link flaps and partition windows.
 	down bool
+	// rng is the segment's own randomness stream (loss, corruption-bit
+	// and jitter draws), derived from (seed, index) at construction.
+	// Owning a stream — instead of sharing the scheduler's — keeps each
+	// segment's draw sequence independent of every other entity's, so a
+	// sharded engine can replay any segment in isolation.
+	rng *rand.Rand
 	// fault, when non-nil, is consulted once per frame that survived the
 	// MTU and uniform-loss checks; the returned Impairment can drop,
 	// duplicate, corrupt or delay the frame. Nil (the default) costs one
@@ -196,7 +203,7 @@ func (s *Sim) NewSegment(name string, opts SegmentOpts) *Segment {
 	if opts.MTU == 0 {
 		opts.MTU = DefaultMTU
 	}
-	seg := &Segment{sim: s, name: name, opts: opts}
+	seg := &Segment{sim: s, name: name, opts: opts, rng: s.Sched.NewStream()}
 	s.segments = append(s.segments, seg)
 	return seg
 }
@@ -339,7 +346,7 @@ func (seg *Segment) send(from *NIC, f Frame) {
 		PutBuf(f.Buf)
 		return
 	}
-	if seg.opts.LossRate > 0 && seg.sim.Sched.Rand().Float64() < seg.opts.LossRate {
+	if seg.opts.LossRate > 0 && seg.rng.Float64() < seg.opts.LossRate {
 		seg.DroppedLoss++
 		seg.sim.Metrics.Drop(metrics.DropLoss)
 		seg.sim.Trace.record(Event{Kind: EventDropLoss, Time: seg.sim.Now(), Where: seg.name})
@@ -361,7 +368,7 @@ func (seg *Segment) send(from *NIC, f Frame) {
 			// above the link layer must detect this via checksums. Frames
 			// without a pooled buffer may alias sender-retained storage,
 			// so those are left alone.
-			bit := seg.sim.Sched.Rand().Int63n(int64(len(f.Payload)) * 8)
+			bit := seg.rng.Int63n(int64(len(f.Payload)) * 8)
 			f.Payload[bit/8] ^= 1 << uint(bit%8)
 			seg.CorruptedFrames++
 		}
@@ -413,7 +420,7 @@ func (seg *Segment) send(from *NIC, f Frame) {
 	// it for its serialization time; propagation latency follows.
 	delay := seg.opts.Latency
 	if seg.opts.JitterMax > 0 {
-		delay += vtime.Duration(seg.sim.Sched.Rand().Int63n(int64(seg.opts.JitterMax)))
+		delay += vtime.Duration(seg.rng.Int63n(int64(seg.opts.JitterMax)))
 	}
 	if imp.ExtraDelay > 0 {
 		delay += imp.ExtraDelay

@@ -83,11 +83,12 @@ type localDelivery struct {
 	buf *netsim.Buf
 }
 
+//mob4x4vet:allow globalstate sync.Pool is concurrency-safe and delivery identity is unobservable; shards may share it
 var localDeliveryPool = sync.Pool{New: func() any { return new(localDelivery) }}
 
-// runLocalDelivery is the scheduler callback; package-level so scheduling
-// it never allocates a closure.
-var runLocalDelivery = func(a any) {
+// runLocalDelivery is the scheduler callback; a top-level func so
+// scheduling it never allocates a closure.
+func runLocalDelivery(a any) {
 	d := a.(*localDelivery)
 	h, pkt, buf := d.h, d.pkt, d.buf
 	d.h, d.pkt, d.buf = nil, ipv4.Packet{}, nil
@@ -101,7 +102,12 @@ var runLocalDelivery = func(a any) {
 func (h *Host) postLocal(pkt ipv4.Packet) {
 	d := localDeliveryPool.Get().(*localDelivery)
 	d.h = h
-	d.pkt = pkt
+	// Copy the header by value with the borrowed slices detached, then
+	// re-point Options/Payload at owned pooled storage. The stored packet
+	// never aliases the caller's buffer, which dies when this call
+	// returns.
+	d.pkt = ipv4.Packet{Header: pkt.Header, TraceID: pkt.TraceID}
+	d.pkt.Options = nil
 	if len(pkt.Payload) > 0 || len(pkt.Options) > 0 {
 		d.buf = netsim.GetBuf()
 		b := append(d.buf.B, pkt.Options...)
@@ -110,8 +116,6 @@ func (h *Host) postLocal(pkt ipv4.Packet) {
 		d.buf.B = b
 		if optEnd > 0 {
 			d.pkt.Options = b[:optEnd:optEnd]
-		} else {
-			d.pkt.Options = nil
 		}
 		d.pkt.Payload = b[optEnd:]
 	}

@@ -140,6 +140,7 @@ func (ep *Endpoint) allocPort() uint16 {
 			ep.ephemeral = 40000
 		}
 		inUse := false
+		//mob4x4vet:allow mapiter membership scan; only a boolean escapes the loop
 		for k := range ep.conns {
 			if k.localPort == ep.ephemeral {
 				inUse = true

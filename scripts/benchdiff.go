@@ -49,7 +49,17 @@ func main() {
 	cover := flag.String("cover", "", "gate a `go test -coverprofile` file instead of benchmarks (cover mode)")
 	coverFloor := flag.Float64("cover-floor", 0, "minimum total statement coverage percent (cover mode)")
 	coverPkgFloors := flag.String("cover-pkg-floor", "", "comma-separated per-package floors, pkg=percent (cover mode)")
+	determinism := flag.Bool("determinism", false, "run the runtime determinism gate over every experiment (see determinismdiff.go)")
+	detSeeds := flag.String("determinism-seeds", "1,7", "comma-separated seeds for the determinism gate")
+	detParallel := flag.Int("determinism-parallel", 4, "worker count for the parallel-vs-serial comparison (determinism mode)")
 	flag.Parse()
+
+	if *determinism {
+		if !runDeterminism(*detSeeds, *detParallel) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cover != "" {
 		pkgFloors, err := parsePkgFloors(*coverPkgFloors)

@@ -1,0 +1,167 @@
+package main
+
+// determinismdiff is the runtime determinism gate (same binary as
+// benchdiff, selected with -determinism): it builds ./cmd/mob4x4 once,
+// runs every experiment twice per seed with identical arguments, and —
+// for the experiments that fan trials out over worker goroutines — once
+// more under -parallel N. The full stdout of each run (tables, metrics
+// dumps, report JSON, chaos TSV series) is SHA-256 hashed; any pair of
+// hashes that should match and does not is a determinism violation and
+// the gate exits 1. This is the dynamic counterpart to the mapiter/
+// globalstate/sharedrand/bufretain analyzers: the analyzers prove the
+// sources of nondeterminism are absent, this proves the composed system
+// actually emits byte-identical output per seed, worker count included.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// detExperiment is one experiment invocation under the gate. Args omit
+// -seed and -parallel; the driver appends those.
+type detExperiment struct {
+	name string
+	args []string
+	// parallelOK marks experiments whose driver accepts -parallel
+	// (independent trials fanned over workers); those also get a
+	// parallel-vs-serial byte comparison.
+	parallelOK bool
+}
+
+// detExperiments is the full E-series surface. Every experiment that can
+// dump metrics does, so the hash covers counters and histograms, not
+// just the human tables. The chaos and fleet rows use small topologies:
+// the gate is about byte-equality, not scale, and CI pays for every run
+// three times.
+var detExperiments = []detExperiment{
+	{name: "fig1"},
+	{name: "fig2"},
+	{name: "fig3"},
+	{name: "fig4"},
+	{name: "fig5"},
+	{name: "formats"},
+	{name: "grid", args: []string{"-metrics-json"}, parallelOK: true},
+	{name: "overhead", args: []string{"-metrics-json"}},
+	{name: "adaptive", parallelOK: true},
+	{name: "durability", parallelOK: true},
+	{name: "webbrowse", parallelOK: true},
+	{name: "fa", args: []string{"-metrics-json"}},
+	{name: "transitions"},
+	{name: "multicast"},
+	{name: "trace"},
+	{name: "dualmobile"},
+	{name: "asymmetry"},
+	{name: "savings", args: []string{"-metrics-json"}},
+	{name: "chaos", args: []string{"-trials", "2", "-metrics-json"}, parallelOK: true},
+	{name: "fleet", args: []string{"-nodes", "60", "-cells", "6", "-trials", "2", "-metrics-json"}, parallelOK: true},
+	{name: "report"},
+}
+
+// runDeterminism executes the gate; it returns false on any divergence
+// or run failure.
+func runDeterminism(seedList string, parallel int) bool {
+	seeds, err := parseSeeds(seedList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "determinism:", err)
+		return false
+	}
+
+	tmp, err := os.MkdirTemp("", "mob4x4-determinism-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "determinism:", err)
+		return false
+	}
+	defer os.RemoveAll(tmp)
+	bin := filepath.Join(tmp, "mob4x4")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/mob4x4")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "determinism: build ./cmd/mob4x4:", err)
+		return false
+	}
+
+	ok := true
+	for _, e := range detExperiments {
+		for _, seed := range seeds {
+			serial := append([]string{"-seed", strconv.FormatInt(seed, 10)}, e.args...)
+			serial = append(serial, e.name)
+			h1, err := hashRun(bin, serial)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "determinism: FAIL %s seed=%d run 1: %v\n", e.name, seed, err)
+				ok = false
+				continue
+			}
+			h2, err := hashRun(bin, serial)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "determinism: FAIL %s seed=%d run 2: %v\n", e.name, seed, err)
+				ok = false
+				continue
+			}
+			if h1 != h2 {
+				fmt.Fprintf(os.Stderr, "determinism: FAIL %s seed=%d: two identical serial runs diverged (%s != %s)\n",
+					e.name, seed, h1[:12], h2[:12])
+				ok = false
+				continue
+			}
+			status := "run-to-run ok"
+			if e.parallelOK && parallel > 1 {
+				par := append([]string{"-seed", strconv.FormatInt(seed, 10), "-parallel", strconv.Itoa(parallel)}, e.args...)
+				par = append(par, e.name)
+				h3, err := hashRun(bin, par)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "determinism: FAIL %s seed=%d -parallel %d: %v\n", e.name, seed, parallel, err)
+					ok = false
+					continue
+				}
+				if h3 != h1 {
+					fmt.Fprintf(os.Stderr, "determinism: FAIL %s seed=%d: -parallel %d output diverged from serial (%s != %s)\n",
+						e.name, seed, parallel, h3[:12], h1[:12])
+					ok = false
+					continue
+				}
+				status = fmt.Sprintf("run-to-run and -parallel %d ok", parallel)
+			}
+			fmt.Printf("determinism: %-12s seed=%-3d %s (%s)\n", e.name, seed, h1[:12], status)
+		}
+	}
+	return ok
+}
+
+// hashRun executes the experiment binary with args and returns the
+// SHA-256 of its stdout. stderr passes through for diagnosis; a non-zero
+// exit is an error (the invariant checkers inside chaos/fleet exit 1 on
+// violations, which the gate must surface, not hash over).
+func hashRun(bin string, args []string) (string, error) {
+	cmd := exec.Command(bin, args...)
+	h := sha256.New()
+	cmd.Stdout = h
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+func parseSeeds(list string) ([]int64, error) {
+	var seeds []int64
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		s, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", part, err)
+		}
+		seeds = append(seeds, s)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds in %q", list)
+	}
+	return seeds, nil
+}
