@@ -85,9 +85,10 @@ fleet-smoke:
 
 # Runtime determinism gate (scripts/determinismdiff.go): build
 # ./cmd/mob4x4 once, run every experiment twice per seed plus once under
-# -parallel for the fan-out drivers, SHA-256 each run's full stdout
-# (tables, metrics dumps, report JSON, chaos series), fail on any
-# divergence.
+# -parallel for the fan-out drivers and once per DET_SHARDS value for
+# the sharded-engine experiments (chaos/fleet), SHA-256 each run's full
+# stdout (tables, metrics dumps, report JSON, chaos series), fail on any
+# divergence — including sharded-vs-serial.
 # DET_SEEDS is capped at two seeds in CI on purpose: each extra seed
 # re-runs the whole experiment surface three times over, and two seeds
 # already exercise the seed-dependent branches (loss draws, storm
@@ -96,8 +97,9 @@ fleet-smoke:
 #   make determinism DET_SEEDS=1,7,42,1996
 DET_SEEDS ?= 1,7
 DET_PARALLEL ?= 4
+DET_SHARDS ?= 1,2,4
 determinism:
-	$(GO) run ./scripts -determinism -determinism-seeds $(DET_SEEDS) -determinism-parallel $(DET_PARALLEL)
+	$(GO) run ./scripts -determinism -determinism-seeds $(DET_SEEDS) -determinism-parallel $(DET_PARALLEL) -determinism-shards $(DET_SHARDS)
 
 # Short fuzz pass over every target; CI runs this on every push, longer
 # runs are manual (`make fuzz-smoke FUZZ_TIME=5m`).

@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	mob4x4 [-seed N] [-parallel N] [-metrics | -metrics-json] <experiment>
+//	mob4x4 [-seed N] [-parallel N] [-shards N] [-metrics | -metrics-json]
+//	       [-cpuprofile FILE] [-memprofile FILE] <experiment>
 //
 // Flags may also follow the experiment name (mob4x4 fig10 -metrics).
+// -parallel runs independent trials concurrently; -shards parallelizes
+// the region shards inside each fleet trial (both byte-identical for any
+// value, and freely combined). -cpuprofile/-memprofile write pprof
+// profiles for the run.
 // With -metrics (text) or -metrics-json, the run's metrics registries
 // are dumped after the experiment output; grid/fig10 instead emit the
 // machine-readable 4x4 grid report (deterministic JSON, byte-identical
@@ -45,6 +50,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mob4x4/internal/experiments"
 	"mob4x4/internal/metrics"
@@ -57,10 +64,13 @@ func main() {
 	nodes := flag.Int("nodes", 2000, "fleet: mobile node count")
 	cells := flag.Int("cells", 32, "fleet: visited cell count")
 	model := flag.String("model", "waypoint", "fleet: movement model (waypoint | markov)")
+	shards := flag.Int("shards", 1, "fleet: worker goroutines driving the region shards inside one trial (output is byte-identical for any value; other experiments accept and ignore it)")
 	metricsText := flag.Bool("metrics", false, "dump metrics after the experiment (grid/fig10: the machine-readable 4x4 report)")
 	metricsJSON := flag.Bool("metrics-json", false, "like -metrics, as JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to `file`")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mob4x4 [-seed N] [-parallel N] [-metrics | -metrics-json] <experiment>\nrun 'go doc mob4x4/cmd/mob4x4' for the experiment list\n")
+		fmt.Fprintf(os.Stderr, "usage: mob4x4 [-seed N] [-parallel N] [-shards N] [-metrics | -metrics-json] [-cpuprofile FILE] [-memprofile FILE] <experiment>\nrun 'go doc mob4x4/cmd/mob4x4' for the experiment list\n")
 	}
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -77,6 +87,37 @@ func main() {
 		}
 	}
 	wantMetrics := *metricsText || *metricsJSON
+
+	// Profiles cover the whole dispatch below and are finalized on normal
+	// exit (error paths exit hard and abandon them, like the rest of the
+	// tooling expects).
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mob4x4: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mob4x4: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mob4x4: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle the live set so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mob4x4: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	// Every scenario built below registers its registry here; the dump
 	// after the experiment is sorted, so it is deterministic for any
@@ -208,7 +249,7 @@ func main() {
 			}
 		},
 		"fleet": func(s int64) {
-			spec := experiments.FleetSpec{Nodes: *nodes, Cells: *cells, Model: *model}
+			spec := experiments.FleetSpec{Nodes: *nodes, Cells: *cells, Model: *model, Shards: *shards}
 			rows := experiments.RunFleetParallel(s, *trials, *parallel, spec)
 			fmt.Print(experiments.FleetTable(rows))
 			if wantMetrics {

@@ -22,6 +22,13 @@ type FleetSpec struct {
 	Nodes int
 	Cells int
 	Model string // "waypoint" or "markov"
+
+	// Shards is the worker-goroutine count driving the region shards
+	// inside each trial (fleet.Options.Workers). Orthogonal to the
+	// trial-level parallelism of RunFleetParallel: that knob runs whole
+	// trials concurrently, this one parallelizes the regions of a single
+	// trial. Output is byte-identical for any value.
+	Shards int
 }
 
 // FleetResult is one fleet trial's deterministic outcome.
@@ -31,10 +38,11 @@ type FleetResult = fleet.Result
 // (seed, spec).
 func RunFleet(seed int64, spec FleetSpec) FleetResult {
 	return fleet.New(fleet.Options{
-		Seed:  seed,
-		Nodes: spec.Nodes,
-		Cells: spec.Cells,
-		Model: spec.Model,
+		Seed:    seed,
+		Nodes:   spec.Nodes,
+		Cells:   spec.Cells,
+		Model:   spec.Model,
+		Workers: spec.Shards,
 	}).Run()
 }
 

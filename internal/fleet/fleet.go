@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/core"
 	"mob4x4/internal/icmphost"
 	"mob4x4/internal/inet"
@@ -36,6 +37,15 @@ const (
 	millisecond = vtime.Duration(1e6)
 	second      = vtime.Duration(1e9)
 )
+
+// migrationTransit is the virtual transit delay of a node moving between
+// regions: the radio is dark while the laptop rides to the next cell. It
+// doubles as the shard group's default lookahead — a migration is the only
+// cross-region event that does not travel over a declared link, so its
+// delay is the floor on how far ahead any shard must announce one. Every
+// cross-region network link has latency >= this (the closest cell hangs
+// 2ms off the backbone), keeping the default a valid group-wide floor.
+const migrationTransit = 2 * millisecond
 
 // Movement model names accepted by Options.Model.
 const (
@@ -88,6 +98,12 @@ type Options struct {
 	Cells int    // visited cell count (default 8, max 128)
 	Model string // ModelWaypoint (default) or ModelMarkov
 
+	// Workers is the number of goroutines driving the region shards
+	// (default 1). The region structure — one shard per cell plus the
+	// hub — is fixed by Cells, so the result is byte-identical for any
+	// Workers value; more workers only buy wall-clock speed.
+	Workers int
+
 	Backbone    int // backbone router count (default 4)
 	FilterEvery int // every k-th cell gets a source-filtering boundary router (default 4, 0 disables)
 	FAEvery     int // every k-th node attaches via the cell's foreign agent (default 5, 0 disables)
@@ -118,6 +134,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Model == "" {
 		o.Model = ModelWaypoint
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	if o.Backbone <= 0 {
 		o.Backbone = 4
@@ -174,24 +193,61 @@ type Node struct {
 	MN   *mobileip.MobileNode
 	Host *stack.Host
 
+	fleet *Fleet
 	ic    *icmphost.ICMP
 	sock  *stack.UDPSocket // workload socket (probe + kiosk traffic, reply sink)
 	rng   *rand.Rand
 	class int
 	viaFA bool
 
-	cell    int // current cell index; -1 until first placement
-	moveAt  vtime.Time
+	cell   int // current cell index; -1 until first placement
+	region int // current region shard index (0 = hub)
+	moveAt vtime.Time
+
+	// migCell/migDwell carry the drawn destination and dwell across a
+	// cross-region migration: the node is quiescent in flight, so parking
+	// them on the Node itself costs no allocation and no synchronization.
+	migCell  int
+	migDwell vtime.Duration
+
 	lastOut core.OutMode // out mode of the most recent workload send
 	hasOut  bool
 	seq     uint16
 
 	moveTimer *vtime.Timer
 	tickTimer *vtime.Timer
-	stopped   bool
+	// cmdTimer fires the node's commanded mass-move; cmdAt is the absolute
+	// command time, drawn at setup. The timer travels with the node: each
+	// migration cancels it on the old shard and re-arms on the new one.
+	cmdTimer *vtime.Timer
+	cmdAt    vtime.Time
+	stopped  bool
 }
 
-// Fleet is a built (but not yet run) fleet simulation.
+// regionState is the per-region slice of the fleet's mutable run state.
+// Every field is written only from events executing on that region's
+// shard, which is what makes the engine race-free without locks; the
+// measurement phase (workers joined) merges the slices.
+type regionState struct {
+	handoffHist *metrics.Histogram // this region's fleet/handoff_ns
+	mHandoffs   *metrics.Counter   // this region's fleet/handoffs
+	handoffs    uint64
+	modeMix     [core.NumOutModes][core.NumInModes]uint64
+
+	// expectFilterDrops is set the moment a node in this region emits a
+	// packet the boundary filter is guaranteed to drop (a foreign-agent-
+	// attached node sending home-sourced traffic out of a filtered cell).
+	expectFilterDrops bool
+
+	trafficOn  bool
+	movementOn bool
+}
+
+// Fleet is a built (but not yet run) fleet simulation. The topology is
+// sharded into regions — region 0 (the hub) holds the home network, the
+// backbone and the far correspondents; region i+1 holds cell i — each
+// with its own netsim.Sim on its own vtime shard, synchronized by the
+// conservative lookahead of the cross-region links.
 type Fleet struct {
 	Opts Options
 	Net  *inet.Network
@@ -201,6 +257,9 @@ type Fleet struct {
 	HomeUplink *netsim.Segment // the link the storm partitions
 	Cells      []*Cell
 	Nodes      []*Node
+
+	group *vtime.Group
+	rs    []*regionState // indexed by region shard
 
 	chNaive ipv4.Addr
 	chAware ipv4.Addr
@@ -213,35 +272,40 @@ type Fleet struct {
 
 	probeSrv *stack.UDPSocket
 	cancels  []func() // listeners/sockets to close during cleanup
-
-	handoffHist *metrics.Histogram
-	mHandoffs   *metrics.Counter
-	handoffs    uint64
-	modeMix     [core.NumOutModes][core.NumInModes]uint64
-
-	// expectFilterDrops is set the moment a node emits a packet the
-	// boundary filter is guaranteed to drop (a foreign-agent-attached
-	// node sending home-sourced traffic out of a filtered cell), so the
-	// accounting invariant knows whether filter drops are owed.
-	expectFilterDrops bool
-
-	trafficOn  bool
-	movementOn bool
 }
+
+// regionOf maps a cell index to its region shard index.
+func regionOf(cell int) int { return cell + 1 }
 
 // New builds a fleet. The topology and all nodes are constructed; the
 // nodes start detached and attach during the placement window of Run.
 func New(opts Options) *Fleet {
 	opts = opts.withDefaults()
-	f := &Fleet{Opts: opts, trafficOn: true, movementOn: true}
+	f := &Fleet{Opts: opts}
 	f.initPayloads()
-	f.Net = inet.New(opts.Seed)
-	// Fleet runs read counters, never trace events; tracing at this
-	// scale would dominate the run.
-	f.Net.Sim.Trace.Discard()
-	reg := f.Net.Sim.Metrics
-	f.handoffHist = reg.Histogram("fleet/handoff_ns", handoffBuckets())
-	f.mHandoffs = reg.Counter("fleet/handoffs")
+
+	// One region shard per cell plus the hub. MAC addresses come from a
+	// cluster-wide allocator so sender exclusion by MAC works across
+	// split segments.
+	regions := regionOf(opts.Cells)
+	f.group = vtime.NewGroup(opts.Seed, regions)
+	assert.NoError(f.group.SetDefaultLookahead(migrationTransit), "fleet: default lookahead")
+	cluster := netsim.NewCluster()
+	sims := make([]*netsim.Sim, regions)
+	f.rs = make([]*regionState, regions)
+	for i := range sims {
+		sims[i] = cluster.NewSim(f.group.Shard(i))
+		// Fleet runs read counters, never trace events; tracing at this
+		// scale would dominate the run.
+		sims[i].Trace.Discard()
+		f.rs[i] = &regionState{
+			handoffHist: sims[i].Metrics.Histogram("fleet/handoff_ns", handoffBuckets()),
+			mHandoffs:   sims[i].Metrics.Counter("fleet/handoffs"),
+			trafficOn:   true,
+			movementOn:  true,
+		}
+	}
+	f.Net = inet.NewSharded(sims)
 	f.buildTopology()
 	f.buildNodes()
 	return f
@@ -254,11 +318,13 @@ func (f *Fleet) careOf(c, idx int) ipv4.Addr {
 }
 
 // onRegistered records a completed handoff: the re-registration that
-// followed the node's most recent attachment was accepted.
+// followed the node's most recent attachment was accepted. It runs on the
+// node's current shard and charges that region's accumulators.
 func (f *Fleet) onRegistered(n *Node) {
-	f.handoffs++
-	f.mHandoffs.Inc()
-	f.handoffHist.ObserveDuration(f.Net.Sim.Now().Sub(n.moveAt))
+	rs := f.rs[n.region]
+	rs.handoffs++
+	rs.mHandoffs.Inc()
+	rs.handoffHist.ObserveDuration(n.Host.Sim().Now().Sub(n.moveAt))
 }
 
 // noteIn attributes one classified arrival to the (Out, In) pair of the
@@ -273,7 +339,7 @@ func (f *Fleet) noteIn(n *Node, mode core.InMode, pkt ipv4.Packet) {
 	if !n.hasOut {
 		return
 	}
-	f.modeMix[n.lastOut][mode]++
+	f.rs[n.region].modeMix[n.lastOut][mode]++
 }
 
 // nodeName formats the canonical host name for node idx.

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"mob4x4/internal/core"
@@ -59,6 +60,40 @@ func TestFleetModeMixCoversGrid(t *testing.T) {
 	// correspondents are not on the node's link.
 	if r.ModeMix[core.OutIE][core.InDH] != 0 || r.ModeMix[core.OutDE][core.InDH] != 0 {
 		t.Errorf("far conversations produced In-DH replies: mix=%v", r.ModeMix)
+	}
+}
+
+// TestFleetWorkerCountInvariant is the sharded engine's core acceptance
+// property: the Workers knob buys wall-clock parallelism only. The region
+// structure, event keys and lookahead bounds are Workers-independent, so
+// every observable — counters, quantiles, the merged metrics snapshot —
+// must match the serial run exactly.
+func TestFleetWorkerCountInvariant(t *testing.T) {
+	base := smallOpts(7)
+	serial := New(base).Run()
+	for _, workers := range []int{2, 3, 8} {
+		opts := base
+		opts.Workers = workers
+		got := New(opts).Run()
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("workers=%d diverged from serial run:\n%+v\nvs\n%+v", workers, serial, got)
+		}
+	}
+}
+
+// TestFleetMigrationKeepsClassesAlive: after the storm (placement plus
+// mass move, so every node migrated across region shards at least twice),
+// all four workload classes still complete conversations — the
+// rehoming protocol preserves sockets, handlers and instruments.
+func TestFleetMigrationKeepsClassesAlive(t *testing.T) {
+	opts := smallOpts(9)
+	opts.Workers = 2
+	r := New(opts).Run()
+	for _, v := range r.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if r.Moves < uint64(2*opts.Nodes) {
+		t.Errorf("storm commanded only %d moves for %d nodes; migrations under-exercised", r.Moves, opts.Nodes)
 	}
 }
 
@@ -165,6 +200,21 @@ func BenchmarkFleetHandoffStorm(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := New(Options{Seed: 1, Nodes: 64, Cells: 8}).Run()
+		if len(r.Violations) != 0 {
+			b.Fatalf("violations: %v", r.Violations)
+		}
+	}
+}
+
+// BenchmarkShardedFleetStorm is the multi-worker counterpart: same storm,
+// workers bounded by available cores. On a multi-core box the wall-clock
+// ratio against BenchmarkFleetHandoffStorm is the sharding speedup; the
+// results are byte-identical either way.
+func BenchmarkShardedFleetStorm(b *testing.B) {
+	workers := runtime.NumCPU()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := New(Options{Seed: 1, Nodes: 64, Cells: 8, Workers: workers}).Run()
 		if len(r.Violations) != 0 {
 			b.Fatalf("violations: %v", r.Violations)
 		}

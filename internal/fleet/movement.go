@@ -71,34 +71,116 @@ func (f *Fleet) dwell(n *Node) vtime.Duration {
 	return 3*second + vtime.Duration(n.rng.Int63n(int64(5*second)))
 }
 
-// hop performs one movement step: draw a destination, move, and arm the
-// next step. Also the entry point for commanded moves (placement and
-// the mass-move storm), which simply hop early.
+// hop performs one movement step: draw a destination and a dwell, then
+// either move locally (markov self-teleport back into the current cell)
+// or migrate to the destination cell's region shard. Also the entry point
+// for commanded moves (placement and the mass-move storm), which simply
+// hop early. Runs on the node's current shard.
+//
+// The draws happen up front, in a fixed order (cell, then dwell), before
+// the node's fate forks: the node's RNG stream is consumed only by its
+// own events, which are totally ordered in virtual time, so the draw
+// sequence — and with it the itinerary — is identical for any worker
+// count.
 func (f *Fleet) hop(n *Node) {
-	if n.stopped || !f.movementOn {
+	if n.stopped || !f.rs[n.region].movementOn {
 		return
 	}
-	if c := f.nextCell(n); c >= 0 {
+	c := f.nextCell(n)
+	d := f.dwell(n)
+	if c >= 0 && regionOf(c) != n.region {
+		f.migrate(n, c, d)
+		return
+	}
+	if c >= 0 {
 		f.move(n, c)
 	}
-	d := f.dwell(n)
+	f.armMove(n, d)
+}
+
+// armMove arms (or re-arms) the node's next movement step d from now, on
+// the node's current shard.
+func (f *Fleet) armMove(n *Node, d vtime.Duration) {
 	if n.moveTimer == nil {
-		n.moveTimer = f.Net.Sched().After(d, func() {
-			if f.movementOn && !n.stopped {
-				f.hop(n)
-			}
-		})
+		n.moveTimer = n.Host.Sched().After(d, func() { f.hop(n) })
 	} else {
 		n.moveTimer.Reset(d)
 	}
 }
 
+// migrate ships node n to cell c's region: the radio goes dark here, the
+// laptop is in transit for migrationTransit of virtual time, and arrival
+// on the destination shard completes the move. Everything that pins the
+// old shard — MIP timers, fleet timers, reassembly and ARP jobs — is torn
+// down before the node crosses; the timer handles are nilled because a
+// vtime.Timer is bound to the scheduler that created it.
+func (f *Fleet) migrate(n *Node, c int, d vtime.Duration) {
+	src := n.Host.Sim()
+	n.MN.Detach()
+	n.moveTimer.Stop()
+	n.tickTimer.Stop()
+	n.cmdTimer.Stop()
+	n.moveTimer, n.tickTimer, n.cmdTimer = nil, nil, nil
+	n.Host.Quiesce()
+	n.migCell = c
+	n.migDwell = d
+	dst := f.Net.Regions()[regionOf(c)]
+	src.Sched.SendTo(dst.Sched, src.Now().Add(migrationTransit), migrateArrive, n)
+}
+
+// migrateArrive is the cross-shard arrival trampoline (a top-level func
+// so SendTo carries no closure).
+func migrateArrive(a any) {
+	n := a.(*Node)
+	n.fleet.arrive(n)
+}
+
+// arrive completes a migration on the destination shard: rehome the host
+// and the mobility daemon, attach to the drawn cell, and rebuild the
+// node's timers on the new scheduler.
+func (f *Fleet) arrive(n *Node) {
+	region := regionOf(n.migCell)
+	sim := f.Net.Regions()[region]
+	n.Host.Rehome(sim)
+	n.MN.Rehome()
+	n.region = region
+	f.move(n, n.migCell)
+	f.armMove(n, n.migDwell)
+	f.startTicker(n)
+	if n.cmdAt != 0 {
+		if n.cmdAt.Sub(sim.Now()) <= 0 {
+			// The commanded move fell inside the transit window; the move
+			// that just completed satisfies it.
+			n.cmdAt = 0
+		} else {
+			f.armCmd(n)
+		}
+	}
+}
+
+// armCmd arms the node's commanded mass-move timer on its current shard.
+func (f *Fleet) armCmd(n *Node) {
+	d := n.cmdAt.Sub(n.Host.Sim().Now())
+	if n.cmdTimer == nil {
+		n.cmdTimer = n.Host.Sched().After(d, func() { f.cmdFire(n) })
+	} else {
+		n.cmdTimer.Reset(d)
+	}
+}
+
+// cmdFire executes the commanded mass-move.
+func (f *Fleet) cmdFire(n *Node) {
+	n.cmdAt = 0
+	f.hop(n)
+}
+
 // move attaches node n to cell c and starts the re-registration that
 // completes the handoff. Foreign-agent nodes attach through the cell's
 // agent (shared care-of address, relayed registration); self-sufficient
-// nodes take their own care-of address on the cell LAN.
+// nodes take their own care-of address on the cell LAN. The node's host
+// must already live in cell c's region.
 func (f *Fleet) move(n *Node, c int) {
-	n.moveAt = f.Net.Sim.Now()
+	n.moveAt = n.Host.Sim().Now()
 	n.cell = c
 	cell := f.Cells[c]
 	if n.viaFA && cell.FA != nil {

@@ -67,55 +67,75 @@ type Result struct {
 // followed by measurement, cleanup and a full drain.
 func (f *Fleet) Run() Result {
 	opts := f.Opts
-	sched := f.Net.Sched()
+	sched := f.Net.Sched() // hub shard: placement and faults start there
 	t0 := f.Net.Sim.Now()
 	at := func(d vtime.Duration) vtime.Time { return t0.Add(d) }
 	inj := faults.NewInjector(f.Net.Sim)
 
 	// Placement: spread initial attachments across the window, each
-	// jittered a little by the node's own RNG.
+	// jittered a little by the node's own RNG. Placement events run on
+	// the hub shard, where every node starts; the hop migrates it out.
+	// (The ticker starts on migration arrival, like after any crossing.)
 	inj.At(at(0), fmt.Sprintf("placement: %d nodes over %v", len(f.Nodes), opts.PlaceWindow), nil)
 	for _, n := range f.Nodes {
 		n := n
 		off := vtime.Duration(int64(opts.PlaceWindow) * int64(n.Idx) / int64(len(f.Nodes)))
 		off += vtime.Duration(n.rng.Int63n(int64(20 * millisecond)))
-		sched.At(at(off), func() {
-			f.hop(n)
-			f.startTicker(n)
-		})
+		sched.At(at(off), func() { f.hop(n) })
 	}
 
-	// The partition: home network unreachable mid-churn.
+	// The partition: home network unreachable mid-churn. The uplink is a
+	// hub-internal segment, so the fault runs entirely on the hub shard.
 	inj.CutLink(at(opts.PartitionAt), f.HomeUplink, opts.PartitionFor)
 
 	// The mass-move storm: every node commanded to move inside the
-	// window (jitter drawn per node now, deterministically).
+	// window. The jitter is drawn per node now (setup, index order) so
+	// the command times are deterministic; the command timer itself
+	// travels with the node across migrations (see armCmd).
 	inj.At(at(opts.MassMoveAt), fmt.Sprintf("mass-move storm: %d nodes over %v", len(f.Nodes), opts.MassMoveWindow), nil)
 	for _, n := range f.Nodes {
-		n := n
 		j := vtime.Duration(n.rng.Int63n(int64(opts.MassMoveWindow)))
-		sched.At(at(opts.MassMoveAt).Add(j), func() { f.hop(n) })
+		n.cmdAt = at(opts.MassMoveAt).Add(j)
 	}
 
 	// Quiesce: movement stops a little before the end so the final
 	// handoffs can complete and the end-of-run binding census is
-	// well-defined (workload traffic keeps flowing).
-	inj.At(at(opts.EndAt-opts.QuiesceFor), "movement quiesced", func() { f.movementOn = false })
-	inj.At(at(opts.EndAt), "measurement ends", func() { f.trafficOn = false })
-	sched.RunUntil(at(opts.EndAt))
+	// well-defined (workload traffic keeps flowing). The flags are
+	// per-region (each shard reads only its own), so the flip is an event
+	// on every shard; the injector lines just log the schedule.
+	inj.At(at(opts.EndAt-opts.QuiesceFor), "movement quiesced", nil)
+	inj.At(at(opts.EndAt), "measurement ends", nil)
+	for r, sim := range f.Net.Regions() {
+		rs := f.rs[r]
+		sim.Sched.At(at(opts.EndAt-opts.QuiesceFor), func() { rs.movementOn = false })
+		sim.Sched.At(at(opts.EndAt), func() { rs.trafficOn = false })
+	}
+	f.group.RunUntil(at(opts.EndAt), opts.Workers)
 
-	// --- Measurement, before any cleanup disturbs the state. ---
+	// --- Measurement, before any cleanup disturbs the state. The
+	// workers have joined, so reading across regions is safe; per-region
+	// registries and accumulators merge into one cluster-wide view
+	// (histograms merge bucket-exactly, so the quantiles equal a
+	// single-registry run's). ---
 	res := Result{
 		Seed:  opts.Seed,
 		Nodes: opts.Nodes,
 		Cells: opts.Cells,
 		Model: opts.Model,
 	}
-	res.Handoffs = f.handoffs
-	res.HandoffP50 = f.handoffHist.Quantile(0.50)
-	res.HandoffP95 = f.handoffHist.Quantile(0.95)
-	res.HandoffP99 = f.handoffHist.Quantile(0.99)
-	res.ModeMix = f.modeMix
+	merged := f.mergedMetrics()
+	hist := merged.Histogram("fleet/handoff_ns", handoffBuckets())
+	res.HandoffP50 = hist.Quantile(0.50)
+	res.HandoffP95 = hist.Quantile(0.95)
+	res.HandoffP99 = hist.Quantile(0.99)
+	for _, rs := range f.rs {
+		res.Handoffs += rs.handoffs
+		for o := 0; o < core.NumOutModes; o++ {
+			for i := 0; i < core.NumInModes; i++ {
+				res.ModeMix[o][i] += rs.modeMix[o][i]
+			}
+		}
+	}
 	for _, n := range f.Nodes {
 		st := &n.MN.Stats
 		res.Moves += st.Moves
@@ -135,16 +155,17 @@ func (f *Fleet) Run() Result {
 	}
 	res.Expiries = f.HA.Stats.Expiries
 	res.BindingsAtEnd = f.HA.Bindings()
-	reg := f.Net.Sim.Metrics
-	res.DownDrops = reg.DropCount(metrics.DropDown)
-	res.FilterDrops = reg.DropCount(metrics.DropFilter)
+	res.DownDrops = merged.DropCount(metrics.DropDown)
+	res.FilterDrops = merged.DropCount(metrics.DropFilter)
 	res.FaultLog = inj.Log()
 
-	// --- Cleanup: everything the run started must wind down. ---
+	// --- Cleanup: everything the run started must wind down.
+	// Single-threaded across all regions (workers joined). ---
 	for _, n := range f.Nodes {
 		n.stopped = true
 		n.moveTimer.Stop()
 		n.tickTimer.Stop()
+		n.cmdTimer.Stop()
 		n.MN.Detach() // also cancels the registration timers
 		n.sock.Close()
 	}
@@ -164,12 +185,26 @@ func (f *Fleet) Run() Result {
 	// requires), leaving zero pending expiry timers.
 	f.HA.Crash()
 	f.Net.Run() // drain remaining one-shot timers (ARP, binding expiry)
-	res.PendingAfterDrain = sched.Pending()
-	res.NoDestDrops = reg.DropCount(metrics.DropNoDest)
-	res.Metrics = reg.Snapshot()
+	res.PendingAfterDrain = f.group.Pending()
+	// Re-merge after the drain: the drain itself drops frames to crashed
+	// agents and detached radios, and those must appear in the exported
+	// snapshot and the no-destination total.
+	drained := f.mergedMetrics()
+	res.NoDestDrops = drained.DropCount(metrics.DropNoDest)
+	res.Metrics = drained.Snapshot()
 
 	res.Violations = f.invariants(&res)
 	return res
+}
+
+// mergedMetrics folds every region registry into a fresh one. Quiescent
+// callers only (build or post-join).
+func (f *Fleet) mergedMetrics() *metrics.Registry {
+	merged := metrics.NewRegistry()
+	for _, sim := range f.Net.Regions() {
+		merged.Merge(sim.Metrics)
+	}
+	return merged
 }
 
 // invariants checks a finished trial against the fleet contract.
@@ -191,7 +226,11 @@ func (f *Fleet) invariants(r *Result) []string {
 	if r.DownDrops == 0 {
 		bad("partition window dropped nothing; the storm never bit")
 	}
-	if f.expectFilterDrops && r.FilterDrops == 0 {
+	expectFilterDrops := false
+	for _, rs := range f.rs {
+		expectFilterDrops = expectFilterDrops || rs.expectFilterDrops
+	}
+	if expectFilterDrops && r.FilterDrops == 0 {
 		bad("home-sourced traffic left a filtered cell but the boundary filter dropped nothing")
 	}
 	var mixTotal, inTotal uint64

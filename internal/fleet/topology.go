@@ -68,9 +68,13 @@ func (f *Fleet) buildTopology() {
 
 	// The visited cells. Cell i hangs off backbone router i%B with a
 	// small deterministic latency spread, so handoff latency varies by
-	// destination cell.
+	// destination cell. Each cell is its own region shard: the LAN, the
+	// gateway, the foreign agent and the kiosk all live there, and the
+	// gateway's backbone link — latency >= 2ms by construction — becomes
+	// the shard pair's conservative lookahead window.
 	f.Cells = make([]*Cell, opts.Cells)
 	for i := 0; i < opts.Cells; i++ {
+		n.SetBuildRegion(regionOf(i))
 		lan := n.AddLAN(fmt.Sprintf("cell%d", i), fmt.Sprintf("10.%d.0.0/16", i+1),
 			netsim.SegmentOpts{Latency: 1 * millisecond})
 		gw := n.AddRouter(fmt.Sprintf("cgw%d", i))
@@ -109,6 +113,7 @@ func (f *Fleet) buildTopology() {
 
 		f.Cells[i] = c
 	}
+	n.SetBuildRegion(0)
 
 	// The home agent, on the home LAN behind hagw.
 	haHost := n.AddHost("ha", f.HomeLAN)
@@ -174,15 +179,17 @@ func (f *Fleet) buildNodes() {
 		assert.NoError(err, "fleet: node workload socket")
 
 		node := &Node{
-			Idx:   i,
-			MN:    mn,
-			Host:  host,
-			ic:    ic,
-			sock:  sock,
-			rng:   rngFor(opts.Seed, i),
-			class: class,
-			viaFA: opts.FAEvery > 0 && i%opts.FAEvery == 0,
-			cell:  -1,
+			Idx:    i,
+			MN:     mn,
+			Host:   host,
+			fleet:  f,
+			ic:     ic,
+			sock:   sock,
+			rng:    rngFor(opts.Seed, i),
+			class:  class,
+			viaFA:  opts.FAEvery > 0 && i%opts.FAEvery == 0,
+			cell:   -1,
+			region: 0, // built on the home LAN, in the hub region
 		}
 		mn.OnRegistered = func() { f.onRegistered(node) }
 		mn.OnInPacket = func(mode core.InMode, pkt ipv4.Packet) { f.noteIn(node, mode, pkt) }

@@ -18,16 +18,19 @@ func (f *Fleet) initPayloads() {
 	f.kioskPayload = []byte("fleet-kiosk")
 }
 
-// startTicker arms node n's workload tick, phase-offset by the node's
-// RNG so ticks spread across the period instead of bursting.
+// startTicker arms node n's workload tick on its current shard,
+// phase-offset by the node's RNG so ticks spread across the period
+// instead of bursting. Called at every migration arrival (the ticker does
+// not survive a region crossing; the fresh phase draw is deterministic
+// because it sits in the node's own event order).
 func (f *Fleet) startTicker(n *Node) {
 	first := vtime.Duration(n.rng.Int63n(int64(second)))
-	n.tickTimer = f.Net.Sched().After(first, func() { f.tick(n) })
+	n.tickTimer = n.Host.Sched().After(first, func() { f.tick(n) })
 }
 
 // tick sends one workload request and re-arms.
 func (f *Fleet) tick(n *Node) {
-	if !f.trafficOn || n.stopped {
+	if !f.rs[n.region].trafficOn || n.stopped {
 		return
 	}
 	f.sendWorkload(n)
@@ -65,6 +68,6 @@ func (f *Fleet) sendWorkload(n *Node) {
 	// boundary router is guaranteed dead: the invariant suite now owes
 	// the drop-cause vector at least one filter drop.
 	if n.viaFA && n.class != clsKiosk && f.Cells[n.cell].Filtered {
-		f.expectFilterDrops = true
+		f.rs[n.region].expectFilterDrops = true
 	}
 }

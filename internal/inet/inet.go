@@ -23,8 +23,20 @@ import (
 )
 
 // Network is an internetwork under construction (and then in operation).
+// A network is either single-region (New: one Sim, one scheduler) or
+// sharded (NewSharded: one Sim per region shard of a vtime.Group, with
+// cross-region links built as split segment pairs).
 type Network struct {
+	// Sim is the hub region's simulation — the only one for a
+	// single-region network.
 	Sim *netsim.Sim
+
+	// regions lists every region Sim (just Sim for single-region
+	// networks); buildSim is the region new LANs and routers go to,
+	// moved by SetBuildRegion.
+	regions  []*netsim.Sim
+	buildSim *netsim.Sim
+	group    *vtime.Group
 
 	lans    map[string]*LAN
 	hosts   map[string]*stack.Host
@@ -46,7 +58,11 @@ type LAN struct {
 }
 
 type p2pLink struct {
-	seg    *netsim.Segment
+	// segA/segB are the link's segments as seen from each end: the same
+	// Segment for an intra-region link, the two halves of a SplitPair for
+	// a cross-region one.
+	segA   *netsim.Segment
+	segB   *netsim.Segment
 	prefix ipv4.Prefix
 	a, b   *stack.Host
 	aAddr  ipv4.Addr
@@ -55,8 +71,11 @@ type p2pLink struct {
 
 // New creates an empty network with a deterministic seed.
 func New(seed int64) *Network {
+	sim := netsim.NewSim(seed)
 	return &Network{
-		Sim:         netsim.NewSim(seed),
+		Sim:         sim,
+		regions:     []*netsim.Sim{sim},
+		buildSim:    sim,
 		lans:        make(map[string]*LAN),
 		hosts:       make(map[string]*stack.Host),
 		routers:     make(map[string]*stack.Host),
@@ -64,14 +83,69 @@ func New(seed int64) *Network {
 	}
 }
 
-// Sched returns the simulation scheduler.
+// NewSharded creates a network whose topology spans region Sims — one per
+// shard of a vtime.Group (all sims' schedulers must belong to the same
+// group). sims[0] is the hub region and the initial build region. Links
+// between hosts in different regions become split segment pairs
+// synchronized by the link latency.
+func NewSharded(sims []*netsim.Sim) *Network {
+	if len(sims) == 0 {
+		assert.Unreachable("inet: NewSharded with no region sims")
+	}
+	g := sims[0].Sched.Group()
+	for _, s := range sims {
+		if s.Sched.Group() != g || g == nil {
+			assert.Unreachable("inet: NewSharded sims must share one vtime.Group")
+		}
+	}
+	return &Network{
+		Sim:         sims[0],
+		regions:     sims,
+		buildSim:    sims[0],
+		group:       g,
+		lans:        make(map[string]*LAN),
+		hosts:       make(map[string]*stack.Host),
+		routers:     make(map[string]*stack.Host),
+		transferNet: ipv4.MustParseAddr("10.200.0.0").Uint32(),
+	}
+}
+
+// SetBuildRegion moves the build cursor: subsequent AddLAN/AddRouter
+// calls create their objects in region i's Sim. Single-region networks
+// have exactly one region.
+func (n *Network) SetBuildRegion(i int) {
+	n.buildSim = n.regions[i]
+}
+
+// Regions returns the network's region sims in shard order.
+func (n *Network) Regions() []*netsim.Sim { return n.regions }
+
+// Group returns the shard group a sharded network runs on, nil for a
+// single-region network.
+func (n *Network) Group() *vtime.Group { return n.group }
+
+// Sched returns the simulation scheduler (the hub region's, for sharded
+// networks — cross-region driving goes through Group).
 func (n *Network) Sched() *vtime.Scheduler { return n.Sim.Sched }
 
-// Run drains the event queue.
-func (n *Network) Run() { n.Sim.Sched.Run() }
+// Run drains the event queue (serially for sharded networks; storm
+// drivers that want parallelism call Group().Run themselves).
+func (n *Network) Run() {
+	if n.group != nil {
+		n.group.Run(1)
+		return
+	}
+	n.Sim.Sched.Run()
+}
 
 // RunFor advances virtual time by d.
-func (n *Network) RunFor(d vtime.Duration) { n.Sim.Sched.RunFor(d) }
+func (n *Network) RunFor(d vtime.Duration) {
+	if n.group != nil {
+		n.group.RunUntil(n.group.Now().Add(d), 1)
+		return
+	}
+	n.Sim.Sched.RunFor(d)
+}
 
 // AddLAN creates a broadcast segment with the given prefix and link
 // options.
@@ -82,7 +156,7 @@ func (n *Network) AddLAN(name, prefix string, opts netsim.SegmentOpts) *LAN {
 	}
 	lan := &LAN{
 		Name:     name,
-		Seg:      n.Sim.NewSegment(name, opts),
+		Seg:      n.buildSim.NewSegment(name, opts),
 		Prefix:   p,
 		nextHost: 0,
 		net:      n,
@@ -105,7 +179,7 @@ func (n *Network) AddRouter(name string) *stack.Host {
 	if _, dup := n.routers[name]; dup {
 		assert.Unreachable("inet: duplicate router %q", name)
 	}
-	r := stack.NewHost(n.Sim, name)
+	r := stack.NewHost(n.buildSim, name)
 	r.Forwarding = true
 	n.routers[name] = r
 	return r
@@ -118,7 +192,10 @@ func (n *Network) AddHost(name string, lan *LAN) *stack.Host {
 	if _, dup := n.hosts[name]; dup {
 		assert.Unreachable("inet: duplicate host %q", name)
 	}
-	h := stack.NewHost(n.Sim, name)
+	// The host lives in the region that owns its LAN, whatever the build
+	// cursor says: a host's NICs, timers and traces must all stay on the
+	// shard its segment belongs to.
+	h := stack.NewHost(lan.Seg.Sim(), name)
 	addr := lan.NextAddr()
 	ifc := h.AddIface("eth0", lan.Seg, addr, lan.Prefix)
 	if !lan.Gateway.IsZero() {
@@ -153,18 +230,29 @@ func (n *Network) AttachRouter(r *stack.Host, lan *LAN) *stack.Iface {
 }
 
 // Link joins two routers with a point-to-point segment (a /30 transfer
-// network) of the given latency. Returns nothing; ComputeRoutes uses the
-// recorded link.
+// network) of the given latency. When the endpoints live in different
+// region Sims the link is built as a split segment pair — the link
+// latency becomes the shard pair's conservative lookahead window, so it
+// must be positive for such links. Returns nothing; ComputeRoutes uses
+// the recorded link.
 func (n *Network) Link(a, b *stack.Host, latency vtime.Duration) {
 	n.transferNet += 4
 	p := ipv4.PrefixFrom(ipv4.AddrFromUint32(n.transferNet), 30)
-	seg := n.Sim.NewSegment(fmt.Sprintf("p2p-%s-%s", a.Name(), b.Name()),
-		netsim.SegmentOpts{Latency: latency})
+	name := fmt.Sprintf("p2p-%s-%s", a.Name(), b.Name())
+	var segA, segB *netsim.Segment
+	if a.Sim() != b.Sim() {
+		var err error
+		segA, segB, err = netsim.SplitPair(a.Sim(), b.Sim(), name, netsim.SegmentOpts{Latency: latency})
+		assert.NoError(err, "inet: cross-region link "+name)
+	} else {
+		seg := a.Sim().NewSegment(name, netsim.SegmentOpts{Latency: latency})
+		segA, segB = seg, seg
+	}
 	aAddr := p.Host(1)
 	bAddr := p.Host(2)
-	a.AddIface("to-"+b.Name(), seg, aAddr, p)
-	b.AddIface("to-"+a.Name(), seg, bAddr, p)
-	n.links = append(n.links, &p2pLink{seg: seg, prefix: p, a: a, b: b, aAddr: aAddr, bAddr: bAddr})
+	a.AddIface("to-"+b.Name(), segA, aAddr, p)
+	b.AddIface("to-"+a.Name(), segB, bAddr, p)
+	n.links = append(n.links, &p2pLink{segA: segA, segB: segB, prefix: p, a: a, b: b, aAddr: aAddr, bAddr: bAddr})
 }
 
 // Chain creates count routers named prefix0..prefixN-1, links them in a
@@ -214,10 +302,10 @@ func (n *Network) adjacency() map[*stack.Host]map[*stack.Host]neighbor {
 			m[to] = neighbor{iface: via, addr: toAddr}
 		}
 	}
-	// Point-to-point links.
+	// Point-to-point links (each end sees its own half of a split link).
 	for _, l := range n.links {
-		add(l.a, l.b, ifaceOn(l.a, l.seg), l.bAddr)
-		add(l.b, l.a, ifaceOn(l.b, l.seg), l.aAddr)
+		add(l.a, l.b, ifaceOn(l.a, l.segA), l.bAddr)
+		add(l.b, l.a, ifaceOn(l.b, l.segB), l.aAddr)
 	}
 	// Routers sharing a LAN are adjacent too.
 	routers := n.sortedRouters()

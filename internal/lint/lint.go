@@ -36,6 +36,11 @@
 //   - bufretain: receive callbacks never retain a pooled frame payload
 //     (field store, channel send, deferred closure) past their return —
 //     the netsim.GetBuf/PutBuf ownership contract, checked.
+//   - shardpin: the far half of a split segment belongs to another
+//     shard's event loop — code in internal/{netsim,fleet} may nil-check
+//     the RemotePeer reference or hand it to the peer's delivery queue
+//     (Scheduler.SendTo), never dereference it or pin it into local
+//     state behind the owning shard's back.
 //
 // The suite is built only on go/parser, go/types and go/importer so the
 // module stays dependency-free. cmd/mob4x4vet is the command-line driver;
@@ -93,6 +98,7 @@ func All() []*Analyzer {
 		GlobalState(),
 		SharedRand(),
 		BufRetain(),
+		ShardPin(),
 	}
 }
 

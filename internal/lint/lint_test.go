@@ -113,6 +113,7 @@ func TestDiagnosticPositions(t *testing.T) {
 		{"globalstate", 5, 13, 5, "package-level var seq"},
 		{"sharedrand", 4, 10, 5, "process-wide RNG stream"},
 		{"bufretain", 6, 22, 4, "field last"},
+		{"shardpin", 7, 27, 28, "reading NICs through the far half"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.analyzer, func(t *testing.T) {

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// shardpinPkgs are the packages that touch split segments: netsim owns
+// the split-pair mechanism, fleet builds cross-region topologies on top
+// of it. Everything else reaches segments only through its own region's
+// Sim and cannot hold a foreign half.
+var shardpinPkgs = map[string]bool{
+	"internal/netsim": true,
+	"internal/fleet":  true,
+}
+
+// ShardPin returns the analyzer enforcing the cross-shard ownership rule
+// of the sharded engine: the far half of a split segment — obtained from
+// Segment.RemotePeer or netsim's internal remote.peer field — belongs to
+// another shard's event loop. Holding the reference and nil-checking it
+// is fine (topology code asks "is this link split?"); dereferencing it
+// (any field or method access, and the Host/NIC state behind it) or
+// pinning it into local state (field, element, package var, channel,
+// goroutine) races with the owning shard. The one sanctioned crossing —
+// handing the peer to its own shard's delivery queue via
+// Scheduler.SendTo — carries a //mob4x4vet:allow shardpin directive.
+func ShardPin() *Analyzer {
+	a := &Analyzer{
+		Name: "shardpin",
+		Doc:  "the far half of a split segment (Segment.RemotePeer / remote.peer) is owned by another shard: nil-check it or hand it to the peer's delivery queue (Scheduler.SendTo), never dereference it or pin it into local state",
+	}
+	a.Run = func(pass *Pass) {
+		pkg := pass.Pkg
+		rel := strings.TrimPrefix(pkg.Path, pkg.ModulePath+"/")
+		if !shardpinPkgs[rel] &&
+			!strings.HasPrefix(pkg.Path, pkg.ModulePath+"/internal/lintfixture/shardpin/") {
+			return
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						s := &shardpinCheck{pass: pass, taint: map[types.Object]bool{}}
+						s.walk(fn.Body)
+					}
+					return false
+				case *ast.FuncLit:
+					// Package-level literals only: literals inside a
+					// FuncDecl are walked with their enclosing taint.
+					s := &shardpinCheck{pass: pass, taint: map[types.Object]bool{}}
+					s.walk(fn.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+type shardpinCheck struct {
+	pass  *Pass
+	taint map[types.Object]bool
+}
+
+// walk visits one function body in source order, including nested
+// function literals (captured foreign references are visible inside
+// them, and a literal scheduled later is exactly how a pin escapes).
+func (s *shardpinCheck) walk(body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			s.assign(n)
+		case *ast.SelectorExpr:
+			if s.tainted(n.X) {
+				s.pass.Report(n.Sel.Pos(),
+					"reading %s through the far half of a split segment pins state owned by another shard; only the delivery queue (Scheduler.SendTo) may cross the boundary", n.Sel.Name)
+				return false
+			}
+		case *ast.SendStmt:
+			if s.tainted(n.Value) {
+				s.pass.Report(n.Arrow,
+					"sending the far half of a split segment on a channel bypasses the delivery queue; cross shards with Scheduler.SendTo")
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if s.tainted(arg) {
+					s.pass.Report(arg.Pos(),
+						"handing the far half of a split segment to a goroutine bypasses the delivery queue; cross shards with Scheduler.SendTo")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assign tracks aliases (p := seg.RemotePeer() taints p, reassignment
+// from a clean value clears it) and flags every store that pins a
+// foreign segment where the owning shard cannot see it.
+func (s *shardpinCheck) assign(as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break // x, y := f(): multi-value call results handled by tainted()
+		}
+		rhs := as.Rhs[i]
+		rhsTainted := s.tainted(rhs)
+		if id, ok := lhs.(*ast.Ident); ok {
+			obj := s.pass.Pkg.Info.Defs[id]
+			if obj == nil {
+				obj = s.pass.Pkg.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if v, ok := obj.(*types.Var); ok && v.Parent() == s.pass.Pkg.Types.Scope() {
+				if rhsTainted {
+					s.pass.Report(id.Pos(),
+						"storing the far half of a split segment in package-level var %s keeps a cross-shard reference the owning shard cannot see; hand frames to the peer's delivery queue (Scheduler.SendTo) instead", id.Name)
+				}
+				continue
+			}
+			s.taint[obj] = rhsTainted
+			continue
+		}
+		if !rhsTainted {
+			continue
+		}
+		switch lhs := lhs.(type) {
+		case *ast.SelectorExpr:
+			s.pass.Report(lhs.Sel.Pos(),
+				"storing the far half of a split segment in field %s keeps a cross-shard reference the owning shard cannot see; hand frames to the peer's delivery queue (Scheduler.SendTo) instead", lhs.Sel.Name)
+		case *ast.IndexExpr:
+			s.pass.Report(lhs.Lbrack,
+				"storing the far half of a split segment in a map or slice element keeps a cross-shard reference the owning shard cannot see; hand frames to the peer's delivery queue (Scheduler.SendTo) instead")
+		}
+	}
+}
+
+// tainted reports whether e is (an alias of) the far half of a split
+// segment: a RemotePeer() call, a remote.peer field read, or a local
+// already tainted by one. Nil comparisons and returns are not uses, so
+// they never reach here as flagged sites.
+func (s *shardpinCheck) tainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := s.pass.Pkg.Info.Uses[e]
+		if obj == nil {
+			obj = s.pass.Pkg.Info.Defs[e]
+		}
+		return obj != nil && s.taint[obj]
+	case *ast.ParenExpr:
+		return s.tainted(e.X)
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "RemotePeer" {
+			return false
+		}
+		return s.netsimType(sel.X, "Segment")
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "peer" {
+			return false
+		}
+		return s.netsimType(e.X, "remoteEnd")
+	}
+	return false
+}
+
+// netsimType reports whether expr's type is (a pointer to) the named
+// netsim type.
+func (s *shardpinCheck) netsimType(expr ast.Expr, name string) bool {
+	tv, ok := s.pass.Pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil &&
+		obj.Pkg().Path() == s.pass.Pkg.ModulePath+"/internal/netsim" &&
+		obj.Name() == name
+}

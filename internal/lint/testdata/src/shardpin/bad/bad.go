@@ -1,0 +1,51 @@
+// Package shardpinbad touches the far half of a split segment in every
+// way the cross-shard ownership rule forbids: dereferencing it directly
+// and through an alias, pinning it into a field, a map element and a
+// package var, and handing it to a channel and a goroutine. One
+// annotated pin at the end — the sanctioned delivery-queue shape — must
+// be excused.
+package shardpinbad
+
+import (
+	"mob4x4/internal/netsim"
+)
+
+var uplinkPeer *netsim.Segment
+
+type router struct {
+	peer   *netsim.Segment
+	byName map[string]*netsim.Segment
+	ch     chan *netsim.Segment
+}
+
+// Probe dereferences the far half, directly and via a local alias.
+func Probe(seg *netsim.Segment) int {
+	p := seg.RemotePeer()
+	if p == nil {
+		return 0
+	}
+	n := len(seg.RemotePeer().NICs())
+	return n + p.MTU()
+}
+
+// Pin stores the far half everywhere local state can hold it.
+func (r *router) Pin(seg *netsim.Segment) {
+	r.peer = seg.RemotePeer()
+	r.byName["uplink"] = seg.RemotePeer()
+	uplinkPeer = seg.RemotePeer()
+	r.ch <- seg.RemotePeer()
+}
+
+// Fan hands the far half to a goroutine on this shard.
+func Fan(seg *netsim.Segment) {
+	go drain(seg.RemotePeer())
+}
+
+func drain(*netsim.Segment) {}
+
+// Deliver is the sanctioned crossing shape: the peer goes into a job
+// drained by its own shard's delivery queue. The directive excuses it.
+func (r *router) Deliver(seg *netsim.Segment) {
+	//mob4x4vet:allow shardpin the job is executed by the peer's own shard via SendTo
+	r.peer = seg.RemotePeer()
+}

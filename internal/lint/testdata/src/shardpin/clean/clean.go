@@ -1,0 +1,36 @@
+// Package shardpinclean is the ownership-respecting shape of the same
+// code: hold the far-half reference, compare it to nil, read the local
+// half freely, and let a clean reassignment clear an alias. The shardpin
+// analyzer must stay silent.
+package shardpinclean
+
+import (
+	"mob4x4/internal/netsim"
+)
+
+type router struct {
+	local *netsim.Segment
+}
+
+// Split reports whether the segment crosses shards: obtaining and
+// nil-checking the reference is the topology question, not a pin.
+func Split(seg *netsim.Segment) bool {
+	return seg.RemotePeer() != nil
+}
+
+// Local state is this shard's own; reading and storing it is free.
+func (r *router) Attach(seg *netsim.Segment) int {
+	r.local = seg
+	return seg.MTU()
+}
+
+// Relabel shows an alias dying cleanly: p is foreign only until the
+// reassignment, and nothing dereferences it in between.
+func Relabel(seg, other *netsim.Segment) int {
+	p := seg.RemotePeer()
+	if p == nil {
+		return 0
+	}
+	p = other
+	return p.MTU()
+}

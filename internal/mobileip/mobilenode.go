@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/core"
 	"mob4x4/internal/encap"
 	"mob4x4/internal/ipv4"
@@ -241,15 +242,20 @@ func (mn *MobileNode) AtHome() bool { return mn.atHome }
 // with the home agent.
 func (mn *MobileNode) Registered() bool { return mn.registered }
 
-// setRegistered updates the flag and mirrors it into the mn/registered
-// gauge, so time-series samples show binding possession over time.
+// setRegistered updates the flag and mirrors the transition into the
+// mn/registered gauge as an Add delta, so the gauge counts
+// currently-registered nodes. Deltas (rather than Set) keep the gauge
+// correct when many nodes share one registry, and make per-region gauge
+// levels disjoint contributions that metrics.Merge can sum.
 func (mn *MobileNode) setRegistered(v bool) {
-	mn.registered = v
-	if v {
-		mn.regGauge.Set(1)
-	} else {
-		mn.regGauge.Set(0)
+	if v != mn.registered {
+		if v {
+			mn.regGauge.Add(1)
+		} else {
+			mn.regGauge.Add(-1)
+		}
 	}
+	mn.registered = v
 }
 
 // Selector exposes the outgoing-mode engine (experiments feed it
@@ -345,6 +351,47 @@ func (mn *MobileNode) Detach() {
 	mn.setRegistered(false)
 	mn.atHome = false
 	mn.ifc.Detach()
+}
+
+// Rehome rebinds the node's cached per-region state after its host has
+// been migrated to a new region Sim (stack.Host.Rehome). The node must be
+// detached with no registration exchange in flight — the fleet migration
+// protocol guarantees this by calling Detach before shipping the node.
+//
+// Three kinds of state pin the old region and are rebuilt here:
+//
+//   - Metric instruments were resolved once at construction from the old
+//     region's registry; they are re-resolved from the new one (the codec
+//     wrapper too, since encap.Instrument caches its counters).
+//   - Timer handles carry the old region's *Scheduler inside them, so
+//     Reset would re-arm on a shard this node no longer runs on. They are
+//     nilled; the next arm lazily creates fresh handles on the new
+//     scheduler (the usual nil-handle path in armRegRetry and friends).
+//   - The jitter rng is NOT touched: it is plain PRNG state, and the
+//     node's events are totally ordered in virtual time across
+//     migrations, so carrying the stream keeps the draw sequence — and
+//     with it cross-worker-count determinism — intact.
+func (mn *MobileNode) Rehome() {
+	if mn.registered || mn.awaitingReply {
+		assert.Unreachable("mobileip: Rehome of %s with a live registration (registered=%v awaiting=%v)",
+			mn.host.Name(), mn.registered, mn.awaitingReply)
+	}
+	if mn.regTimer.Pending() || mn.renewTimer.Pending() || mn.probeTimer.Pending() {
+		assert.Unreachable("mobileip: Rehome of %s with pending timers", mn.host.Name())
+	}
+	reg := mn.host.Sim().Metrics
+	mn.reg = reg
+	mn.regGauge = reg.Gauge("mn/registered")
+	mn.regRTT = reg.Histogram("mn/reg_rtt_ns", metrics.DefaultLatencyBuckets)
+	mn.mRegs = reg.Counter("mn/registrations")
+	mn.mRegFails = reg.Counter("mn/registration_fails")
+	mn.mRenewals = reg.Counter("mn/renewals")
+	mn.mProbes = reg.Counter("mn/recovery_probes")
+	mn.mMoves = reg.Counter("mn/moves")
+	if w, ok := mn.cfg.Codec.(*encap.Instrumented); ok {
+		mn.cfg.Codec = encap.Instrument(w.Unwrap(), reg, "mn")
+	}
+	mn.regTimer, mn.renewTimer, mn.probeTimer = nil, nil, nil
 }
 
 func (mn *MobileNode) cancelTimers() {

@@ -3,6 +3,8 @@ package netsim
 import (
 	"sync"
 	"sync/atomic"
+
+	"mob4x4/internal/metrics"
 )
 
 // Buf is a reusable payload buffer drawn from a process-wide pool. The fast
@@ -63,9 +65,10 @@ func PutBuf(b *Buf) {
 	bufPool.Put(b)
 }
 
-// delivery is a pooled in-flight frame: the receiver snapshot plus the
+// delivery is a pooled in-flight frame: the receiving segment plus the
 // frame itself, scheduled through the handle-free vtime path so a
-// steady-state hop allocates nothing.
+// steady-state hop allocates nothing. dests is scratch for runDelivery's
+// receiver snapshot; its backing array is reused across deliveries.
 type delivery struct {
 	seg   *Segment
 	frame Frame
@@ -77,21 +80,65 @@ var deliveryPool = sync.Pool{New: func() any { return new(delivery) }}
 
 // runDelivery is the scheduler callback for frame delivery. A top-level
 // func so scheduling it never allocates a closure.
+//
+// Receivers are resolved here — at arrival, against the segment's current
+// attachment table — not at send time: who hears a frame is decided by
+// who is on the wire when it lands (a NIC that attached mid-flight hears
+// it, one that left does not), and for a split cross-shard segment this
+// keeps every read of NIC state on the shard that owns the receiving
+// half. The resolved set is snapshotted into the pooled dests slice
+// before any callback runs, so receivers that attach or detach NICs from
+// inside their callbacks cannot corrupt the iteration; the sender is
+// excluded by MAC (frames carry Src, and MACs are cluster-unique), which
+// works even when the sender's NIC lives on the far half.
 func runDelivery(a any) {
 	d := a.(*delivery)
 	seg := d.seg
+	f := d.frame
+	if f.Dst != BroadcastMAC && seg.promisc == 0 {
+		// Unicast with nobody listening promiscuously: direct dispatch
+		// via the MAC index on big segments, a linear scan on small ones.
+		var n *NIC
+		if seg.byMAC != nil {
+			n = seg.byMAC[f.Dst]
+		} else {
+			for _, m := range seg.nics {
+				if m.mac == f.Dst {
+					n = m
+					break
+				}
+			}
+		}
+		if n != nil && n.mac != f.Src {
+			d.dests = append(d.dests, n)
+		}
+	} else {
+		for _, n := range seg.nics {
+			if n.mac == f.Src {
+				continue
+			}
+			if f.Dst == BroadcastMAC || f.Dst == n.mac || n.promiscuous {
+				d.dests = append(d.dests, n)
+			}
+		}
+	}
+	if len(d.dests) == 0 {
+		seg.DroppedNoDest++
+		seg.sim.Metrics.Drop(metrics.DropNoDest)
+		seg.sim.Trace.record(Event{Kind: EventDropNoDest, Time: seg.sim.Now(), Where: seg.name})
+	}
 	for _, n := range d.dests {
 		if n.segment != seg {
-			continue // detached mid-flight
+			continue // detached by an earlier receiver in this very loop
 		}
 		seg.Delivered++
 		if n.recv != nil {
-			n.recv(n, d.frame)
+			n.recv(n, f)
 		}
 	}
 	// All receivers have returned (broadcast shares the one buffer), so
 	// the payload storage can go back to the pool.
-	PutBuf(d.frame.Buf)
+	PutBuf(f.Buf)
 	releaseDelivery(d)
 }
 

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strconv"
 
+	"mob4x4/internal/assert"
 	"mob4x4/internal/metrics"
 	"mob4x4/internal/vtime"
 )
@@ -76,6 +77,10 @@ type Sim struct {
 	Metrics  *metrics.Registry
 	nextMAC  MAC
 	segments []*Segment
+	// cluster, when non-nil, is the shard cluster this Sim belongs to;
+	// MAC allocation then draws from the cluster-wide counter so link
+	// addresses stay unique across all region Sims of one run.
+	cluster *Cluster
 }
 
 // NewSim returns a fresh simulation with the given RNG seed.
@@ -88,11 +93,49 @@ func NewSim(seed int64) *Sim {
 	}
 }
 
+// Cluster groups the per-region Sims of one sharded run: each region owns
+// its own scheduler (a shard of a vtime.Group), tracer and metric
+// registry, while MAC addresses come from one shared counter — a MAC
+// identifies a NIC across the whole simulated internetwork, so two
+// regions must never mint the same one. Cluster construction and all
+// allocation through it happen during the single-threaded build phase.
+type Cluster struct {
+	nextMAC MAC
+	sims    []*Sim
+}
+
+// NewCluster returns an empty shard cluster.
+func NewCluster() *Cluster { return &Cluster{nextMAC: 0x0200_0000_0001} }
+
+// NewSim creates a region simulation driven by the given scheduler —
+// one shard of a vtime.Group. The region owns its tracer and metric
+// registry (merged at measurement time), but draws MACs from the
+// cluster-wide counter.
+func (c *Cluster) NewSim(sched *vtime.Scheduler) *Sim {
+	s := &Sim{
+		Sched:   sched,
+		Trace:   NewTracer(),
+		Metrics: metrics.NewRegistry(),
+		cluster: c,
+	}
+	c.sims = append(c.sims, s)
+	return s
+}
+
+// Sims returns the cluster's member simulations in creation order.
+func (c *Cluster) Sims() []*Sim { return c.sims }
+
 // Now returns the current virtual time.
 func (s *Sim) Now() vtime.Time { return s.Sched.Now() }
 
-// AllocMAC returns a fresh unique MAC address.
+// AllocMAC returns a fresh unique MAC address (cluster-wide unique when
+// the Sim belongs to a Cluster).
 func (s *Sim) AllocMAC() MAC {
+	if s.cluster != nil {
+		m := s.cluster.nextMAC
+		s.cluster.nextMAC++
+		return m
+	}
 	m := s.nextMAC
 	s.nextMAC++
 	return m
@@ -172,6 +215,12 @@ type Segment struct {
 	// segment's draw sequence independent of every other entity's, so a
 	// sharded engine can replay any segment in isolation.
 	rng *rand.Rand
+	// remote, when non-nil, marks this Segment as one half of a split
+	// (cross-shard) point-to-point link: frames that survive this half's
+	// drop/impairment checks are delivered on the peer half, which lives
+	// in another region Sim, via the shard group's lookahead channel
+	// rather than the local scheduler. See SplitPair.
+	remote *remoteEnd
 	// fault, when non-nil, is consulted once per frame that survived the
 	// MTU and uniform-loss checks; the returned Impairment can drop,
 	// duplicate, corrupt or delay the frame. Nil (the default) costs one
@@ -208,8 +257,68 @@ func (s *Sim) NewSegment(name string, opts SegmentOpts) *Segment {
 	return seg
 }
 
+// remoteEnd is the cross-shard side of a split Segment.
+type remoteEnd struct {
+	peer  *Segment
+	sched *vtime.Scheduler
+}
+
+// SplitPair builds a cross-shard point-to-point link as two half
+// segments, one per region Sim: each half owns its own randomness stream,
+// stats and bandwidth state, and a frame sent on one half is delivered to
+// the NICs attached to the *other* half after the usual latency. The
+// link's Latency must be positive — it is registered with the shard group
+// as the pair's conservative lookahead window (a frame entering the wire
+// now cannot pop out at the far end sooner), which is what lets the two
+// regions run concurrently. Both sims' schedulers must be shards of the
+// same vtime.Group.
+//
+// Fault state is per half: SetDown/SetFaultHook on one half affects
+// frames entering the wire from that side only, so partitioning a split
+// link means downing both halves.
+func SplitPair(a, b *Sim, name string, opts SegmentOpts) (*Segment, *Segment, error) {
+	if opts.Latency <= 0 {
+		return nil, nil, fmt.Errorf("netsim: SplitPair(%s): latency %v must be positive — the link latency is "+
+			"the pair's shard lookahead window", name, opts.Latency)
+	}
+	ga, gb := a.Sched.Group(), b.Sched.Group()
+	if ga == nil || ga != gb {
+		return nil, nil, fmt.Errorf("netsim: SplitPair(%s): both sims must run on shards of the same vtime.Group", name)
+	}
+	sa, sb := a.Sched.ShardID(), b.Sched.ShardID()
+	if sa == sb {
+		return nil, nil, fmt.Errorf("netsim: SplitPair(%s): both ends on shard %d — use NewSegment for an intra-region link", name, sa)
+	}
+	if err := ga.EnsureLink(sa, sb, opts.Latency); err != nil {
+		return nil, nil, err
+	}
+	if err := ga.EnsureLink(sb, sa, opts.Latency); err != nil {
+		return nil, nil, err
+	}
+	ha := a.NewSegment(name, opts)
+	hb := b.NewSegment(name, opts)
+	ha.remote = &remoteEnd{peer: hb, sched: b.Sched}
+	hb.remote = &remoteEnd{peer: ha, sched: a.Sched}
+	return ha, hb, nil
+}
+
+// RemotePeer returns the far half of a split segment, or nil for an
+// ordinary (single-shard) segment. The peer belongs to another shard:
+// callers must not touch its mutable state outside the delivery queue —
+// the shardpin analyzer enforces this.
+func (seg *Segment) RemotePeer() *Segment {
+	if seg.remote == nil {
+		return nil
+	}
+	return seg.remote.peer
+}
+
 // Name returns the segment's name.
 func (seg *Segment) Name() string { return seg.name }
+
+// Sim returns the simulation (region) that owns the segment. Topology
+// builders use it to place hosts in the region of the LAN they sit on.
+func (seg *Segment) Sim() *Sim { return seg.sim }
 
 // MTU returns the segment MTU.
 func (seg *Segment) MTU() int { return seg.opts.MTU }
@@ -377,45 +486,6 @@ func (seg *Segment) send(from *NIC, f Frame) {
 	seg.BytesCarried += uint64(wireBytes)
 	seg.sim.Metrics.LinkFrames.Inc()
 	seg.sim.Metrics.LinkBytes.Add(uint64(wireBytes))
-	// Snapshot receivers now; attach/detach during flight should not
-	// retroactively affect this frame. The snapshot lives in a pooled
-	// delivery job so a steady-state hop allocates nothing.
-	d := deliveryPool.Get().(*delivery)
-	d.seg = seg
-	d.frame = f
-	if f.Dst != BroadcastMAC && seg.promisc == 0 {
-		// Unicast with nobody listening promiscuously: direct dispatch
-		// via the MAC index on big segments, a linear scan on small ones.
-		if seg.byMAC != nil {
-			if n := seg.byMAC[f.Dst]; n != nil && n != from {
-				d.dests = append(d.dests, n)
-			}
-		} else {
-			for _, n := range seg.nics {
-				if n.mac == f.Dst && n != from {
-					d.dests = append(d.dests, n)
-					break
-				}
-			}
-		}
-	} else {
-		for _, n := range seg.nics {
-			if n == from {
-				continue
-			}
-			if f.Dst == BroadcastMAC || f.Dst == n.mac || n.promiscuous {
-				d.dests = append(d.dests, n)
-			}
-		}
-	}
-	if len(d.dests) == 0 {
-		seg.DroppedNoDest++
-		seg.sim.Metrics.Drop(metrics.DropNoDest)
-		seg.sim.Trace.record(Event{Kind: EventDropNoDest, Time: seg.sim.Now(), Where: seg.name})
-		PutBuf(f.Buf)
-		releaseDelivery(d)
-		return
-	}
 	// Bandwidth model: the frame must wait for the medium, then occupies
 	// it for its serialization time; propagation latency follows.
 	delay := seg.opts.Latency
@@ -437,7 +507,24 @@ func (seg *Segment) send(from *NIC, f Frame) {
 		seg.busyUntil = start.Add(txTime)
 		delay = seg.busyUntil.Sub(now) + seg.opts.Latency + imp.ExtraDelay
 	}
-	seg.sim.Sched.AfterArg(delay, runDelivery, d)
+	// Receivers are resolved at *delivery* time, in runDelivery — what
+	// matters physically is who is attached when the frame arrives, and
+	// resolving there keeps every read of NIC attachment state on the
+	// shard that owns the receiving half of a split link. The pooled
+	// delivery job carries only the frame and the receiving segment.
+	d := deliveryPool.Get().(*delivery)
+	d.seg = seg
+	d.frame = f
+	if r := seg.remote; r != nil {
+		// Split link: the frame crosses a shard boundary. The delivery
+		// executes on the peer's scheduler; the link latency ≤ delay is
+		// the lookahead slack SplitPair registered for this pair.
+		//mob4x4vet:allow shardpin handing the peer half to its own shard's delivery queue is the sanctioned crossing
+		d.seg = r.peer
+		seg.sim.Sched.SendTo(r.sched, seg.sim.Now().Add(delay), runDelivery, d)
+	} else {
+		seg.sim.Sched.AfterArg(delay, runDelivery, d)
+	}
 	if imp.Duplicate {
 		// Deliver an independent copy at the same delay: its payload is
 		// cloned into a fresh pooled buffer because the original is
@@ -448,12 +535,15 @@ func (seg *Segment) send(from *NIC, f Frame) {
 		db := GetBuf()
 		db.B = append(db.B, f.Payload...)
 		dd := deliveryPool.Get().(*delivery)
-		dd.seg = seg
+		dd.seg = d.seg
 		dd.frame = f
 		dd.frame.Payload = db.B
 		dd.frame.Buf = db
-		dd.dests = append(dd.dests, d.dests...)
-		seg.sim.Sched.AfterArg(delay, runDelivery, dd)
+		if r := seg.remote; r != nil {
+			seg.sim.Sched.SendTo(r.sched, seg.sim.Now().Add(delay), runDelivery, dd)
+		} else {
+			seg.sim.Sched.AfterArg(delay, runDelivery, dd)
+		}
 	}
 }
 
@@ -532,6 +622,17 @@ func (n *NIC) Attach(seg *Segment) {
 
 // Detach disconnects the NIC (mobile host in transit / laptop asleep).
 func (n *NIC) Detach() { n.Attach(nil) }
+
+// Rehome moves a detached NIC to another region Sim: host migration
+// re-parents a mobile node's interfaces onto the destination region's
+// scheduler, tracer and metrics. The NIC must be detached — an attached
+// NIC is reachable from its old segment, which lives on the old shard.
+func (n *NIC) Rehome(sim *Sim) {
+	if n.segment != nil {
+		assert.Unreachable("netsim: Rehome of %s while attached to %s", n.name, n.segment.name)
+	}
+	n.sim = sim
+}
 
 // Send transmits a frame from this NIC onto its segment. Sending while
 // detached silently drops the frame (the cable is unplugged).

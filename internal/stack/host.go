@@ -13,6 +13,7 @@ package stack
 
 import (
 	"mob4x4/internal/arp"
+	"mob4x4/internal/assert"
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/metrics"
 	"mob4x4/internal/netsim"
@@ -358,4 +359,54 @@ func (h *Host) FirstAddr() ipv4.Addr {
 func (h *Host) NextIPID() uint16 {
 	h.nextIPID++
 	return h.nextIPID
+}
+
+// Quiesce cancels every timer the stack itself holds — the reassembly
+// timer (in-progress fragment sets are discarded) and any in-flight ARP
+// resolutions (their queued packets are shed and accounted as
+// ARP-expired). A pending timer is an event owned by the host's current
+// scheduler, so a host must be quiesced before it can migrate to another
+// region shard. Timers owned by layers above the stack (registration,
+// renewal, probing, transports) are those layers' to stop.
+func (h *Host) Quiesce() {
+	if h.reasmTimer != nil {
+		h.reasmTimer.Stop()
+	}
+	h.reasm.Expire()
+	for _, ifc := range h.ifaces {
+		//mob4x4vet:allow mapiter only commutative drop counters escape; the jobs are discarded wholesale
+		for _, job := range ifc.pending {
+			job.timer.Stop()
+			h.Stats.DroppedARPExpired += uint64(len(job.pkts))
+			h.metrics.DropN(metrics.DropARPExpired, uint64(len(job.pkts)))
+		}
+		ifc.pending = nil
+	}
+}
+
+// Rehome re-parents a quiesced host onto another region Sim: migration
+// moves a mobile node between shards, and everything the host touches
+// from then on — scheduler, tracer, metric registry, NIC bookkeeping —
+// must belong to the destination region. Every interface must be detached
+// and the host quiesced (no stack-held timers pending); violations are
+// logic errors, not recoverable conditions.
+func (h *Host) Rehome(sim *netsim.Sim) {
+	if h.reasmTimer.Pending() {
+		assert.Unreachable("stack: Rehome of %s with a pending reassembly timer (call Quiesce first)", h.name)
+	}
+	for _, ifc := range h.ifaces {
+		if ifc.nic.Attached() {
+			assert.Unreachable("stack: Rehome of %s while iface %s is attached", h.name, ifc.nic.Name())
+		}
+		if len(ifc.pending) > 0 {
+			assert.Unreachable("stack: Rehome of %s with in-flight ARP resolutions (call Quiesce first)", h.name)
+		}
+		ifc.nic.Rehome(sim)
+		ifc.cache.Flush()
+	}
+	// The reassembly timer handle is bound to the old scheduler; drop it
+	// so the next fragment arms a fresh one on the new region's clock.
+	h.reasmTimer = nil
+	h.sim = sim
+	h.metrics = sim.Metrics
 }

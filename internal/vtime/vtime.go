@@ -37,17 +37,23 @@ func (t Time) String() string { return time.Duration(t).String() }
 
 // An event is a callback scheduled at a virtual instant. Events are stored
 // by value inside the scheduler's heap slice — no per-event allocation and
-// no interface boxing. The seq field breaks ties so that events scheduled
-// earlier run earlier, keeping the simulation deterministic. Exactly one of
-// fn/afn is set; afn carries its argument in arg so that hot paths can
-// schedule package-level functions without allocating a closure.
+// no interface boxing. The (origin, seq) pair breaks timestamp ties so
+// that events scheduled earlier run earlier, keeping the simulation
+// deterministic. origin is the shard that scheduled the event (always 0
+// for a standalone Scheduler) and seq is that shard's scheduling counter;
+// both are intrinsic to the schedule — they never depend on how many
+// worker goroutines a sharded run uses — so the execution order of every
+// shard's queue is identical for any worker count. Exactly one of fn/afn
+// is set; afn carries its argument in arg so that hot paths can schedule
+// package-level functions without allocating a closure.
 type event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	afn   func(any)
-	arg   any
-	timer *Timer // backpointer kept in sync by the heap, nil for AtArg events
+	at     Time
+	seq    uint64
+	origin int32
+	fn     func()
+	afn    func(any)
+	arg    any
+	timer  *Timer // backpointer kept in sync by the heap, nil for AtArg events
 }
 
 // Timer is a handle to a scheduled callback. Stopping a Timer that has
@@ -92,7 +98,7 @@ func (t *Timer) Reset(d Duration) {
 	}
 	s := t.s
 	s.seq++
-	s.push(event{at: s.now.Add(d), seq: s.seq, fn: t.fn, timer: t})
+	s.push(event{at: s.now.Add(d), seq: s.seq, origin: s.origin, fn: t.fn, timer: t})
 }
 
 // Scheduler is a discrete-event executor. It is not safe for concurrent use;
@@ -102,14 +108,20 @@ func (t *Timer) Reset(d Duration) {
 type Scheduler struct {
 	now Time
 	seq uint64
-	// events is a 4-ary min-heap ordered by (at, seq), stored by value.
-	// 4-ary beats binary here: shallower sifts and better cache behavior
-	// on the wide nodes, with no interface conversions anywhere.
+	// events is a 4-ary min-heap ordered by (at, origin, seq), stored by
+	// value. 4-ary beats binary here: shallower sifts and better cache
+	// behavior on the wide nodes, with no interface conversions anywhere.
 	events  []event
 	seed    int64
 	rng     *rand.Rand
 	streams int64
 	stopped bool
+	// origin is this scheduler's shard id within its Group (0 for a
+	// standalone Scheduler); it tags every event the scheduler enqueues.
+	origin int32
+	// sh is the shard synchronization state; nil for a standalone
+	// Scheduler, set by NewGroup.
+	sh *shardState
 	// Processed counts events executed since construction; useful as a
 	// cheap progress/cost metric in benchmarks.
 	Processed uint64
@@ -151,7 +163,7 @@ func (s *Scheduler) At(t Time, fn func()) *Timer {
 	}
 	tm := &Timer{s: s, fn: fn}
 	s.seq++
-	s.push(event{at: t, seq: s.seq, fn: fn, timer: tm})
+	s.push(event{at: t, seq: s.seq, origin: s.origin, fn: fn, timer: tm})
 	return tm
 }
 
@@ -179,7 +191,7 @@ func (s *Scheduler) AtArg(t Time, fn func(any), arg any) {
 		assert.Unreachable("vtime: nil event function")
 	}
 	s.seq++
-	s.push(event{at: t, seq: s.seq, afn: fn, arg: arg})
+	s.push(event{at: t, seq: s.seq, origin: s.origin, afn: fn, arg: arg})
 }
 
 // AfterArg schedules fn(arg) to run d after the current instant; see AtArg.
@@ -264,10 +276,17 @@ func (s *Scheduler) step() {
 	}
 }
 
-// less orders heap elements by (at, seq).
+// less orders heap elements by (at, origin, seq). origin before seq:
+// within one timestamp, ties first group by the scheduling shard and then
+// by that shard's own counter, so the order is a pure function of the
+// schedule itself (standalone schedulers have origin 0 everywhere, which
+// reduces to the original (at, seq) order).
 func (s *Scheduler) less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.origin != b.origin {
+		return a.origin < b.origin
 	}
 	return a.seq < b.seq
 }

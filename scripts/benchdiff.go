@@ -52,10 +52,11 @@ func main() {
 	determinism := flag.Bool("determinism", false, "run the runtime determinism gate over every experiment (see determinismdiff.go)")
 	detSeeds := flag.String("determinism-seeds", "1,7", "comma-separated seeds for the determinism gate")
 	detParallel := flag.Int("determinism-parallel", 4, "worker count for the parallel-vs-serial comparison (determinism mode)")
+	detShards := flag.String("determinism-shards", "1,2,4", "comma-separated -shards values for the sharded-vs-serial comparison (determinism mode)")
 	flag.Parse()
 
 	if *determinism {
-		if !runDeterminism(*detSeeds, *detParallel) {
+		if !runDeterminism(*detSeeds, *detParallel, *detShards) {
 			os.Exit(1)
 		}
 		return
@@ -195,22 +196,35 @@ func key(b Benchmark) string { return b.Pkg + "." + b.Name }
 
 // compare prints a per-benchmark delta table and returns false when any
 // shared benchmark regressed: ns/op beyond the tolerance band, or any
-// increase at all in allocs/op.
+// increase at all in allocs/op. Benchmarks present in only one file are
+// reported (sorted, so the summary is stable) but never gate: a new
+// benchmark has no baseline to regress against, and a removed one is a
+// baseline-refresh chore, not a perf fact.
 func compare(old, cur *File, nsTol float64) bool {
 	oldBy := map[string]Benchmark{}
 	for _, b := range old.Benchmarks {
 		oldBy[key(b)] = b
 	}
-	var keys []string
+	var keys, newOnly []string
 	curBy := map[string]Benchmark{}
 	for _, b := range cur.Benchmarks {
 		k := key(b)
 		curBy[k] = b
 		if _, shared := oldBy[k]; shared {
 			keys = append(keys, k)
+		} else {
+			newOnly = append(newOnly, k)
+		}
+	}
+	var oldOnly []string
+	for k := range oldBy {
+		if _, ok := curBy[k]; !ok {
+			oldOnly = append(oldOnly, k)
 		}
 	}
 	sort.Strings(keys)
+	sort.Strings(newOnly)
+	sort.Strings(oldOnly)
 	if len(keys) == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks in common; nothing to gate")
 		return false
@@ -236,8 +250,19 @@ func compare(old, cur *File, nsTol float64) bool {
 		fmt.Printf("%-55s %15.0f %15.0f %7.1f%% %6.0f → %-6.0f%s\n",
 			k, o.NsPerOp, c.NsPerOp, dNs*100, o.AllocsPerOp, c.AllocsPerOp, verdict)
 	}
+	for _, k := range newOnly {
+		c := curBy[k]
+		fmt.Printf("%-55s %15s %15.0f %8s %6s → %-6.0f  new (no baseline; not gated)\n",
+			k, "-", c.NsPerOp, "-", "-", c.AllocsPerOp)
+	}
+	for _, k := range oldOnly {
+		o := oldBy[k]
+		fmt.Printf("%-55s %15.0f %15s %8s %6.0f → %-6s  missing from current run (not gated)\n",
+			k, o.NsPerOp, "-", "-", o.AllocsPerOp, "-")
+	}
 	if ok {
-		fmt.Printf("benchdiff: %d benchmarks within tolerance (ns/op +%.0f%%, allocs/op +0)\n", len(keys), nsTol*100)
+		fmt.Printf("benchdiff: %d benchmarks within tolerance (ns/op +%.0f%%, allocs/op +0); %d new, %d missing\n",
+			len(keys), nsTol*100, len(newOnly), len(oldOnly))
 	} else {
 		fmt.Println("benchdiff: FAIL — regressions listed above")
 	}

@@ -31,6 +31,11 @@ type detExperiment struct {
 	// (independent trials fanned over workers); those also get a
 	// parallel-vs-serial byte comparison.
 	parallelOK bool
+	// shardsOK marks experiments under the sharded-engine contract:
+	// each run with -shards N must be byte-identical to serial for
+	// every N (fleet drives region shards; chaos accepts and ignores
+	// the flag, making the same promise trivially).
+	shardsOK bool
 }
 
 // detExperiments is the full E-series surface. Every experiment that can
@@ -57,17 +62,22 @@ var detExperiments = []detExperiment{
 	{name: "dualmobile"},
 	{name: "asymmetry"},
 	{name: "savings", args: []string{"-metrics-json"}},
-	{name: "chaos", args: []string{"-trials", "2", "-metrics-json"}, parallelOK: true},
-	{name: "fleet", args: []string{"-nodes", "60", "-cells", "6", "-trials", "2", "-metrics-json"}, parallelOK: true},
+	{name: "chaos", args: []string{"-trials", "2", "-metrics-json"}, parallelOK: true, shardsOK: true},
+	{name: "fleet", args: []string{"-nodes", "60", "-cells", "6", "-trials", "2", "-metrics-json"}, parallelOK: true, shardsOK: true},
 	{name: "report"},
 }
 
 // runDeterminism executes the gate; it returns false on any divergence
 // or run failure.
-func runDeterminism(seedList string, parallel int) bool {
+func runDeterminism(seedList string, parallel int, shardList string) bool {
 	seeds, err := parseSeeds(seedList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "determinism:", err)
+		return false
+	}
+	shardCounts, err := parseSeeds(shardList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "determinism: -determinism-shards:", err)
 		return false
 	}
 
@@ -125,6 +135,29 @@ func runDeterminism(seedList string, parallel int) bool {
 					continue
 				}
 				status = fmt.Sprintf("run-to-run and -parallel %d ok", parallel)
+			}
+			if e.shardsOK {
+				diverged := false
+				for _, n := range shardCounts {
+					sh := append([]string{"-seed", strconv.FormatInt(seed, 10), "-shards", strconv.FormatInt(n, 10)}, e.args...)
+					sh = append(sh, e.name)
+					h4, err := hashRun(bin, sh)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "determinism: FAIL %s seed=%d -shards %d: %v\n", e.name, seed, n, err)
+						ok, diverged = false, true
+						break
+					}
+					if h4 != h1 {
+						fmt.Fprintf(os.Stderr, "determinism: FAIL %s seed=%d: -shards %d output diverged from serial (%s != %s)\n",
+							e.name, seed, n, h4[:12], h1[:12])
+						ok, diverged = false, true
+						break
+					}
+				}
+				if diverged {
+					continue
+				}
+				status += fmt.Sprintf(", -shards {%s} ok", shardList)
 			}
 			fmt.Printf("determinism: %-12s seed=%-3d %s (%s)\n", e.name, seed, h1[:12], status)
 		}
