@@ -11,9 +11,10 @@ FUZZ_TARGETS = \
 	./internal/encap:FuzzDecapsulateMinEnc \
 	./internal/encap:FuzzDecapsulateGRE \
 	./internal/encap:FuzzDecapsulateGREKeyed \
-	./internal/encap:FuzzEncapRoundTrip
+	./internal/encap:FuzzEncapRoundTrip \
+	./internal/mobileip:FuzzAuthExtension
 
-.PHONY: check build vet lint test race fuzz-smoke bench benchgate chaos-smoke fleet-smoke cover determinism
+.PHONY: check build vet lint test race fuzz-smoke bench benchgate chaos-smoke fleet-smoke adversary-smoke cover determinism
 
 check: build vet lint test
 
@@ -30,15 +31,16 @@ lint:
 test:
 	$(GO) test ./...
 
-# Race matrix: the unit suite plus the chaos and fleet smokes, all under
-# the race detector. The smokes matter here because their drivers fan
-# trials over -parallel workers — the only place distinct goroutines
-# touch scheduler-adjacent state concurrently. CI runs the same three
-# legs (check/chaos-smoke/fleet-smoke).
+# Race matrix: the unit suite plus the chaos, fleet, and adversary
+# smokes, all under the race detector. The smokes matter here because
+# their drivers fan trials over -parallel workers — the only place
+# distinct goroutines touch scheduler-adjacent state concurrently. CI
+# runs the same legs (check/chaos-smoke/fleet-smoke/adversary-smoke).
 race:
 	$(GO) test -race ./...
 	$(MAKE) chaos-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) adversary-smoke
 
 # Run the full benchmark suite and record it as BENCH_<date>.json.
 # Promote a run to the regression gate with:
@@ -82,6 +84,16 @@ fleet-smoke:
 	@echo "fleet handoff storm (FLEET_SEED=$(FLEET_SEED))"
 	FLEET_SEED=$(FLEET_SEED) $(GO) test ./internal/experiments -race -count=1 -run 'TestFleet'
 	$(GO) test ./internal/fleet -race -count=1
+
+# Seeded hijack-resistance smoke under the race detector: authenticated
+# fleet vs the full adversarial storm (E15) plus its clean twin, all
+# invariants checked. Reproduce a CI failure locally with the seed it
+# prints:
+#   ADV_SEED=<n> make adversary-smoke
+ADV_SEED ?= 1
+adversary-smoke:
+	@echo "adversarial storm (ADV_SEED=$(ADV_SEED))"
+	ADV_SEED=$(ADV_SEED) $(GO) test ./internal/experiments -race -count=1 -run 'TestAdversary'
 
 # Runtime determinism gate (scripts/determinismdiff.go): build
 # ./cmd/mob4x4 once, run every experiment twice per seed plus once under

@@ -41,6 +41,7 @@
 //	savings     shared-resource load per correspondent capability (§3.2)
 //	chaos       fault injection & self-healing soak (-trials N for more)
 //	fleet       fleet-scale handoff storm (-nodes N -cells K -model M)
+//	adversary   authenticated fleet vs attack storm (same flags as fleet)
 //	report      every experiment rendered as one markdown document
 //	all         every experiment in order
 package main
@@ -59,8 +60,8 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
-	parallel := flag.Int("parallel", 1, "worker goroutines for independent trials (grid/adaptive/durability/webbrowse/chaos/fleet)")
-	trials := flag.Int("trials", 1, "independent chaos/fleet trials (seeds seed..seed+N-1)")
+	parallel := flag.Int("parallel", 1, "worker goroutines for independent trials (grid/adaptive/durability/webbrowse/chaos/fleet/adversary)")
+	trials := flag.Int("trials", 1, "independent chaos/fleet/adversary trials (seeds seed..seed+N-1)")
 	nodes := flag.Int("nodes", 2000, "fleet: mobile node count")
 	cells := flag.Int("cells", 32, "fleet: visited cell count")
 	model := flag.String("model", "waypoint", "fleet: movement model (waypoint | markov)")
@@ -271,6 +272,30 @@ func main() {
 				}
 			}
 		},
+		"adversary": func(s int64) {
+			spec := experiments.AdversarySpec{Nodes: *nodes, Cells: *cells, Model: *model, Shards: *shards}
+			rows := experiments.RunAdversaryParallel(s, *trials, *parallel, spec)
+			fmt.Print(experiments.AdversaryTable(rows))
+			if wantMetrics {
+				for i := range rows {
+					r := &rows[i]
+					fmt.Printf("== adversary seed=%d (attacked run) ==\n", r.Attack.Seed)
+					if *metricsJSON {
+						os.Stdout.Write(r.Attack.Metrics.JSON())
+					} else if err := r.Attack.Metrics.WriteText(os.Stdout); err != nil {
+						fmt.Fprintf(os.Stderr, "mob4x4: write metrics: %v\n", err)
+						os.Exit(1)
+					}
+				}
+			}
+			for i := range rows {
+				if len(rows[i].Violations) > 0 {
+					fmt.Fprintf(os.Stderr, "mob4x4: adversary invariant violations (reproduce: mob4x4 -seed %d -nodes %d -cells %d -model %s adversary)\n",
+						rows[i].Attack.Seed, *nodes, *cells, *model)
+					os.Exit(1)
+				}
+			}
+		},
 		"report": func(s int64) {
 			fmt.Print(experiments.Report(s))
 		},
@@ -296,7 +321,7 @@ func main() {
 	}
 	fn(*seed)
 	switch name {
-	case "grid", "fig10", "chaos", "fleet":
+	case "grid", "fig10", "chaos", "fleet", "adversary":
 		// These print their own metrics form above.
 	default:
 		dumpCollector()

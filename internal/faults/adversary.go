@@ -1,0 +1,379 @@
+package faults
+
+import (
+	"encoding/binary"
+
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/mobileip"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/stack"
+	"mob4x4/internal/udp"
+	"mob4x4/internal/vtime"
+)
+
+// Adversarial fault actors: deterministic attackers for the E15
+// hijack-resistance experiment. Where the rest of this package models a
+// hostile *network* (loss, partitions, crashes), these model a hostile
+// *participant* — the threats DESIGN.md §11 says authenticated
+// registration must absorb:
+//
+//   - BindingThief forges registrations for victim mobile hosts, naming
+//     its own address as the care-of address. Against an authenticated
+//     home agent every forgery dies as auth_bad_mac; against a legacy
+//     one it steals the binding.
+//   - Replayer taps a segment, captures legitimate registration
+//     requests byte-for-byte, and re-emits them later. MACs verify (the
+//     bytes are genuine), so these probe the identification window:
+//     prompt re-emission dies as auth_replay, late re-emission as
+//     auth_stale_id.
+//   - RogueFA impersonates a foreign agent: it advertises, taps its
+//     segment like a relay would, and re-emits captured registrations
+//     with inflated lifetimes. The tamper breaks the MAC, so every
+//     relayed-and-modified message dies as auth_bad_mac.
+//
+// Determinism contract: actors make no random draws of their own — what
+// to attack and when is decided by the caller (the fleet derives both
+// from its seed) — and every capture hook copies what it keeps, per the
+// SetFaultHook no-retention rule. Counters are written only from events
+// on the owning host's shard.
+
+// Denials tallies the registration reply codes an actor's messages drew
+// — the attacker's own receipt trail. The fleet invariants cross-check
+// it against the actor's send counts: every attack message must come
+// back denied with the cause its kind predicts, and none may ever come
+// back accepted. Counting at the attacker (rather than only in the
+// metrics registry) keeps the attribution exact even when legitimate
+// traffic earns a reject of its own — a reordered in-flight
+// registration is rightly refused as stale, and must not be confused
+// with attack fallout.
+type Denials struct {
+	Accepted uint64 // attack messages the agent accepted (hijack-adjacent; must stay 0)
+	BadMAC   uint64 // CodeDeniedAuthFailed receipts
+	Replay   uint64 // CodeDeniedReplay receipts
+	Stale    uint64 // CodeDeniedStaleID receipts
+	Other    uint64 // any other code (none is expected)
+}
+
+// observe classifies one datagram arriving on an attacker's socket.
+func (d *Denials) observe(payload []byte) {
+	rep, _, _, ok := mobileip.ParseReply(payload)
+	if !ok {
+		return
+	}
+	switch rep.Code {
+	case mobileip.CodeAccepted:
+		d.Accepted++
+	case mobileip.CodeDeniedAuthFailed:
+		d.BadMAC++
+	case mobileip.CodeDeniedReplay:
+		d.Replay++
+	case mobileip.CodeDeniedStaleID:
+		d.Stale++
+	default:
+		d.Other++
+	}
+}
+
+// thiefIDBase puts forged identifications far above any vtime-derived
+// one (a day of vtime), so a legacy home agent's monotone-counter check
+// never saves it from the forgery.
+const thiefIDBase = uint64(1) << 40
+
+// forgedLifetime is the lifetime a thief asks for: long enough that a
+// stolen binding would outlive the trial.
+const forgedLifetime = 600
+
+// BindingThief forges registration requests for victim mobile hosts
+// from its own attachment point.
+type BindingThief struct {
+	host      *stack.Host
+	sock      *stack.UDPSocket
+	homeAgent ipv4.Addr
+
+	// Forged counts emitted forgeries; Denials the replies they drew.
+	// Owned by the thief's shard.
+	Forged  uint64
+	Denials Denials
+}
+
+// NewBindingThief attaches a thief to host, targeting the home agent at
+// homeAgent. Replies come back to the thief's socket and are tallied in
+// Denials.
+func NewBindingThief(host *stack.Host, homeAgent ipv4.Addr) (*BindingThief, error) {
+	t := &BindingThief{host: host, homeAgent: homeAgent}
+	sock, err := host.OpenUDP(ipv4.Zero, 0, func(_ ipv4.Addr, _ uint16, _ ipv4.Addr, payload []byte) {
+		t.Denials.observe(payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.sock = sock
+	return t, nil
+}
+
+// Host returns the attacker's host (for scheduling on its shard).
+func (t *BindingThief) Host() *stack.Host { return t.host }
+
+// Addr returns the thief's own address — the care-of address its
+// forgeries try to steal bindings to.
+func (t *BindingThief) Addr() ipv4.Addr { return t.host.FirstAddr() }
+
+// Forge emits one forged registration for victim, naming the thief's
+// address as the care-of address. With bogusExt the forgery carries a
+// syntactically valid authentication extension with a fabricated MAC
+// (the attacker holds no key), exercising the verify path rather than
+// the missing-extension path.
+func (t *BindingThief) Forge(victim ipv4.Addr, bogusExt bool) {
+	t.Forged++
+	req := mobileip.Request{
+		Lifetime:  forgedLifetime,
+		Home:      victim,
+		HomeAgent: t.homeAgent,
+		CareOf:    t.Addr(),
+		ID:        thiefIDBase + t.Forged,
+	}
+	buf := netsim.GetBuf()
+	b := req.AppendMarshal(buf.B)
+	if bogusExt {
+		ext := mobileip.AuthExt{SPI: 0xbad5eed}
+		for i := range ext.MAC {
+			ext.MAC[i] = 0xa5
+		}
+		b = ext.AppendMarshal(b)
+	}
+	_ = t.sock.SendToFrom(t.Addr(), t.homeAgent, udp.PortRegistration, b)
+	netsim.PutBuf(buf)
+}
+
+// Close releases the thief's socket.
+func (t *BindingThief) Close() { t.sock.Close() }
+
+// capture is one recorded registration request: the UDP payload bytes
+// (copied — the fault hook may not retain the frame's) plus where the
+// original was headed.
+type capture struct {
+	dst     ipv4.Addr
+	payload []byte
+}
+
+// registrationRequest extracts the UDP payload of a registration
+// request crossing a tapped segment, or ok=false for any other frame.
+// src and dst are the IP-level endpoints.
+func registrationRequest(f netsim.Frame) (src, dst ipv4.Addr, payload []byte, ok bool) {
+	if f.Type != netsim.EtherTypeIPv4 {
+		return src, dst, nil, false
+	}
+	pkt, err := ipv4.Unmarshal(f.Payload)
+	if err != nil || pkt.Protocol != ipv4.ProtoUDP || len(pkt.Payload) < udp.HeaderLen+1 {
+		return src, dst, nil, false
+	}
+	if binary.BigEndian.Uint16(pkt.Payload[2:4]) != udp.PortRegistration ||
+		pkt.Payload[udp.HeaderLen] != mobileip.TypeRegistrationRequest {
+		return src, dst, nil, false
+	}
+	return pkt.Src, pkt.Dst, pkt.Payload[udp.HeaderLen:], true
+}
+
+// Replayer captures legitimate registration requests off a segment and
+// re-emits them from its own address. The captured bytes are genuine,
+// so their MACs verify; what the re-emission probes is the replay
+// window. The hook passes every frame through untouched — a tap, not an
+// impairment.
+type Replayer struct {
+	host *stack.Host
+	sock *stack.UDPSocket
+	seg  *netsim.Segment
+	skip func(ipv4.Addr) bool
+	max  int
+	// delay is how long after each capture the prompt re-emission
+	// fires; zero disables prompt replays (capture only).
+	delay vtime.Duration
+	caps  []capture
+
+	// Captured and Replayed count captures and re-emissions; Denials
+	// the replies the re-emissions drew. Owned by the replayer's shard
+	// (which is the tapped segment's shard).
+	Captured uint64
+	Replayed uint64
+	Denials  Denials
+}
+
+// NewReplayer attaches a replayer to host, tapping seg. Sources for
+// which skip returns true (the other attackers, typically) are not
+// captured; at most maxCaptures requests are kept.
+func NewReplayer(host *stack.Host, seg *netsim.Segment, maxCaptures int, delay vtime.Duration, skip func(ipv4.Addr) bool) (*Replayer, error) {
+	r := &Replayer{host: host, seg: seg, skip: skip, max: maxCaptures, delay: delay}
+	sock, err := host.OpenUDP(ipv4.Zero, 0, func(_ ipv4.Addr, _ uint16, _ ipv4.Addr, payload []byte) {
+		r.Denials.observe(payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.sock = sock
+	return r, nil
+}
+
+// Host returns the attacker's host (for scheduling on its shard).
+func (r *Replayer) Host() *stack.Host { return r.host }
+
+// StartCapture installs the tap, replacing any previous fault hook on
+// the segment.
+func (r *Replayer) StartCapture() { r.seg.SetFaultHook(r.verdict) }
+
+// StopCapture removes the tap.
+func (r *Replayer) StopCapture() { r.seg.SetFaultHook(nil) }
+
+func (r *Replayer) verdict(f netsim.Frame) netsim.Impairment {
+	if len(r.caps) >= r.max {
+		return netsim.Impairment{}
+	}
+	src, dst, payload, ok := registrationRequest(f)
+	if !ok || (r.skip != nil && r.skip(src)) {
+		return netsim.Impairment{}
+	}
+	c := capture{dst: dst, payload: append([]byte(nil), payload...)}
+	r.caps = append(r.caps, c)
+	r.Captured++
+	if r.delay > 0 {
+		r.host.Sched().After(r.delay, func() { r.emit(c) })
+	}
+	return netsim.Impairment{}
+}
+
+// emit re-sends one capture from the replayer's own address. The reply
+// (a denial, against an authenticated agent) comes back here, not to
+// the victim.
+func (r *Replayer) emit(c capture) {
+	r.Replayed++
+	_ = r.sock.SendToFrom(r.host.FirstAddr(), c.dst, udp.PortRegistration, c.payload)
+}
+
+// ReplayCaptured re-emits the first n captures now (all of them if
+// fewer were taken) and returns how many it sent. Scheduled late in a
+// run, these land far behind the victims' advanced identification
+// windows: auth_stale_id.
+func (r *Replayer) ReplayCaptured(n int) int {
+	if n > len(r.caps) {
+		n = len(r.caps)
+	}
+	for i := 0; i < n; i++ {
+		r.emit(r.caps[i])
+	}
+	return n
+}
+
+// Close removes the tap and releases the socket.
+func (r *Replayer) Close() {
+	r.StopCapture()
+	r.sock.Close()
+}
+
+// rogueAdvLifetime is the visitor lifetime a rogue agent advertises.
+const rogueAdvLifetime = 60
+
+// lifetimeSkew is what the rogue adds to each relayed request's
+// lifetime field. The exact value is irrelevant: any change to a
+// covered byte invalidates the MAC.
+const lifetimeSkew = 911
+
+// RogueFA impersonates a foreign agent: it beacons agent
+// advertisements, taps its segment the way a relay sees traffic, and
+// re-emits captured registrations toward the home agent with inflated
+// lifetimes — the "helpful" relay that quietly rewrites what it
+// forwards.
+type RogueFA struct {
+	host      *stack.Host
+	sock      *stack.UDPSocket
+	seg       *netsim.Segment
+	homeAgent ipv4.Addr
+	skip      func(ipv4.Addr) bool
+	max       int
+	delay     vtime.Duration
+	count     int
+	seq       uint16
+
+	// Tampered counts re-emitted (modified) registrations; Beacons
+	// counts advertisements; Denials the replies the tampered relays
+	// drew. Owned by the rogue's shard.
+	Tampered uint64
+	Beacons  uint64
+	Denials  Denials
+}
+
+// NewRogueFA attaches a rogue agent to host, tapping seg and relaying
+// tampered captures to the home agent at homeAgent after delay. Sources
+// for which skip returns true are ignored; at most maxCaptures
+// requests are relayed.
+func NewRogueFA(host *stack.Host, seg *netsim.Segment, homeAgent ipv4.Addr, maxCaptures int, delay vtime.Duration, skip func(ipv4.Addr) bool) (*RogueFA, error) {
+	rg := &RogueFA{host: host, seg: seg, homeAgent: homeAgent, skip: skip, max: maxCaptures, delay: delay}
+	sock, err := host.OpenUDP(ipv4.Zero, 0, func(_ ipv4.Addr, _ uint16, _ ipv4.Addr, payload []byte) {
+		rg.Denials.observe(payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rg.sock = sock
+	return rg, nil
+}
+
+// Host returns the attacker's host (for scheduling on its shard).
+func (rg *RogueFA) Host() *stack.Host { return rg.host }
+
+// Addr returns the rogue agent's address.
+func (rg *RogueFA) Addr() ipv4.Addr { return rg.host.FirstAddr() }
+
+// StartRelay installs the tap, replacing any previous fault hook on the
+// segment.
+func (rg *RogueFA) StartRelay() { rg.seg.SetFaultHook(rg.verdict) }
+
+// StopRelay removes the tap.
+func (rg *RogueFA) StopRelay() { rg.seg.SetFaultHook(nil) }
+
+func (rg *RogueFA) verdict(f netsim.Frame) netsim.Impairment {
+	if rg.count >= rg.max {
+		return netsim.Impairment{}
+	}
+	src, _, payload, ok := registrationRequest(f)
+	if !ok || (rg.skip != nil && rg.skip(src)) {
+		return netsim.Impairment{}
+	}
+	// Copy (no-retention rule), then inflate the lifetime. Bytes 2..3 of
+	// a registration request are its lifetime field; the MAC, if any,
+	// covers them, so the modification is detectable — that is the
+	// point.
+	b := append([]byte(nil), payload...)
+	binary.BigEndian.PutUint16(b[2:4], binary.BigEndian.Uint16(b[2:4])+lifetimeSkew)
+	rg.count++
+	rg.host.Sched().After(rg.delay, func() { rg.relay(b) })
+	return netsim.Impairment{}
+}
+
+// relay sends one tampered capture to the home agent from the rogue's
+// own address, the way a real relay would forward it.
+func (rg *RogueFA) relay(b []byte) {
+	rg.Tampered++
+	_ = rg.sock.SendToFrom(rg.Addr(), rg.homeAgent, udp.PortRegistration, b)
+}
+
+// AdvertiseOnce broadcasts one foreign-agent advertisement, luring
+// zero-configuration visitors toward an agent that will tamper with
+// their registrations. Fleet nodes attach by explicit command and
+// ignore it; the beacon documents the lure and exercises the broadcast
+// path under attack.
+func (rg *RogueFA) AdvertiseOnce() {
+	rg.seq++
+	rg.Beacons++
+	adv := mobileip.Advertisement{
+		Agent:    rg.Addr(),
+		Flags:    mobileip.AdvFlagFA,
+		Lifetime: rogueAdvLifetime,
+		Sequence: rg.seq,
+	}
+	_ = rg.sock.SendToFrom(rg.Addr(), ipv4.Broadcast, mobileip.PortAgentAdvert, adv.Marshal())
+}
+
+// Close removes the tap and releases the socket.
+func (rg *RogueFA) Close() {
+	rg.StopRelay()
+	rg.sock.Close()
+}

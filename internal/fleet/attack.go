@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"mob4x4/internal/assert"
+	"mob4x4/internal/faults"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/mobileip"
+	"mob4x4/internal/vtime"
+)
+
+// The adversarial storm: fleet-side wiring for the faults package's
+// attack actors (binding thieves, replayer, rogue agents) plus the
+// hijack monitor that decides E15. Everything here is built before
+// routes are computed and scheduled before the run starts; during the
+// run each actor's events execute on its own region's shard, so the
+// attack adds no cross-shard traffic beyond the packets it sends.
+
+// attackRngBase offsets the attackers' rngFor streams past any node
+// index (rngFor streams are disjoint below one million).
+const attackRngBase = 500_000
+
+// maxCapturesPerActor bounds how many requests a tap keeps.
+const maxCapturesPerActor = 32
+
+// rogueTamperDelay is the lag between a rogue's capture and its
+// tampered re-emission — a relay that thinks before it rewrites.
+const rogueTamperDelay = 50 * millisecond
+
+// attackState holds the built adversarial actors and the hijack count.
+type attackState struct {
+	thieves   []*faults.BindingThief
+	replayers []*faults.Replayer
+	rogues    []*faults.RogueFA
+
+	// attackerAddrs marks every attacker source address. Written only
+	// during build; read-only during the run (taps on any shard consult
+	// it, which is safe precisely because nothing writes it anymore).
+	attackerAddrs map[ipv4.Addr]bool
+
+	// hijacks counts bindings that ever pointed at an attacker care-of
+	// address. Written only by the home agent's OnBind hook, i.e. on
+	// the hub shard.
+	hijacks uint64
+}
+
+// authKeyFor derives node idx's registration key from the fleet seed.
+// Deterministic and per-node distinct; the node's and the home agent's
+// authenticators are built from it separately, so no HMAC state is
+// shared across shards.
+func authKeyFor(seed int64, idx int) []byte {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], uint64(seed))
+	binary.BigEndian.PutUint64(b[8:], uint64(idx))
+	sum := sha256.Sum256(b[:])
+	return sum[:]
+}
+
+// authSPIFor names node idx's mobility security association.
+func authSPIFor(idx int) uint32 { return 0x4d4e_0000 + uint32(idx) }
+
+// buildAttackers constructs the adversarial hosts and actors. Called
+// from buildTopology after the home agent exists and before routes are
+// computed (the attackers need routes like anyone else). No-op unless
+// the storm is armed.
+func (f *Fleet) buildAttackers() {
+	if !f.Opts.Attack.Enabled {
+		return
+	}
+	a := f.Opts.Attack
+	n := f.Net
+	ak := &attackState{attackerAddrs: make(map[ipv4.Addr]bool)}
+	f.attack = ak
+	// skip filters attacker-sourced frames out of the taps: without it a
+	// tap would capture another actor's (or its own) emissions and the
+	// exact-attribution invariant would double-count.
+	skip := func(src ipv4.Addr) bool { return ak.attackerAddrs[src] }
+
+	for k := 0; k < a.Thieves; k++ {
+		c := k % f.Opts.Cells
+		n.SetBuildRegion(regionOf(c))
+		host := n.AddHost(fmt.Sprintf("thief%d", k), f.Cells[c].LAN)
+		th, err := faults.NewBindingThief(host, f.HA.Addr())
+		assert.NoError(err, "fleet: binding thief")
+		ak.attackerAddrs[th.Addr()] = true
+		ak.thieves = append(ak.thieves, th)
+	}
+	for k := 0; k < a.Rogues; k++ {
+		c := (2*k + 1) % f.Opts.Cells
+		n.SetBuildRegion(regionOf(c))
+		host := n.AddHost(fmt.Sprintf("rogue%d", k), f.Cells[c].LAN)
+		rg, err := faults.NewRogueFA(host, f.Cells[c].LAN.Seg, f.HA.Addr(),
+			maxCapturesPerActor, rogueTamperDelay, skip)
+		assert.NoError(err, "fleet: rogue agent")
+		ak.attackerAddrs[rg.Addr()] = true
+		ak.rogues = append(ak.rogues, rg)
+	}
+	for k := 0; k < a.Replayers; k++ {
+		n.SetBuildRegion(0)
+		host := n.AddHost(fmt.Sprintf("replayer%d", k), f.HomeLAN)
+		r, err := faults.NewReplayer(host, f.HomeLAN.Seg,
+			maxCapturesPerActor, a.ReplayDelay, skip)
+		assert.NoError(err, "fleet: replayer")
+		ak.attackerAddrs[r.Host().FirstAddr()] = true
+		ak.replayers = append(ak.replayers, r)
+	}
+	n.SetBuildRegion(0)
+
+	// The hijack monitor: fires on the hub shard for every binding the
+	// home agent installs. A single binding to an attacker care-of
+	// address is the failure E15 exists to rule out.
+	f.HA.OnBind = func(home, careOf ipv4.Addr) {
+		if ak.attackerAddrs[careOf] {
+			ak.hijacks++
+		}
+	}
+}
+
+// scheduleAttack lays the adversarial plan into the shard schedulers:
+// hub-side injector lines document the plan in the fault log, and each
+// actor's actions are scheduled on its own region's scheduler. Called
+// from Run before the workers start.
+func (f *Fleet) scheduleAttack(inj *faults.Injector, at func(vtime.Duration) vtime.Time) {
+	a := f.Opts.Attack
+	ak := f.attack
+
+	inj.At(at(a.ForgeAt), fmt.Sprintf("attack: %d thieves forge %d registrations over %v",
+		len(ak.thieves), len(ak.thieves)*a.ForgeCount, a.ForgeWindow), nil)
+	for k, th := range ak.thieves {
+		th := th
+		rng := rngFor(f.Opts.Seed, attackRngBase+k)
+		sched := th.Host().Sched()
+		for i := 0; i < a.ForgeCount; i++ {
+			victim := f.Nodes[rng.Intn(len(f.Nodes))].MN.Home()
+			off := a.ForgeAt + vtime.Duration(int64(a.ForgeWindow)*int64(i)/int64(a.ForgeCount))
+			off += vtime.Duration(rng.Int63n(int64(10 * millisecond)))
+			// Alternate between naked forgeries (no extension) and ones
+			// carrying a fabricated MAC, covering both denial paths.
+			bogus := i%2 == 1
+			sched.At(at(off), func() { th.Forge(victim, bogus) })
+		}
+	}
+
+	for _, r := range ak.replayers {
+		r := r
+		sched := r.Host().Sched()
+		inj.At(at(a.CaptureAt), fmt.Sprintf("attack: replayer taps home LAN for %v, prompt replay +%v",
+			a.CaptureFor, a.ReplayDelay), nil)
+		sched.At(at(a.CaptureAt), r.StartCapture)
+		sched.At(at(a.CaptureAt+a.CaptureFor), r.StopCapture)
+		inj.At(at(a.LateReplayAt), fmt.Sprintf("attack: late replay of up to %d captures", a.LateReplays), nil)
+		sched.At(at(a.LateReplayAt), func() { r.ReplayCaptured(a.LateReplays) })
+	}
+
+	for k, rg := range ak.rogues {
+		rg := rg
+		sched := rg.Host().Sched()
+		inj.At(at(a.CaptureAt), fmt.Sprintf("attack: rogue agent %d taps its cell for %v", k, a.CaptureFor), nil)
+		sched.At(at(a.CaptureAt), rg.StartRelay)
+		sched.At(at(a.CaptureAt+a.CaptureFor), rg.StopRelay)
+		// A few lure beacons across the window: fleet nodes attach by
+		// command and ignore them, but the broadcasts cross the cell
+		// under attack load.
+		for b := 0; b < 3; b++ {
+			off := a.CaptureAt + vtime.Duration(int64(a.CaptureFor)*int64(b)/3)
+			sched.At(at(off), rg.AdvertiseOnce)
+		}
+	}
+}
+
+// closeAttackers winds the actors down during cleanup: taps off,
+// sockets closed. Counters stay readable.
+func (f *Fleet) closeAttackers() {
+	if f.attack == nil {
+		return
+	}
+	for _, th := range f.attack.thieves {
+		th.Close()
+	}
+	for _, r := range f.attack.replayers {
+		r.Close()
+	}
+	for _, rg := range f.attack.rogues {
+		rg.Close()
+	}
+}
+
+// provisionAuth equips node idx with its authenticator and registers
+// the matching association at the home agent. Two authenticators are
+// built from the same key: the node's lives on whatever shard the node
+// roams to, the agent's on the hub, and neither shares HMAC state.
+func (f *Fleet) provisionAuth(idx int, home ipv4.Addr) *mobileip.Authenticator {
+	key := authKeyFor(f.Opts.Seed, idx)
+	spi := authSPIFor(idx)
+	f.HA.ProvisionKey(home, spi, key)
+	return mobileip.NewAuthenticator(spi, key)
+}

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"mob4x4/internal/netsim"
+)
+
+// advOpts arms the CI-sized fleet with authentication and the full
+// adversarial storm.
+func advOpts(seed int64) Options {
+	o := smallOpts(seed)
+	o.Auth = true
+	o.Attack.Enabled = true
+	return o
+}
+
+func TestFleetAdversaryInvariants(t *testing.T) {
+	outstanding := netsim.BufOutstanding()
+	r := New(advOpts(1)).Run()
+	for _, v := range r.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if got := netsim.BufOutstanding(); got != outstanding {
+		t.Errorf("pooled buffers outstanding drifted %d -> %d across the run", outstanding, got)
+	}
+	if r.Hijacks != 0 {
+		t.Fatalf("authenticated fleet lost %d bindings to attackers", r.Hijacks)
+	}
+	if r.Forged == 0 || r.Replayed == 0 || r.Tampered == 0 {
+		t.Fatalf("storm idle: forged=%d replayed=%d tampered=%d", r.Forged, r.Replayed, r.Tampered)
+	}
+	if r.AuthBadMACDrops == 0 || r.AuthReplayDrops == 0 || r.AuthStaleDrops == 0 {
+		t.Fatalf("reject causes not all exercised: bad_mac=%d replay=%d stale=%d",
+			r.AuthBadMACDrops, r.AuthReplayDrops, r.AuthStaleDrops)
+	}
+	if r.AttackAccepted != 0 {
+		t.Fatalf("%d attack messages got an acceptance reply", r.AttackAccepted)
+	}
+	if r.DeniedBadMAC != r.Forged+r.Tampered {
+		t.Fatalf("bad-MAC receipts %d != forged %d + tampered %d", r.DeniedBadMAC, r.Forged, r.Tampered)
+	}
+	if r.DeniedReplay+r.DeniedStale != r.Replayed {
+		t.Fatalf("replay %d + stale %d receipts != %d replayed", r.DeniedReplay, r.DeniedStale, r.Replayed)
+	}
+}
+
+// TestFleetAdversaryNegativeControl runs the same storm against an
+// unauthenticated fleet: the thieves must win (bindings hijacked),
+// which is the invariant that proves the attack — and therefore E15's
+// zero-hijack result — is real.
+func TestFleetAdversaryNegativeControl(t *testing.T) {
+	o := smallOpts(1)
+	o.Attack.Enabled = true
+	r := New(o).Run()
+	for _, v := range r.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if r.Hijacks == 0 {
+		t.Fatal("unauthenticated fleet under attack lost no binding; the storm is toothless")
+	}
+}
+
+// TestFleetAuthCleanRun checks the authenticated fleet without any
+// attack: the security machinery must be invisible — no auth rejects,
+// all the usual invariants.
+func TestFleetAuthCleanRun(t *testing.T) {
+	o := smallOpts(1)
+	o.Auth = true
+	r := New(o).Run()
+	for _, v := range r.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if n := r.AuthBadMACDrops + r.AuthReplayDrops + r.AuthStaleDrops; n != 0 {
+		t.Fatalf("clean authenticated run tripped %d auth rejects", n)
+	}
+}
+
+func TestFleetAdversaryDeterministicRepeat(t *testing.T) {
+	a := New(advOpts(7)).Run()
+	b := New(advOpts(7)).Run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, same options: adversary results differ")
+	}
+}
+
+func TestFleetAdversaryWorkerInvariant(t *testing.T) {
+	serial := New(advOpts(3)).Run()
+	opts := advOpts(3)
+	opts.Workers = 4
+	parallel := New(opts).Run()
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("adversary result depends on worker count")
+	}
+}

@@ -119,6 +119,41 @@ type Options struct {
 	MassMoveWindow vtime.Duration // ... jittered over this window (default 2s)
 	QuiesceFor     vtime.Duration // movement stops this long before EndAt (default 3s)
 	EndAt          vtime.Duration // measurement ends at (default 34s)
+
+	// Auth provisions a mobility security association per node: a key
+	// derived from (Seed, index) shared by the node and the home agent,
+	// HMAC authenticators on every registration message, and the home
+	// agent's sliding identification window (DESIGN.md §11).
+	Auth bool
+
+	// Attack arms the adversarial storm of E15: binding thieves, a
+	// replayer and rogue agents attacking the fleet mid-run.
+	Attack AttackOptions
+}
+
+// AttackOptions parameterizes the adversarial storm. The zero value of
+// any field selects the documented default; the whole storm is off
+// unless Enabled. Every window must clear the home-uplink partition
+// ([PartitionAt, PartitionAt+PartitionFor)) — attack traffic that dies
+// on a downed link is accounted as a partition drop, not an auth
+// reject, and the exact-attribution invariant would misfire.
+type AttackOptions struct {
+	Enabled bool
+
+	Thieves   int // binding thieves, thief k on cell k mod Cells (default 2)
+	Replayers int // home-LAN replayer; the LAN admits one tap (default 1, max 1)
+	Rogues    int // rogue agents, rogue k taps cell 2k+1 mod Cells (default 1, max Cells)
+
+	ForgeAt     vtime.Duration // thief forge storm starts (default 5s)
+	ForgeWindow vtime.Duration // ... and is spread over this window (default 5s)
+	ForgeCount  int            // forgeries per thief (default 20)
+
+	CaptureAt   vtime.Duration // replayer and rogue taps install (default 4s)
+	CaptureFor  vtime.Duration // ... and hold for this long (default 5s)
+	ReplayDelay vtime.Duration // prompt re-emission lag: auth_replay (default 250ms)
+
+	LateReplayAt vtime.Duration // stale re-emission burst: auth_stale_id (default 30s)
+	LateReplays  int            // captures re-emitted in the late burst (default 8)
 }
 
 // withDefaults fills unset fields.
@@ -170,6 +205,45 @@ func (o Options) withDefaults() Options {
 	}
 	if o.EndAt == 0 {
 		o.EndAt = 34 * second
+	}
+	if o.Attack.Enabled {
+		a := &o.Attack
+		if a.Thieves <= 0 {
+			a.Thieves = 2
+		}
+		if a.Replayers <= 0 || a.Replayers > 1 {
+			a.Replayers = 1
+		}
+		if a.Rogues <= 0 {
+			a.Rogues = 1
+		}
+		if a.Rogues > o.Cells {
+			a.Rogues = o.Cells
+		}
+		if a.ForgeAt == 0 {
+			a.ForgeAt = 5 * second
+		}
+		if a.ForgeWindow == 0 {
+			a.ForgeWindow = 5 * second
+		}
+		if a.ForgeCount <= 0 {
+			a.ForgeCount = 20
+		}
+		if a.CaptureAt == 0 {
+			a.CaptureAt = 4 * second
+		}
+		if a.CaptureFor == 0 {
+			a.CaptureFor = 5 * second
+		}
+		if a.ReplayDelay == 0 {
+			a.ReplayDelay = 250 * millisecond
+		}
+		if a.LateReplayAt == 0 {
+			a.LateReplayAt = 30 * second
+		}
+		if a.LateReplays <= 0 {
+			a.LateReplays = 8
+		}
 	}
 	return o
 }
@@ -272,6 +346,10 @@ type Fleet struct {
 
 	probeSrv *stack.UDPSocket
 	cancels  []func() // listeners/sockets to close during cleanup
+
+	// attack holds the adversarial actors when Opts.Attack.Enabled; nil
+	// otherwise, and every attack path is skipped.
+	attack *attackState
 }
 
 // regionOf maps a cell index to its region shard index.

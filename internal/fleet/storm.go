@@ -49,6 +49,27 @@ type Result struct {
 	FilterDrops uint64 // boundary-filter losses
 	NoDestDrops uint64 // frames to detached radios
 
+	// Adversarial storm accounting (zero unless Opts.Attack.Enabled).
+	// The Denied* receipts are reply codes tallied at the attackers'
+	// own sockets, so attack attribution stays exact even when
+	// legitimate traffic earns a (correct) reject of its own — e.g. a
+	// reordered in-flight registration refused as stale.
+	Forged         uint64 // registrations forged by binding thieves
+	Replayed       uint64 // captured registrations re-emitted by the replayer
+	Tampered       uint64 // captures re-emitted with inflated lifetimes
+	Hijacks        uint64 // bindings that ever pointed at an attacker care-of address
+	AttackAccepted uint64 // attack messages the home agent accepted (must stay 0)
+	DeniedBadMAC   uint64 // CodeDeniedAuthFailed receipts at the attackers
+	DeniedReplay   uint64 // CodeDeniedReplay receipts
+	DeniedStale    uint64 // CodeDeniedStaleID receipts
+
+	// Auth rejects from the shared drop-cause vector: the agents' view.
+	// Superset of the attacker receipts when legitimate traffic was
+	// reordered in flight.
+	AuthBadMACDrops uint64 // auth_bad_mac rejects
+	AuthReplayDrops uint64 // auth_replay rejects
+	AuthStaleDrops  uint64 // auth_stale_id rejects
+
 	FaultLog          []string
 	PendingAfterDrain int
 	Metrics           metrics.Snapshot
@@ -87,6 +108,12 @@ func (f *Fleet) Run() Result {
 	// The partition: home network unreachable mid-churn. The uplink is a
 	// hub-internal segment, so the fault runs entirely on the hub shard.
 	inj.CutLink(at(opts.PartitionAt), f.HomeUplink, opts.PartitionFor)
+
+	// The adversarial storm, when armed: forge/capture/replay windows
+	// placed around the partition, never inside it.
+	if f.attack != nil {
+		f.scheduleAttack(inj, at)
+	}
 
 	// The mass-move storm: every node commanded to move inside the
 	// window. The jitter is drawn per node now (setup, index order) so
@@ -157,6 +184,30 @@ func (f *Fleet) Run() Result {
 	res.BindingsAtEnd = f.HA.Bindings()
 	res.DownDrops = merged.DropCount(metrics.DropDown)
 	res.FilterDrops = merged.DropCount(metrics.DropFilter)
+	res.AuthBadMACDrops = merged.DropCount(metrics.DropAuthBadMAC)
+	res.AuthReplayDrops = merged.DropCount(metrics.DropAuthReplay)
+	res.AuthStaleDrops = merged.DropCount(metrics.DropAuthStaleID)
+	if f.attack != nil {
+		tally := func(d *faults.Denials) {
+			res.AttackAccepted += d.Accepted
+			res.DeniedBadMAC += d.BadMAC
+			res.DeniedReplay += d.Replay
+			res.DeniedStale += d.Stale
+		}
+		for _, th := range f.attack.thieves {
+			res.Forged += th.Forged
+			tally(&th.Denials)
+		}
+		for _, r := range f.attack.replayers {
+			res.Replayed += r.Replayed
+			tally(&r.Denials)
+		}
+		for _, rg := range f.attack.rogues {
+			res.Tampered += rg.Tampered
+			tally(&rg.Denials)
+		}
+		res.Hijacks = f.attack.hijacks
+	}
 	res.FaultLog = inj.Log()
 
 	// --- Cleanup: everything the run started must wind down.
@@ -177,6 +228,7 @@ func (f *Fleet) Run() Result {
 		c.kioskSrv.Close()
 	}
 	f.probeSrv.Close()
+	f.closeAttackers()
 	for _, cancel := range f.cancels {
 		cancel()
 	}
@@ -211,6 +263,70 @@ func (f *Fleet) mergedMetrics() *metrics.Registry {
 func (f *Fleet) invariants(r *Result) []string {
 	var v []string
 	bad := func(format string, args ...any) { v = append(v, fmt.Sprintf(format, args...)) }
+	if f.Opts.Attack.Enabled && !f.Opts.Auth {
+		// Negative control: an unauthenticated fleet under the same
+		// storm is EXPECTED to lose bindings — that it does is itself
+		// the invariant. The re-formation checks below would (rightly)
+		// fail here, so only the engine contract still applies.
+		if r.Hijacks == 0 {
+			bad("attack storm against an unauthenticated fleet stole no binding")
+		}
+		if r.PendingAfterDrain != 0 {
+			bad("%d scheduler events leaked after cleanup", r.PendingAfterDrain)
+		}
+		return v
+	}
+	if f.Opts.Attack.Enabled {
+		if r.Hijacks != 0 {
+			bad("%d bindings pointed at an attacker care-of address", r.Hijacks)
+		}
+		if r.AttackAccepted != 0 {
+			bad("home agent accepted %d attack messages", r.AttackAccepted)
+		}
+		if r.Forged == 0 || r.Replayed == 0 || r.Tampered == 0 {
+			bad("attack storm idle: forged=%d replayed=%d tampered=%d",
+				r.Forged, r.Replayed, r.Tampered)
+		}
+		// Exact attribution, checked at the attackers' own sockets:
+		// every attack message drew a denial with the cause its kind
+		// predicts. Forgeries and tampered relays carry unverifiable
+		// MACs; re-emitted genuine bytes die on the identification
+		// window, promptly as duplicates, late as stale.
+		if r.DeniedBadMAC != r.Forged+r.Tampered {
+			bad("attackers received %d bad-MAC denials for %d forged + %d tampered messages",
+				r.DeniedBadMAC, r.Forged, r.Tampered)
+		}
+		if r.DeniedReplay+r.DeniedStale != r.Replayed {
+			bad("replayer received %d replay + %d stale denials for %d replayed messages",
+				r.DeniedReplay, r.DeniedStale, r.Replayed)
+		}
+		if r.DeniedReplay == 0 {
+			bad("prompt replays drew no duplicate-identification denials")
+		}
+		if r.DeniedStale == 0 {
+			bad("late replays drew no stale-identification denials")
+		}
+		// The registry tells the same story: every receipt has its drop,
+		// with equality except where legitimate reordering adds rejects
+		// of its own (possible for replay/stale, impossible for MAC
+		// failures — honest parties always sign correctly).
+		if r.AuthBadMACDrops != r.DeniedBadMAC {
+			bad("auth_bad_mac drops %d != %d bad-MAC denials received", r.AuthBadMACDrops, r.DeniedBadMAC)
+		}
+		if r.AuthReplayDrops < r.DeniedReplay || r.AuthStaleDrops < r.DeniedStale {
+			bad("registry rejects (replay=%d stale=%d) below attacker receipts (replay=%d stale=%d)",
+				r.AuthReplayDrops, r.AuthStaleDrops, r.DeniedReplay, r.DeniedStale)
+		}
+	} else if f.Opts.Auth {
+		// Clean authenticated run: legitimate traffic must never fail a
+		// MAC check or duplicate an identification. Stale rejects are
+		// permitted — a reordered in-flight registration is rightly
+		// refused rather than rolled back onto a stale care-of address.
+		if r.AuthBadMACDrops != 0 || r.AuthReplayDrops != 0 {
+			bad("legitimate traffic tripped auth rejects: bad_mac=%d replay=%d",
+				r.AuthBadMACDrops, r.AuthReplayDrops)
+		}
+	}
 	if r.RegisteredAtEnd != r.Nodes {
 		bad("only %d/%d nodes hold a confirmed binding at end of run", r.RegisteredAtEnd, r.Nodes)
 	}

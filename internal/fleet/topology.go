@@ -121,9 +121,13 @@ func (f *Fleet) buildTopology() {
 		SendBindingNotices: true,
 		NoticeLifetime:     30,
 		ExpiryGranularity:  opts.ExpiryGranularity,
+		RequireAuth:        opts.Auth,
 	})
 	assert.NoError(err, "fleet: create home agent")
 	f.HA = ha
+
+	// Adversaries, when armed, are hosts like any other and need routes.
+	f.buildAttackers()
 
 	n.ComputeRoutes()
 
@@ -164,6 +168,11 @@ func (f *Fleet) buildNodes() {
 			sel.AddRule(core.Rule{Prefix: ipv4.PrefixFrom(f.chAware, 32), ForceMode: &de})
 		}
 
+		var auth *mobileip.Authenticator
+		if opts.Auth {
+			auth = f.provisionAuth(i, ifc.Addr())
+		}
+
 		mn, err := mobileip.NewMobileNode(host, ifc, mobileip.MobileNodeConfig{
 			Home:             ifc.Addr(),
 			HomePrefix:       f.HomeLAN.Prefix,
@@ -172,6 +181,7 @@ func (f *Fleet) buildNodes() {
 			RegProbeInterval: 4 * second,
 			Selector:         sel,
 			AnnouncePresence: class == clsKiosk,
+			Auth:             auth,
 		})
 		assert.NoError(err, "fleet: create mobile node")
 

@@ -46,6 +46,24 @@ func FuzzHeaderParse(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(fb)
+	// A UDP/434 registration request carrying an authentication
+	// extension (type 32, length 20, SPI, 16-byte MAC) — the datagram
+	// shape the adversarial fleet forges, replays, and tampers with.
+	reg := valid
+	reg.Payload = append(
+		[]byte{0x13, 0x88, 0x01, 0xb2, 0x00, 0x3a, 0x00, 0x00}, // UDP header, dst port 434
+		1, 0, 0x01, 0x2c, // request, lifetime 300
+		36, 1, 1, 3, 36, 1, 1, 2, 128, 9, 1, 4, // home, home agent, care-of
+		0, 0, 0xde, 0xad, 0xbe, 0xef, 0xca, 0xfe, // identification
+		32, 20, 0x4d, 0x4e, 0x00, 0x01, // auth ext header + SPI
+		0xa5, 0xa5, 0xa5, 0xa5, 0xa5, 0xa5, 0xa5, 0xa5,
+		0xa5, 0xa5, 0xa5, 0xa5, 0xa5, 0xa5, 0xa5, 0xa5, // MAC
+	)
+	rb, err := reg.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(rb)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := Unmarshal(data)

@@ -132,15 +132,28 @@ const (
 	DropFragNeeded
 	// DropARPExpired is a packet shed from the ARP pending queue.
 	DropARPExpired
+	// DropAuthBadMAC is a registration message rejected because its
+	// mobile-home authenticator was missing, malformed, or failed
+	// verification (forged or tampered message).
+	DropAuthBadMAC
+	// DropAuthReplay is a registration rejected because its
+	// identification was already accepted inside the replay window
+	// (an exact re-emission of a legitimate message).
+	DropAuthReplay
+	// DropAuthStaleID is a registration rejected because its
+	// identification fell behind the replay window entirely (an old
+	// message replayed after the window moved on).
+	DropAuthStaleID
 
 	// NumDropCauses closes the enum (mob4x4vet:modeswitch sentinel).
-	NumDropCauses = 15
+	NumDropCauses = 18
 )
 
 var dropCauseNames = [NumDropCauses]string{
 	"fault", "gilbert_elliott", "blackhole", "down", "mtu", "loss",
 	"no_dest", "filter", "ttl", "no_route", "no_arp", "malformed",
-	"no_proto", "frag_needed", "arp_expired",
+	"no_proto", "frag_needed", "arp_expired", "auth_bad_mac",
+	"auth_replay", "auth_stale_id",
 }
 
 // String returns the stable snake_case cause label used in snapshots.

@@ -81,6 +81,43 @@ func TestDropCauseNamesAndBounds(t *testing.T) {
 	}
 }
 
+// TestAuthDropCauses pins the registration plane's three authentication
+// rejection causes: their names are part of the metrics-dump format the
+// determinism gate compares, and each rejection class must stay
+// distinguishable end to end — counted apart, snapshot apart, merged
+// apart.
+func TestAuthDropCauses(t *testing.T) {
+	causes := []struct {
+		c    DropCause
+		name string
+	}{
+		{DropAuthBadMAC, "auth_bad_mac"},
+		{DropAuthReplay, "auth_replay"},
+		{DropAuthStaleID, "auth_stale_id"},
+	}
+	r := NewRegistry()
+	for i, tc := range causes {
+		if got := tc.c.String(); got != tc.name {
+			t.Errorf("cause %d stringifies as %q, want %q", tc.c, got, tc.name)
+		}
+		for j := 0; j <= i; j++ {
+			r.Drop(tc.c)
+		}
+	}
+	merged := NewRegistry()
+	merged.Merge(r)
+	merged.Merge(r)
+	s := merged.Snapshot()
+	for i, tc := range causes {
+		if got := r.DropCount(tc.c); got != uint64(i+1) {
+			t.Errorf("DropCount(%s) = %d, want %d", tc.name, got, i+1)
+		}
+		if got, ok := s.Counter("drop/" + tc.name); !ok || got != uint64(2*(i+1)) {
+			t.Errorf("merged snapshot drop/%s = %d,%v, want %d", tc.name, got, ok, 2*(i+1))
+		}
+	}
+}
+
 func TestSnapshotDeterministicAndSorted(t *testing.T) {
 	build := func() *Registry {
 		r := NewRegistry()

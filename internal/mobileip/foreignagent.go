@@ -5,6 +5,7 @@ import (
 
 	"mob4x4/internal/encap"
 	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
 	"mob4x4/internal/netsim"
 	"mob4x4/internal/stack"
 	"mob4x4/internal/udp"
@@ -27,6 +28,8 @@ type ForeignAgentStats struct {
 	Replies     uint64 // registration replies relayed back
 	Delivered   uint64 // decapsulated packets delivered to visitors
 	BadRequests uint64
+	AuthReplays uint64 // authenticated requests suppressed at the relay: duplicate ID
+	AuthStale   uint64 // authenticated requests suppressed at the relay: ID behind the window
 	Crashes     uint64
 	Restarts    uint64
 }
@@ -49,11 +52,20 @@ type ForeignAgent struct {
 
 	visitors map[ipv4.Addr]*visitor // keyed by home address
 
+	// windows holds a best-effort identification window per visiting
+	// home address, applied only to authenticated requests the agent
+	// relays. The agent holds no keys, so this is duplicate suppression,
+	// not authentication — see DESIGN.md §11 for what it does and does
+	// not defend. Soft state: lost on Crash, like the visitor table.
+	windows map[ipv4.Addr]*replayWindow
+
 	// crashed marks the agent as dead (visitor table lost, handlers
 	// inert) until Restart.
 	crashed bool
 
 	Stats ForeignAgentStats
+
+	reg *metrics.Registry
 }
 
 type visitor struct {
@@ -78,6 +90,8 @@ func NewForeignAgent(host *stack.Host, iface *stack.Iface, cfg ForeignAgentConfi
 		iface:    iface,
 		cfg:      cfg,
 		visitors: make(map[ipv4.Addr]*visitor),
+		windows:  make(map[ipv4.Addr]*replayWindow),
+		reg:      host.Sim().Metrics,
 	}
 	// A foreign agent routes on behalf of its visitors: their outgoing
 	// packets use it as the default gateway, so the host must forward.
@@ -116,6 +130,7 @@ func (fa *ForeignAgent) Crash() {
 		}
 	}
 	fa.visitors = make(map[ipv4.Addr]*visitor)
+	fa.windows = make(map[ipv4.Addr]*replayWindow)
 	fa.host.Sim().Trace.Record(netsim.Event{
 		Kind: netsim.EventNote, Time: fa.host.Sim().Now(), Where: fa.host.Name(),
 		Detail: "foreign agent crashed: visitor table lost",
@@ -150,15 +165,46 @@ func (fa *ForeignAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ip
 	}
 	switch payload[0] {
 	case TypeRegistrationRequest:
-		var m Request
-		if !m.Unmarshal(payload) {
+		m, _, hasAuth, ok := ParseRequest(payload)
+		if !ok {
 			fa.Stats.BadRequests++
 			return
 		}
-		// A visitor on our segment: substitute our address as the
-		// care-of address and relay to the home agent.
-		m.CareOf = fa.Addr()
-		m.Flags |= FlagViaForeignAgent
+		if hasAuth {
+			// An authenticated request must be relayed byte-for-byte:
+			// rewriting the care-of address would break a MAC the agent
+			// cannot recompute (the key lives at the MN and HA only).
+			// The visitor already set CareOf to our address and the
+			// via-FA flag before signing; anything else is malformed.
+			if m.CareOf != fa.Addr() || m.Flags&FlagViaForeignAgent == 0 {
+				fa.Stats.BadRequests++
+				return
+			}
+			// Best-effort duplicate suppression at the relay, keyed on
+			// the identification alone (unverifiable without the key):
+			// exact replays and far-stale IDs die one hop early instead
+			// of burdening the home uplink.
+			w := fa.windows[m.Home]
+			if w == nil {
+				w = &replayWindow{}
+				fa.windows[m.Home] = w
+			}
+			switch w.check(m.ID) {
+			case replayDuplicate:
+				fa.Stats.AuthReplays++
+				fa.reg.Drop(metrics.DropAuthReplay)
+				return
+			case replayStale:
+				fa.Stats.AuthStale++
+				fa.reg.Drop(metrics.DropAuthStaleID)
+				return
+			}
+		} else {
+			// Legacy visitor: substitute our address as the care-of
+			// address and relay to the home agent.
+			m.CareOf = fa.Addr()
+			m.Flags |= FlagViaForeignAgent
+		}
 		v := fa.visitors[m.Home]
 		if v == nil {
 			v = &visitor{}
@@ -177,13 +223,19 @@ func (fa *ForeignAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ip
 			delete(fa.visitors, home)
 		}
 		fa.Stats.Relayed++
+		if hasAuth {
+			// SendToFrom copies the payload synchronously, so relaying
+			// the received bytes directly is safe.
+			_ = fa.sock.SendToFrom(fa.Addr(), m.HomeAgent, udp.PortRegistration, payload)
+			return
+		}
 		// Relay from a pooled buffer; SendToFrom copies synchronously.
 		buf := netsim.GetBuf()
 		_ = fa.sock.SendToFrom(fa.Addr(), m.HomeAgent, udp.PortRegistration, m.AppendMarshal(buf.B))
 		netsim.PutBuf(buf)
 	case TypeRegistrationReply:
-		var m Reply
-		if !m.Unmarshal(payload) {
+		m, _, _, ok := ParseReply(payload)
+		if !ok {
 			fa.Stats.BadRequests++
 			return
 		}

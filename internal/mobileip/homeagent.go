@@ -30,6 +30,13 @@ type HomeAgentConfig struct {
 	// wheel (default 1s): a binding may outlive its exact lifetime by up
 	// to this much. See expiryWheel.
 	ExpiryGranularity vtime.Duration
+	// RequireAuth denies every registration that does not carry a valid
+	// mobile-home authenticator, even for homes with no provisioned key
+	// (those can never authenticate and are always refused). Without it,
+	// authentication is enforced per home address: provisioning a key
+	// (ProvisionKey) makes it mandatory for that home only, and
+	// unprovisioned homes keep the legacy trust-the-sender behavior.
+	RequireAuth bool
 }
 
 // HomeAgentStats counts agent activity.
@@ -42,9 +49,21 @@ type HomeAgentStats struct {
 	NoticesSent      uint64
 	BadRequests      uint64
 	StaleRequests    uint64
+	AuthBadMAC       uint64 // registrations denied: missing/forged/tampered authenticator
+	AuthReplays      uint64 // registrations denied: identification replayed inside the window
+	AuthStale        uint64 // registrations denied: identification behind the window
 	MulticastRelayed uint64
 	Crashes          uint64
 	Restarts         uint64
+}
+
+// authState is one provisioned mobility security association at the
+// agent: the shared-key authenticator plus the sliding identification
+// window. The key is configuration and survives Crash; the window is
+// soft state and dies with it.
+type authState struct {
+	auth   *Authenticator
+	window replayWindow
 }
 
 // HomeAgent is "a machine on the mobile host's home network that acts as a
@@ -74,14 +93,26 @@ type HomeAgent struct {
 	// hosts subscribed through this agent (Section 6.4 relay mode).
 	relayGroups map[ipv4.Addr][]ipv4.Addr
 
+	// auth holds the provisioned security associations, keyed by home
+	// address. The map is never iterated on a hot path; registration
+	// processing only does point lookups.
+	auth map[ipv4.Addr]*authState
+
 	// crashed marks the agent as dead: all handlers drop their input
 	// until Restart. Fault schedules use Crash/Restart to model agent
 	// power loss with binding-table loss.
 	crashed bool
 
+	// OnBind, when non-nil, observes every accepted (non-deregistration)
+	// registration after the binding lands in the table. E15's hijack
+	// monitor hangs here so "no binding ever pointed at an attacker
+	// care-of address" is checked at every install, not just at quiesce.
+	OnBind func(home, careOf ipv4.Addr)
+
 	Stats HomeAgentStats
 
 	// Metric instruments, resolved once at construction.
+	reg        *metrics.Registry
 	bindGauge  *metrics.Gauge
 	mForwarded *metrics.Counter
 	mReverse   *metrics.Counter
@@ -109,6 +140,7 @@ func NewHomeAgent(host *stack.Host, iface *stack.Iface, cfg HomeAgentConfig) (*H
 		cfg:        cfg,
 		bindings:   newBindingTable(),
 		wheel:      newExpiryWheel(cfg.ExpiryGranularity),
+		reg:        reg,
 		bindGauge:  reg.Gauge("ha/bindings"),
 		mForwarded: reg.Counter("ha/forwarded"),
 		mReverse:   reg.Counter("ha/reverse_relayed"),
@@ -167,6 +199,13 @@ func (ha *HomeAgent) Crash() {
 	ha.wheel.reset()
 	ha.bindGauge.Set(0)
 	ha.relayGroups = nil
+	// Keys are configuration and survive; replay windows are soft state
+	// and die with the crash (Restart's documented amnesty for in-flight
+	// identifications).
+	//mob4x4vet:allow mapiter per-key window resets touch disjoint state; order cannot leak
+	for _, st := range ha.auth {
+		st.window = replayWindow{}
+	}
 	ha.host.Sim().Trace.Record(netsim.Event{
 		Kind: netsim.EventNote, Time: ha.host.Sim().Now(), Where: ha.host.Name(),
 		Detail: "home agent crashed: bindings lost",
@@ -193,13 +232,25 @@ func (ha *HomeAgent) Restart() {
 // Crashed reports whether the agent is currently down.
 func (ha *HomeAgent) Crashed() bool { return ha.crashed }
 
+// ProvisionKey installs the mobility security association for a home
+// address: registrations for it must from now on carry a valid
+// authenticator under (spi, key), and replies to it are authenticated
+// with the same association. Provisioning is configuration, done at
+// build time; it survives Crash (the replay window does not).
+func (ha *HomeAgent) ProvisionKey(home ipv4.Addr, spi uint32, key []byte) {
+	if ha.auth == nil {
+		ha.auth = make(map[ipv4.Addr]*authState)
+	}
+	ha.auth[home] = &authState{auth: NewAuthenticator(spi, key)}
+}
+
 // handleRegistration serves UDP 434.
 func (ha *HomeAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte) {
 	if ha.crashed {
 		return
 	}
-	var req Request
-	if !req.Unmarshal(payload) {
+	req, _, hasAuth, ok := ParseRequest(payload)
+	if !ok {
 		ha.Stats.BadRequests++
 		return
 	}
@@ -210,6 +261,7 @@ func (ha *HomeAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ipv4.
 		HomeAgent: ha.Addr(),
 		ID:        req.ID,
 	}
+	st := ha.auth[req.Home]
 	switch {
 	case req.HomeAgent != ha.Addr():
 		reply.Code = CodeDeniedNotHomeAgent
@@ -217,36 +269,83 @@ func (ha *HomeAgent) handleRegistration(src ipv4.Addr, srcPort uint16, dst ipv4.
 		// We can only proxy for hosts that actually live on our
 		// home network segment.
 		reply.Code = CodeDeniedNotHomeAgent
+	case st != nil || ha.cfg.RequireAuth:
+		// Authenticated path: the MAC must verify and the
+		// identification must clear the replay window before the
+		// request is considered at all.
+		if code := ha.checkAuth(st, payload, hasAuth, req.ID); code != CodeAccepted {
+			reply.Code = code
+			break
+		}
+		ha.admit(&req, &reply)
 	case ha.isStale(&req):
-		// Replay protection: the identification must advance with
-		// every request for the binding ([Per96a] uses timestamps or
-		// nonces; the simulation's mobile nodes use a counter).
+		// Legacy replay protection for unprovisioned homes: the
+		// identification must advance with every request for the
+		// binding ([Per96a] uses timestamps or nonces; the
+		// simulation's mobile nodes use virtual-time stamps).
 		reply.Code = CodeDeniedStaleID
 		ha.Stats.StaleRequests++
-	case req.IsDeregistration():
-		ha.deregister(req.Home)
-		ha.Stats.Deregistrations++
 	default:
-		if ha.cfg.MaxBindings > 0 && ha.bindings.len() >= ha.cfg.MaxBindings {
-			if ha.bindings.get(req.Home) == nil {
-				reply.Code = CodeDeniedUnreachable
-			}
-		}
-		if reply.Code == CodeAccepted {
-			ha.register(&req)
-			ha.Stats.Registrations++
-		}
+		ha.admit(&req, &reply)
 	}
 	// Marshal into a pooled buffer: SendToFrom copies the payload into
 	// the datagram it builds before returning, so the buffer is recycled
 	// immediately and a renewal storm's replies cost zero allocations.
+	// Replies under a security association carry their own
+	// authenticator, so a rogue relay cannot tamper with the granted
+	// lifetime (or forge a denial) unnoticed.
 	buf := netsim.GetBuf()
 	rb := reply.AppendMarshal(buf.B)
+	if st != nil {
+		rb = st.auth.AppendAuth(rb)
+	}
 	if err := ha.sock.SendToFrom(ha.Addr(), src, srcPort, rb); err != nil {
 		// Reply undeliverable; the mobile host will retransmit.
 		_ = err
 	}
 	netsim.PutBuf(buf)
+}
+
+// checkAuth validates the authenticator and identification of a
+// registration on the authenticated path, counting every rejection in
+// both the agent stats and the unified drop-cause taxonomy. The replay
+// window only advances after the MAC verifies — advancing it on a
+// forgery would let an attacker burn identifications the real node
+// still needs.
+func (ha *HomeAgent) checkAuth(st *authState, payload []byte, hasAuth bool, id uint64) uint8 {
+	if st == nil || !hasAuth || !st.auth.Verify(payload) {
+		ha.Stats.AuthBadMAC++
+		ha.reg.Drop(metrics.DropAuthBadMAC)
+		return CodeDeniedAuthFailed
+	}
+	switch st.window.check(id) {
+	case replayDuplicate:
+		ha.Stats.AuthReplays++
+		ha.reg.Drop(metrics.DropAuthReplay)
+		return CodeDeniedReplay
+	case replayStale:
+		ha.Stats.AuthStale++
+		ha.reg.Drop(metrics.DropAuthStaleID)
+		return CodeDeniedStaleID
+	}
+	return CodeAccepted
+}
+
+// admit is the tail every accepted-so-far request goes through:
+// deregistration, capacity check, then registration.
+func (ha *HomeAgent) admit(req *Request, reply *Reply) {
+	if req.IsDeregistration() {
+		ha.deregister(req.Home)
+		ha.Stats.Deregistrations++
+		return
+	}
+	if ha.cfg.MaxBindings > 0 && ha.bindings.len() >= ha.cfg.MaxBindings &&
+		ha.bindings.get(req.Home) == nil {
+		reply.Code = CodeDeniedUnreachable
+		return
+	}
+	ha.register(req)
+	ha.Stats.Registrations++
 }
 
 // isStale reports whether the request's identification fails to advance
@@ -294,6 +393,9 @@ func (ha *HomeAgent) register(req *Request) {
 		Kind: netsim.EventRegister, Time: ha.host.Sim().Now(), Where: ha.host.Name(),
 		Detail: detail,
 	})
+	if ha.OnBind != nil {
+		ha.OnBind(req.Home, req.CareOf)
+	}
 }
 
 // sweepExpiries is the wheel timer's callback: expire every binding in

@@ -56,6 +56,7 @@ type worldOpts struct {
 	notices     bool // HA sends binding notices
 	chAware     bool // correspondents are fully mobile-aware
 	chDecap     bool // correspondents can decapsulate (Out-DE target)
+	auth        bool // provision the MH's mobility security association
 	codec       encap.Codec
 	selector    *core.Selector
 
@@ -112,8 +113,15 @@ func buildWorld(t testing.TB, opts worldOpts) *world {
 		t.Fatalf("NewHomeAgent: %v", err)
 	}
 
+	var auth *mobileip.Authenticator
+	if opts.auth {
+		w.ha.ProvisionKey(w.mhIfc.Addr(), testSPI, testKey)
+		auth = mobileip.NewAuthenticator(testSPI, testKey)
+	}
+
 	w.mhICMP = icmphost.Install(w.mhHost)
 	w.mn, err = mobileip.NewMobileNode(w.mhHost, w.mhIfc, mobileip.MobileNodeConfig{
+		Auth:             auth,
 		Home:             w.mhIfc.Addr(),
 		HomePrefix:       w.homeLAN.Prefix,
 		HomeAgent:        w.haHost.Ifaces()[0].Addr(),

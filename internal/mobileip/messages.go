@@ -27,12 +27,17 @@ const (
 	TypeRegistrationReply   uint8 = 3
 )
 
-// Registration reply codes.
+// Registration reply codes. The three denial codes the authenticated
+// path can return map one-to-one onto the metrics drop causes
+// auth_bad_mac / auth_replay / auth_stale_id, so a reply trace and a
+// metrics dump tell the same story.
 const (
 	CodeAccepted           uint8 = 0
 	CodeDeniedUnreachable  uint8 = 64 // reason unspecified / delivery failure
 	CodeDeniedBadRequest   uint8 = 70
-	CodeDeniedStaleID      uint8 = 133 // identification mismatch (replayed/old request)
+	CodeDeniedAuthFailed   uint8 = 131 // authenticator missing, malformed, or MAC mismatch
+	CodeDeniedStaleID      uint8 = 133 // identification behind the replay window (or legacy counter)
+	CodeDeniedReplay       uint8 = 134 // identification already accepted inside the replay window
 	CodeDeniedNotHomeAgent uint8 = 136 // we are not a home agent for this host
 )
 
@@ -85,9 +90,13 @@ func (r *Request) AppendMarshal(dst []byte) []byte {
 
 // Unmarshal decodes a registration request in place, without the
 // interface boxing of ParseMessage. It reports whether b held a
-// well-formed request.
+// well-formed request. Exactly requestLen bytes are required: a message
+// that may carry a trailing authentication extension goes through
+// ParseRequest instead. (The old `len(b) < requestLen` minimum silently
+// accepted trailing garbage, which would have left bytes on the wire
+// that no authenticator covers.)
 func (r *Request) Unmarshal(b []byte) bool {
-	if len(b) < requestLen || b[0] != TypeRegistrationRequest {
+	if len(b) != requestLen || b[0] != TypeRegistrationRequest {
 		return false
 	}
 	r.Flags = b[1]
@@ -130,9 +139,10 @@ func (r *Reply) AppendMarshal(dst []byte) []byte {
 	return dst
 }
 
-// Unmarshal decodes a registration reply in place; see Request.Unmarshal.
+// Unmarshal decodes a registration reply in place; see Request.Unmarshal
+// for the strict-length contract.
 func (r *Reply) Unmarshal(b []byte) bool {
-	if len(b) < replyLen || b[0] != TypeRegistrationReply {
+	if len(b) != replyLen || b[0] != TypeRegistrationReply {
 		return false
 	}
 	r.Code = b[1]
@@ -143,37 +153,70 @@ func (r *Reply) Unmarshal(b []byte) bool {
 	return true
 }
 
+// ParseRequest decodes a registration datagram that may carry a trailing
+// authentication extension. ok is true only for exactly requestLen bytes
+// (hasAuth false) or requestLen+authExtLen bytes with a well-formed
+// extension (hasAuth true) — anything truncated, oversized, or carrying
+// a malformed extension is rejected whole, so an accepted message's MAC
+// provably covers every byte that arrived.
+func ParseRequest(b []byte) (r Request, ext AuthExt, hasAuth bool, ok bool) {
+	switch len(b) {
+	case requestLen:
+	case requestLen + authExtLen:
+		if !ext.Unmarshal(b[requestLen:]) {
+			return r, ext, false, false
+		}
+		hasAuth = true
+	default:
+		return r, ext, false, false
+	}
+	if !r.Unmarshal(b[:requestLen]) {
+		return r, ext, false, false
+	}
+	return r, ext, hasAuth, true
+}
+
+// ParseReply is ParseRequest's counterpart for replies: replies from an
+// agent holding the mobility security association are authenticated too,
+// so a rogue relay cannot tamper with granted lifetimes unnoticed.
+func ParseReply(b []byte) (r Reply, ext AuthExt, hasAuth bool, ok bool) {
+	switch len(b) {
+	case replyLen:
+	case replyLen + authExtLen:
+		if !ext.Unmarshal(b[replyLen:]) {
+			return r, ext, false, false
+		}
+		hasAuth = true
+	default:
+		return r, ext, false, false
+	}
+	if !r.Unmarshal(b[:replyLen]) {
+		return r, ext, false, false
+	}
+	return r, ext, hasAuth, true
+}
+
 // ParseMessage decodes a registration datagram into *Request or *Reply.
+// Messages with a well-formed authentication extension parse to their
+// base message; trailing bytes that are not a well-formed extension are
+// an error.
 func ParseMessage(b []byte) (any, error) {
 	if len(b) < 1 {
 		return nil, fmt.Errorf("mobileip: empty message")
 	}
 	switch b[0] {
 	case TypeRegistrationRequest:
-		if len(b) < requestLen {
-			return nil, fmt.Errorf("mobileip: truncated request (%d bytes)", len(b))
+		r, _, _, ok := ParseRequest(b)
+		if !ok {
+			return nil, fmt.Errorf("mobileip: malformed request (%d bytes)", len(b))
 		}
-		r := &Request{
-			Flags:    b[1],
-			Lifetime: binary.BigEndian.Uint16(b[2:]),
-			ID:       binary.BigEndian.Uint64(b[16:]),
-		}
-		copy(r.Home[:], b[4:8])
-		copy(r.HomeAgent[:], b[8:12])
-		copy(r.CareOf[:], b[12:16])
-		return r, nil
+		return &r, nil
 	case TypeRegistrationReply:
-		if len(b) < replyLen {
-			return nil, fmt.Errorf("mobileip: truncated reply (%d bytes)", len(b))
+		r, _, _, ok := ParseReply(b)
+		if !ok {
+			return nil, fmt.Errorf("mobileip: malformed reply (%d bytes)", len(b))
 		}
-		r := &Reply{
-			Code:     b[1],
-			Lifetime: binary.BigEndian.Uint16(b[2:]),
-			ID:       binary.BigEndian.Uint64(b[12:]),
-		}
-		copy(r.Home[:], b[4:8])
-		copy(r.HomeAgent[:], b[8:12])
-		return r, nil
+		return &r, nil
 	default:
 		return nil, fmt.Errorf("mobileip: unknown message type %d", b[0])
 	}

@@ -65,6 +65,51 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestUnmarshalRejectsTrailingBytes is the regression test for the old
+// `len(b) < requestLen` minimum, which silently accepted trailing
+// garbage — bytes on the wire no authenticator covers. The strict
+// contract: exactly the base message, or exactly base plus a well-formed
+// authentication extension; anything else is rejected whole.
+func TestUnmarshalRejectsTrailingBytes(t *testing.T) {
+	req := Request{Lifetime: 300, Home: ipv4.MustParseAddr("36.1.1.3"), ID: 9}
+	rb := req.Marshal()
+	var r2 Request
+	if r2.Unmarshal(append(rb, 0)) {
+		t.Error("request Unmarshal accepted one trailing byte")
+	}
+	if _, _, _, ok := ParseRequest(append(rb, 0)); ok {
+		t.Error("ParseRequest accepted one trailing byte")
+	}
+	if _, err := ParseMessage(append(rb, 0)); err == nil {
+		t.Error("ParseMessage accepted a request with a trailing byte")
+	}
+	// Padding out to exactly base+extension length is not enough: the
+	// trailing bytes must be a well-formed extension.
+	padded := append(rb, make([]byte, authExtLen)...)
+	if _, _, _, ok := ParseRequest(padded); ok {
+		t.Error("ParseRequest accepted zero padding as an extension")
+	}
+
+	rep := Reply{Code: CodeAccepted, Lifetime: 300, Home: req.Home, ID: 9}
+	pb := rep.Marshal()
+	var p2 Reply
+	if p2.Unmarshal(append(pb, 0)) {
+		t.Error("reply Unmarshal accepted one trailing byte")
+	}
+	if _, _, _, ok := ParseReply(append(pb, 0)); ok {
+		t.Error("ParseReply accepted one trailing byte")
+	}
+
+	// The valid signed forms still parse, with hasAuth set.
+	auth := NewAuthenticator(1, []byte("k"))
+	if _, _, hasAuth, ok := ParseRequest(auth.AppendAuth(req.Marshal())); !ok || !hasAuth {
+		t.Errorf("signed request: hasAuth=%v ok=%v, want true/true", hasAuth, ok)
+	}
+	if _, _, hasAuth, ok := ParseReply(auth.AppendAuth(rep.Marshal())); !ok || !hasAuth {
+		t.Errorf("signed reply: hasAuth=%v ok=%v, want true/true", hasAuth, ok)
+	}
+}
+
 func TestIsDeregistration(t *testing.T) {
 	r := Request{Lifetime: 0}
 	if !r.IsDeregistration() {

@@ -57,6 +57,14 @@ type MobileNodeConfig struct {
 	AnnouncePresence bool
 	// ReverseTunnelFlag is advertised in registrations.
 	ReverseTunnelFlag bool
+	// Auth, when non-nil, is the node's mobility security association:
+	// every registration carries the mobile-home authentication
+	// extension computed with it, and replies must carry a valid one
+	// back — a reply that fails verification (a rogue relay tampering
+	// with the lifetime, or an outright forgery) is dropped and counted
+	// under auth_bad_mac. The same (SPI, key) pair must be provisioned
+	// at the home agent (HomeAgent.ProvisionKey).
+	Auth *Authenticator
 }
 
 // MobileNodeStats counts mobility events and per-mode traffic.
@@ -432,8 +440,22 @@ func (mn *MobileNode) startExchange() {
 	mn.armRegRetry()
 }
 
+// nextRegID returns a fresh identification for an outgoing request: the
+// current virtual time in nanoseconds, forced strictly monotone per node
+// ([Per96a]'s timestamp-style identification). Monotonicity is what the
+// agent-side replay window orders by; the vtime base means the IDs of a
+// replayed old message fall behind the window (auth_stale_id) rather
+// than merely colliding with it.
+func (mn *MobileNode) nextRegID() uint64 {
+	id := uint64(mn.host.Sim().Now())
+	if id <= mn.regID {
+		id = mn.regID + 1
+	}
+	mn.regID = id
+	return id
+}
+
 func (mn *MobileNode) sendRegistration(lifetime uint16, careOf ipv4.Addr) {
-	mn.regID++
 	var flags uint8
 	if mn.cfg.ReverseTunnelFlag {
 		flags |= FlagReverseTunnel
@@ -444,15 +466,20 @@ func (mn *MobileNode) sendRegistration(lifetime uint16, careOf ipv4.Addr) {
 		Home:      mn.cfg.Home,
 		HomeAgent: mn.cfg.HomeAgent,
 		CareOf:    careOf,
-		ID:        mn.regID,
+		ID:        mn.nextRegID(),
 	}
 	if mn.viaFA {
 		req.Flags |= FlagViaForeignAgent
 	}
 	// Marshal into a pooled buffer: SendToFrom copies the payload before
 	// returning, so a renewal storm's requests cost zero allocations.
+	// The authenticator is computed into the same pooled buffer with the
+	// association's preallocated HMAC state — still zero allocations.
 	buf := netsim.GetBuf()
 	rb := req.AppendMarshal(buf.B)
+	if mn.cfg.Auth != nil {
+		rb = mn.cfg.Auth.AppendAuth(rb)
+	}
 	if mn.viaFA {
 		// Via a foreign agent: the request goes to the agent (one
 		// link-layer hop) from the home address; the agent substitutes
@@ -553,11 +580,26 @@ func (mn *MobileNode) onRenew() {
 }
 
 func (mn *MobileNode) handleRegistrationReply(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte) {
-	var rep Reply
-	if !rep.Unmarshal(payload) {
+	rep, _, hasAuth, ok := ParseReply(payload)
+	if !ok {
+		return
+	}
+	if mn.cfg.Auth != nil && (!hasAuth || !mn.cfg.Auth.Verify(payload)) {
+		// Under a security association every reply must authenticate:
+		// this is what catches a rogue relay re-writing lifetimes (the
+		// MAC covers them) or forging denials.
+		mn.reg.Drop(metrics.DropAuthBadMAC)
 		return
 	}
 	if rep.ID != mn.regID || rep.Home != mn.cfg.Home {
+		return
+	}
+	if !mn.awaitingReply {
+		// The exchange this reply answers is already settled: a network
+		// duplicate, or the agent's denial of a replayed copy of our
+		// request spoofed back at us. Either way there is nothing to
+		// update, and counting it as a fresh failure would let a
+		// replayer pollute the node's registration stats.
 		return
 	}
 	if rep.Code != CodeAccepted {

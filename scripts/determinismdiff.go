@@ -64,6 +64,7 @@ var detExperiments = []detExperiment{
 	{name: "savings", args: []string{"-metrics-json"}},
 	{name: "chaos", args: []string{"-trials", "2", "-metrics-json"}, parallelOK: true, shardsOK: true},
 	{name: "fleet", args: []string{"-nodes", "60", "-cells", "6", "-trials", "2", "-metrics-json"}, parallelOK: true, shardsOK: true},
+	{name: "adversary", args: []string{"-nodes", "60", "-cells", "6", "-trials", "2", "-metrics-json"}, parallelOK: true, shardsOK: true},
 	{name: "report"},
 }
 
