@@ -14,7 +14,7 @@ FUZZ_TARGETS = \
 	./internal/encap:FuzzEncapRoundTrip \
 	./internal/mobileip:FuzzAuthExtension
 
-.PHONY: check build vet lint test race fuzz-smoke bench benchgate chaos-smoke fleet-smoke adversary-smoke cover determinism
+.PHONY: check build vet lint test race fuzz-smoke bench benchgate chaos-smoke fleet-smoke adversary-smoke facade-smoke cover determinism
 
 check: build vet lint test
 
@@ -41,6 +41,7 @@ race:
 	$(MAKE) chaos-smoke
 	$(MAKE) fleet-smoke
 	$(MAKE) adversary-smoke
+	$(MAKE) facade-smoke
 
 # Run the full benchmark suite and record it as BENCH_<date>.json.
 # Promote a run to the regression gate with:
@@ -61,7 +62,7 @@ benchgate:
 # measured baseline (90.9% at the time of writing) by a small buffer;
 # raise it as coverage grows, never lower it to admit a regression.
 COVER_FLOOR ?= 88.0
-COVER_PKG_FLOORS ?= mob4x4/internal/fleet=90.0
+COVER_PKG_FLOORS ?= mob4x4/internal/fleet=90.0,mob4x4/internal/sock=90.0,mob4x4/internal/pcap=90.0
 cover:
 	$(GO) test -coverprofile=/tmp/mob4x4_cover.out ./internal/...
 	$(GO) run ./scripts -cover /tmp/mob4x4_cover.out -cover-floor $(COVER_FLOOR) -cover-pkg-floor $(COVER_PKG_FLOORS)
@@ -94,6 +95,16 @@ ADV_SEED ?= 1
 adversary-smoke:
 	@echo "adversarial storm (ADV_SEED=$(ADV_SEED))"
 	ADV_SEED=$(ADV_SEED) $(GO) test ./internal/experiments -race -count=1 -run 'TestAdversary'
+
+# Socket-facade smoke under the race detector: the stdlib-style conn
+# conformance suite (TCP- and UDP-backed), net/http and DNS over the
+# facade, and the E16 httpgrid capture-determinism assertions. These are
+# the tests where real application goroutines drive the virtual clock.
+facade-smoke:
+	@echo "socket facade conformance + capture determinism"
+	$(GO) test ./internal/sock -race -count=1
+	$(GO) test ./internal/pcap -race -count=1
+	$(GO) test ./internal/experiments -race -count=1 -run 'TestHTTPGrid|TestWriteCaptures'
 
 # Runtime determinism gate (scripts/determinismdiff.go): build
 # ./cmd/mob4x4 once, run every experiment twice per seed plus once under

@@ -5,13 +5,15 @@
 // Usage:
 //
 //	mob4x4 [-seed N] [-parallel N] [-shards N] [-metrics | -metrics-json]
-//	       [-cpuprofile FILE] [-memprofile FILE] <experiment>
+//	       [-pcap DIR] [-cpuprofile FILE] [-memprofile FILE] <experiment>
 //
 // Flags may also follow the experiment name (mob4x4 fig10 -metrics).
 // -parallel runs independent trials concurrently; -shards parallelizes
 // the region shards inside each fleet trial (both byte-identical for any
-// value, and freely combined). -cpuprofile/-memprofile write pprof
-// profiles for the run.
+// value, and freely combined). -pcap writes the packet captures of
+// capture-aware experiments (httpgrid) into the given directory as
+// classic .pcap files. -cpuprofile/-memprofile write pprof profiles for
+// the run.
 // With -metrics (text) or -metrics-json, the run's metrics registries
 // are dumped after the experiment output; grid/fig10 instead emit the
 // machine-readable 4x4 grid report (deterministic JSON, byte-identical
@@ -36,6 +38,8 @@
 //	transitions correspondent-side mode transitions (Section 7.2)
 //	multicast   local group join vs home-agent relay (Section 6.4)
 //	trace       traceroute to the home address, at home vs roamed
+//	httpgrid    unmodified net/http + DNS over the socket facade in all
+//	            16 (Out,In) pairs, with per-cell pcap capture hashes
 //	dualmobile  both endpoints mobile, session survives both roaming (§1)
 //	asymmetry   latency/bandwidth asymmetry of the two path directions (§2)
 //	savings     shared-resource load per correspondent capability (§3.2)
@@ -68,6 +72,7 @@ func main() {
 	shards := flag.Int("shards", 1, "fleet: worker goroutines driving the region shards inside one trial (output is byte-identical for any value; other experiments accept and ignore it)")
 	metricsText := flag.Bool("metrics", false, "dump metrics after the experiment (grid/fig10: the machine-readable 4x4 report)")
 	metricsJSON := flag.Bool("metrics-json", false, "like -metrics, as JSON")
+	pcapDir := flag.String("pcap", "", "write capture-aware experiments' packet captures into `dir` (httpgrid)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to `file`")
 	flag.Usage = func() {
@@ -127,6 +132,23 @@ func main() {
 	if wantMetrics {
 		experiments.SetCollector(&coll)
 	}
+	if *pcapDir != "" {
+		experiments.SetCaptureDir(*pcapDir)
+	}
+	// Capture files land after the experiment; the note goes to stderr so
+	// stdout stays byte-comparable across runs.
+	writeCaptures := func() {
+		if *pcapDir == "" {
+			return
+		}
+		n, err := experiments.WriteCaptures()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mob4x4: write captures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mob4x4: wrote %d capture(s) to %s\n", n, *pcapDir)
+	}
+	defer writeCaptures()
 	dumpCollector := func() {
 		if *metricsJSON {
 			b, err := json.MarshalIndent(coll.Snapshots(), "", "  ")
@@ -212,6 +234,9 @@ func main() {
 		},
 		"trace": func(s int64) {
 			fmt.Print(experiments.TraceTable(experiments.RunTraceroutes(s)))
+		},
+		"httpgrid": func(s int64) {
+			fmt.Print(experiments.HTTPGridTable(experiments.RunHTTPGridParallel(s, *parallel)))
 		},
 		"dualmobile": func(s int64) {
 			fmt.Print(experiments.RunDualMobile(s).String())
@@ -303,7 +328,7 @@ func main() {
 	run["fig10"] = run["grid"]
 	order := []string{"fig1", "fig2", "fig4", "fig5", "formats", "grid", "overhead",
 		"adaptive", "durability", "webbrowse", "fa", "transitions", "multicast", "trace",
-		"dualmobile", "asymmetry", "savings", "chaos"}
+		"httpgrid", "dualmobile", "asymmetry", "savings", "chaos"}
 
 	if name == "all" {
 		for _, exp := range order {

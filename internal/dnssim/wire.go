@@ -1,0 +1,30 @@
+package dnssim
+
+import "fmt"
+
+// MarshalQuery builds the wire form of a plain A/CA query for name, for
+// clients that speak the protocol over their own transport (the sock
+// facade's PacketConn) instead of through Resolver's callback machinery.
+// The id is echoed in the response; match it with ParseResponse.
+func MarshalQuery(id uint16, name string) ([]byte, error) {
+	if len(name) > maxNameLen {
+		return nil, fmt.Errorf("dnssim: name too long (%d bytes, max %d)", len(name), maxNameLen)
+	}
+	m := message{id: id, op: opQuery, name: name}
+	return m.marshal(), nil
+}
+
+// ParseResponse decodes a server response produced for MarshalQuery's
+// query: the echoed id, the queried name and the records (empty when
+// the name is unknown). Non-response messages are rejected so a client
+// sharing a socket with other traffic can discard them.
+func ParseResponse(b []byte) (id uint16, name string, recs []Record, err error) {
+	m, err := parseMessage(b)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if !m.response {
+		return 0, "", nil, fmt.Errorf("dnssim: not a response")
+	}
+	return m.id, m.name, m.records, nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"mob4x4/internal/pcap"
+)
+
+// Capture registry: experiments that tap the NIC boundary (httpgrid)
+// register their per-scenario writers here, and cmd/mob4x4's -pcap flag
+// names the directory they are written to after the run. Registration is
+// guarded because the parallel cell runners register concurrently; the
+// bytes inside each writer are a pure function of (seed, cell) and never
+// depend on worker count.
+var (
+	captureMu  sync.Mutex
+	captureDir string
+	captures   map[string]*pcap.Writer
+)
+
+// SetCaptureDir enables capture collection into dir for all subsequently
+// run capture-aware experiments (empty disables and drops anything
+// collected). Not safe to call concurrently with a running experiment.
+func SetCaptureDir(dir string) {
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	captureDir = dir
+	captures = nil
+	if dir != "" {
+		captures = make(map[string]*pcap.Writer)
+	}
+}
+
+// registerCapture records a finished writer under label when collection
+// is enabled. Later registrations under the same label win (labels are
+// unique per run in practice).
+func registerCapture(label string, w *pcap.Writer) {
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	if captures != nil {
+		captures[label] = w
+	}
+}
+
+// WriteCaptures writes every registered capture to <dir>/<label>.pcap in
+// sorted label order and reports how many files it wrote. A no-op (0,
+// nil) when no directory is set or nothing was captured.
+func WriteCaptures() (int, error) {
+	captureMu.Lock()
+	defer captureMu.Unlock()
+	if captureDir == "" || len(captures) == 0 {
+		return 0, nil
+	}
+	if err := os.MkdirAll(captureDir, 0o755); err != nil {
+		return 0, err
+	}
+	labels := make([]string, 0, len(captures))
+	for l := range captures {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		if err := os.WriteFile(filepath.Join(captureDir, l+".pcap"), captures[l].Bytes(), 0o644); err != nil {
+			return 0, err
+		}
+	}
+	return len(labels), nil
+}

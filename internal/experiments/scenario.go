@@ -125,8 +125,9 @@ type Scenario struct {
 	CHHomeC   *mobileip.Correspondent
 	CHHomeTCP *tcplite.Endpoint
 
-	DNS  *dnssim.Server
-	DHCP *dhcpsim.Server
+	DNSHost *stack.Host
+	DNS     *dnssim.Server
+	DHCP    *dhcpsim.Server
 
 	// Second mobile host (Options.SecondMobile): home on the far LAN.
 	HA2Host *stack.Host
@@ -270,7 +271,8 @@ func Build(opts Options) *Scenario {
 	}
 
 	if opts.WithServices {
-		s.DNS, err = dnssim.NewServer(n.AddHost("dns", s.HomeLAN))
+		s.DNSHost = n.AddHost("dns", s.HomeLAN)
+		s.DNS, err = dnssim.NewServer(s.DNSHost)
 		if err != nil {
 			assert.Unreachable("experiments: create DNS server: %v", err)
 		}

@@ -27,6 +27,7 @@ import (
 	"mob4x4/internal/metrics"
 	"mob4x4/internal/mobileip"
 	"mob4x4/internal/netsim"
+	"mob4x4/internal/sock"
 	"mob4x4/internal/stack"
 	"mob4x4/internal/udp"
 	"mob4x4/internal/vtime"
@@ -72,11 +73,15 @@ const (
 	clsPingAware        // Out-DE to an aware far host: replies In-IE then In-DE
 	clsProbe            // UDP to port 53: Out-DT out, In-DT back
 	clsKiosk            // UDP to the cell kiosk: Out-DH out, In-DH back
+	clsFacade           // UDP echo through the sock facade's core layer: Out-IE out, In-IE back
 	numClasses
 )
 
 // portKiosk is the UDP port the per-cell kiosk echo service listens on.
 const portKiosk = 9
+
+// portFacade is the UDP port of the far facade echo service (clsFacade).
+const portFacade = 7
 
 // handoffBuckets returns nanosecond bounds for handoff latency: one
 // uncontested registration round trip sits in the low milliseconds; a
@@ -270,6 +275,7 @@ type Node struct {
 	fleet *Fleet
 	ic    *icmphost.ICMP
 	sock  *stack.UDPSocket // workload socket (probe + kiosk traffic, reply sink)
+	fconn *sock.PacketConn // facade socket (clsFacade nodes only, core layer)
 	rng   *rand.Rand
 	class int
 	viaFA bool
@@ -335,17 +341,23 @@ type Fleet struct {
 	group *vtime.Group
 	rs    []*regionState // indexed by region shard
 
-	chNaive ipv4.Addr
-	chAware ipv4.Addr
-	chProbe ipv4.Addr
+	chNaive  ipv4.Addr
+	chAware  ipv4.Addr
+	chProbe  ipv4.Addr
+	chFacade ipv4.Addr
 
 	// Per-fleet workload payloads (see initPayloads).
-	pingPayload  []byte
-	probePayload []byte
-	kioskPayload []byte
+	pingPayload   []byte
+	probePayload  []byte
+	kioskPayload  []byte
+	facadePayload []byte
 
-	probeSrv *stack.UDPSocket
-	cancels  []func() // listeners/sockets to close during cleanup
+	probeSrv  *stack.UDPSocket
+	facadeSrv *sock.PacketConn // facade echo server (core layer, hub shard)
+	// facadeEchoes counts requests the facade server answered; written
+	// only from its event hook on the hub shard.
+	facadeEchoes uint64
+	cancels      []func() // listeners/sockets to close during cleanup
 
 	// attack holds the adversarial actors when Opts.Attack.Enabled; nil
 	// otherwise, and every attack path is skipped.

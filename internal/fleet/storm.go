@@ -44,6 +44,11 @@ type Result struct {
 	RegisteredAtEnd int // nodes holding a confirmed binding at EndAt
 	BindingsAtEnd   int // home agent's table size at EndAt
 
+	// FacadeEchoes counts conversations the far facade echo server
+	// answered: the clsFacade workload (both ends on internal/sock core
+	// sockets) completing round trips inside the sharded engine.
+	FacadeEchoes uint64
+
 	// Drop accounting, from the shared drop-cause vector.
 	DownDrops   uint64 // partition-window losses
 	FilterDrops uint64 // boundary-filter losses
@@ -182,6 +187,7 @@ func (f *Fleet) Run() Result {
 	}
 	res.Expiries = f.HA.Stats.Expiries
 	res.BindingsAtEnd = f.HA.Bindings()
+	res.FacadeEchoes = f.facadeEchoes
 	res.DownDrops = merged.DropCount(metrics.DropDown)
 	res.FilterDrops = merged.DropCount(metrics.DropFilter)
 	res.AuthBadMACDrops = merged.DropCount(metrics.DropAuthBadMAC)
@@ -219,6 +225,9 @@ func (f *Fleet) Run() Result {
 		n.cmdTimer.Stop()
 		n.MN.Detach() // also cancels the registration timers
 		n.sock.Close()
+		if n.fconn != nil {
+			n.fconn.CloseCore()
+		}
 	}
 	for _, c := range f.Cells {
 		if c.FA != nil {
@@ -228,6 +237,7 @@ func (f *Fleet) Run() Result {
 		c.kioskSrv.Close()
 	}
 	f.probeSrv.Close()
+	f.facadeSrv.CloseCore()
 	f.closeAttackers()
 	for _, cancel := range f.cancels {
 		cancel()
@@ -341,6 +351,9 @@ func (f *Fleet) invariants(r *Result) []string {
 	}
 	if r.DownDrops == 0 {
 		bad("partition window dropped nothing; the storm never bit")
+	}
+	if f.Opts.Nodes >= numClasses && r.FacadeEchoes == 0 {
+		bad("facade workload class completed no conversations")
 	}
 	expectFilterDrops := false
 	for _, rs := range f.rs {

@@ -9,6 +9,7 @@ import (
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/mobileip"
 	"mob4x4/internal/netsim"
+	"mob4x4/internal/sock"
 	"mob4x4/internal/stack"
 	"mob4x4/internal/vtime"
 )
@@ -65,6 +66,26 @@ func (f *Fleet) buildTopology() {
 		})
 	assert.NoError(err, "fleet: open probe server")
 	f.probeSrv = probeSrv
+
+	// chFacade answers UDP echoes through the socket facade's core layer:
+	// both ends of a clsFacade conversation run on facade sockets, no
+	// driver goroutines, proving the facade inside the sharded engine.
+	chFacadeHost := n.AddHost("ch-facade", far)
+	f.chFacade = chFacadeHost.FirstAddr()
+	facadeSrv, err := sock.NewNet(nil, chFacadeHost, nil).ListenPacketCore(sock.Addr{Port: portFacade})
+	assert.NoError(err, "fleet: open facade echo server")
+	f.facadeSrv = facadeSrv
+	facadeBuf := make([]byte, 64)
+	facadeSrv.SetEvent(func() {
+		for {
+			nr, src, ok, rerr := facadeSrv.TryReadFrom(facadeBuf)
+			if !ok || rerr != nil {
+				return
+			}
+			f.facadeEchoes++
+			_ = facadeSrv.WriteToCore(facadeBuf[:nr], src)
+		}
+	})
 
 	// The visited cells. Cell i hangs off backbone router i%B with a
 	// small deterministic latency spread, so handoff latency varies by
@@ -185,8 +206,27 @@ func (f *Fleet) buildNodes() {
 		})
 		assert.NoError(err, "fleet: create mobile node")
 
-		sock, err := host.OpenUDP(ipv4.Zero, 0, func(ipv4.Addr, uint16, ipv4.Addr, []byte) {})
+		ws, err := host.OpenUDP(ipv4.Zero, 0, func(ipv4.Addr, uint16, ipv4.Addr, []byte) {})
 		assert.NoError(err, "fleet: node workload socket")
+
+		// Facade nodes get a core-layer facade socket instead of using
+		// the raw one: same host, same policy table, but every send and
+		// receive crosses internal/sock. The drain hook keeps the queue
+		// empty (replies are attributed by OnInPacket, not consumed here).
+		var fconn *sock.PacketConn
+		if class == clsFacade {
+			fconn, err = sock.NewNet(nil, host, nil).ListenPacketCore(sock.Addr{})
+			assert.NoError(err, "fleet: node facade socket")
+			drainBuf := make([]byte, 64)
+			fc := fconn
+			fc.SetEvent(func() {
+				for {
+					if _, _, ok, _ := fc.TryReadFrom(drainBuf); !ok {
+						return
+					}
+				}
+			})
+		}
 
 		node := &Node{
 			Idx:    i,
@@ -194,7 +234,8 @@ func (f *Fleet) buildNodes() {
 			Host:   host,
 			fleet:  f,
 			ic:     ic,
-			sock:   sock,
+			sock:   ws,
+			fconn:  fconn,
 			rng:    rngFor(opts.Seed, i),
 			class:  class,
 			viaFA:  opts.FAEvery > 0 && i%opts.FAEvery == 0,

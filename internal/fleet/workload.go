@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"mob4x4/internal/core"
+	"mob4x4/internal/sock"
 	"mob4x4/internal/vtime"
 )
 
@@ -16,6 +17,7 @@ func (f *Fleet) initPayloads() {
 	f.pingPayload = []byte("fleet-ping")
 	f.probePayload = []byte("fleet-probe")
 	f.kioskPayload = []byte("fleet-kiosk")
+	f.facadePayload = []byte("fleet-facade")
 }
 
 // startTicker arms node n's workload tick on its current shard,
@@ -55,6 +57,11 @@ func (f *Fleet) sendWorkload(n *Node) {
 		_ = n.sock.SendTo(f.chProbe, 53, f.probePayload)
 	case clsKiosk:
 		_ = n.sock.SendTo(f.Cells[n.cell].Kiosk, portKiosk, f.kioskPayload)
+	case clsFacade:
+		// Through the facade's core layer: the send resolves its source
+		// through the node's mobility policy exactly like a raw socket,
+		// and both ends of the conversation live on facade sockets.
+		_ = n.fconn.WriteToCore(f.facadePayload, sock.Addr{IP: f.chFacade, Port: portFacade, Proto: "udp"})
 	}
 	after := n.MN.Stats.OutByMode
 	for m := range after {

@@ -23,6 +23,8 @@ var bufretainPkgs = map[string]bool{
 	"internal/icmphost": true,
 	"internal/arp":      true,
 	"internal/faults":   true,
+	"internal/sock":     true,
+	"internal/pcap":     true,
 }
 
 // BufRetain returns the analyzer enforcing the receive-side half of the

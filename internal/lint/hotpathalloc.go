@@ -31,6 +31,7 @@ var hotpathallocPkgs = map[string]bool{
 	"internal/encap":    true,
 	"internal/mobileip": true,
 	"internal/fleet":    true,
+	"internal/pcap":     true,
 }
 
 // HotPathAlloc returns the analyzer keeping allocating codec calls out of
@@ -40,7 +41,7 @@ var hotpathallocPkgs = map[string]bool{
 func HotPathAlloc() *Analyzer {
 	a := &Analyzer{
 		Name: "hotpathalloc",
-		Doc:  "no allocating Marshal/Clone/Encapsulate calls in the packet datapath (internal/netsim, internal/stack, internal/encap, internal/mobileip, internal/fleet); use the Append* forms with pooled buffers",
+		Doc:  "no allocating Marshal/Clone/Encapsulate calls in the packet datapath (internal/netsim, internal/stack, internal/encap, internal/mobileip, internal/fleet, internal/pcap); use the Append* forms with pooled buffers",
 	}
 	a.Run = func(pass *Pass) {
 		pkg := pass.Pkg

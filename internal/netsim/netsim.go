@@ -81,6 +81,15 @@ type Sim struct {
 	// MAC allocation then draws from the cluster-wide counter so link
 	// addresses stay unique across all region Sims of one run.
 	cluster *Cluster
+	// tap, when non-nil, observes every frame that enters a segment of
+	// this Sim and survives the down and MTU checks — the vantage point
+	// of a capture at the sending NIC, before the loss draw and before
+	// any fault-hook corruption. The frame is passed by value (same
+	// escape-analysis reasoning as the fault hook) and the tap must copy
+	// any payload bytes it wants to keep before returning: the payload
+	// is pooled storage the link layer recycles after delivery. Nil (the
+	// default) costs one predictable branch on the fast path.
+	tap func(Frame)
 }
 
 // NewSim returns a fresh simulation with the given RNG seed.
@@ -127,6 +136,12 @@ func (c *Cluster) Sims() []*Sim { return c.sims }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() vtime.Time { return s.Sched.Now() }
+
+// SetTap installs (or with nil removes) the Sim-wide frame tap; see the
+// field comment for the vantage point and the ownership contract.
+// Install during the single-threaded build phase: the tap is read from
+// this Sim's event loop. Package pcap's Attach is the standard consumer.
+func (s *Sim) SetTap(fn func(Frame)) { s.tap = fn }
 
 // AllocMAC returns a fresh unique MAC address (cluster-wide unique when
 // the Sim belongs to a Cluster).
@@ -454,6 +469,9 @@ func (seg *Segment) send(from *NIC, f Frame) {
 		})
 		PutBuf(f.Buf)
 		return
+	}
+	if t := seg.sim.tap; t != nil {
+		t(f)
 	}
 	if seg.opts.LossRate > 0 && seg.rng.Float64() < seg.opts.LossRate {
 		seg.DroppedLoss++

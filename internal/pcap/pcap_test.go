@@ -1,0 +1,140 @@
+package pcap_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"mob4x4/internal/pcap"
+)
+
+func TestWriterRoundTrip(t *testing.T) {
+	w := pcap.NewWriter()
+	w.WritePacket(0, []byte{1, 2, 3})
+	w.WritePacket(1_500_000_000, []byte{0xde, 0xad}, []byte{0xbe, 0xef}) // layered write, 1.5s
+	if w.Packets() != 2 {
+		t.Fatalf("Packets() = %d", w.Packets())
+	}
+	c, err := pcap.Parse(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Nanosecond || c.BigEndian || c.LinkType != pcap.LinkTypeEthernet || c.SnapLen != pcap.DefaultSnapLen {
+		t.Fatalf("header mismatch: %+v", c)
+	}
+	if len(c.Packets) != 2 {
+		t.Fatalf("parsed %d packets", len(c.Packets))
+	}
+	p0, p1 := c.Packets[0], c.Packets[1]
+	if p0.TSNanos != 0 || string(p0.Data) != "\x01\x02\x03" || p0.OrigLen != 3 {
+		t.Fatalf("packet 0: %+v", p0)
+	}
+	if p1.TSNanos != 1_500_000_000 || string(p1.Data) != "\xde\xad\xbe\xef" {
+		t.Fatalf("packet 1: %+v", p1)
+	}
+}
+
+func TestWriterSnapLenTruncation(t *testing.T) {
+	w := pcap.NewWriterSnapLen(4)
+	if w.SnapLen() != 4 {
+		t.Fatalf("SnapLen() = %d", w.SnapLen())
+	}
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	w.WritePacket(42, payload[:2], payload[2:])
+	c, err := pcap.Parse(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Packets[0]
+	if len(p.Data) != 4 || p.OrigLen != 8 {
+		t.Fatalf("truncation: incl=%d orig=%d", len(p.Data), p.OrigLen)
+	}
+	if string(p.Data) != "\x01\x02\x03\x04" {
+		t.Fatalf("truncated data: % x", p.Data)
+	}
+}
+
+func TestSHA256Stable(t *testing.T) {
+	mk := func() string {
+		w := pcap.NewWriter()
+		w.WritePacket(7, []byte("abc"))
+		return w.SHA256()
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatalf("hash unstable: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("hash length %d", len(a))
+	}
+}
+
+// TestParseBigEndianMicros: the reader accepts the classic big-endian
+// microsecond flavor a foreign tool might hand us.
+func TestParseBigEndianMicros(t *testing.T) {
+	var b []byte
+	be := binary.BigEndian
+	hdr := make([]byte, 24)
+	be.PutUint32(hdr[0:], pcap.MagicMicros)
+	be.PutUint16(hdr[4:], 2)
+	be.PutUint16(hdr[6:], 4)
+	be.PutUint32(hdr[16:], 1000)
+	be.PutUint32(hdr[20:], pcap.LinkTypeEthernet)
+	b = append(b, hdr...)
+	rec := make([]byte, 16)
+	be.PutUint32(rec[0:], 3)       // 3s
+	be.PutUint32(rec[4:], 250_000) // 250ms in µs
+	be.PutUint32(rec[8:], 2)
+	be.PutUint32(rec[12:], 2)
+	b = append(b, rec...)
+	b = append(b, 0xca, 0xfe)
+
+	c, err := pcap.Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.BigEndian || c.Nanosecond {
+		t.Fatalf("flavor: %+v", c)
+	}
+	p := c.Packets[0]
+	if p.TSNanos != 3_250_000_000 {
+		t.Fatalf("timestamp %d", p.TSNanos)
+	}
+	if string(p.Data) != "\xca\xfe" {
+		t.Fatalf("data % x", p.Data)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	w := pcap.NewWriter()
+	w.WritePacket(0, []byte{1, 2, 3})
+	good := w.Bytes()
+
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"short header", good[:10]},
+		{"bad magic", append([]byte{9, 9, 9, 9}, good[4:]...)},
+		{"truncated record header", good[:len(good)-12]},
+		{"truncated record body", good[:len(good)-1]},
+	}
+	for _, tc := range cases {
+		buf := append([]byte(nil), tc.b...)
+		if _, err := pcap.Parse(buf); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+
+	// Corrupt the version in place.
+	bad := append([]byte(nil), good...)
+	bad[4] = 9
+	if _, err := pcap.Parse(bad); err == nil {
+		t.Error("bad version: no error")
+	}
+	// incl_len > snaplen.
+	bad = append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bad[16:], 2) // snaplen 2 < incl 3
+	if _, err := pcap.Parse(bad); err == nil {
+		t.Error("incl over snaplen: no error")
+	}
+}

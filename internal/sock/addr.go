@@ -1,0 +1,71 @@
+package sock
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+
+	"mob4x4/internal/ipv4"
+)
+
+// Addr is the facade's net.Addr: a simulated IPv4 address and port.
+// Proto is "tcp" or "udp" (Network()'s return value).
+type Addr struct {
+	IP    ipv4.Addr
+	Port  uint16
+	Proto string
+}
+
+// Network returns "tcp" or "udp".
+func (a Addr) Network() string { return a.Proto }
+
+func (a Addr) String() string {
+	return net.JoinHostPort(a.IP.String(), strconv.Itoa(int(a.Port)))
+}
+
+// resolveAddr parses a network ("tcp"/"tcp4"/"udp"/"udp4") and a
+// "host:port" address into facade terms. The host must be an IPv4
+// literal (or empty / "0.0.0.0" for the unspecified address — the
+// "let the mobility policy choose" bind, §7.1.1); name resolution is
+// the application's job (e.g. via the dnssim facade client).
+func resolveAddr(network, address string) (Addr, error) {
+	var proto string
+	switch network {
+	case "tcp", "tcp4":
+		proto = "tcp"
+	case "udp", "udp4":
+		proto = "udp"
+	default:
+		return Addr{}, net.UnknownNetworkError(network)
+	}
+	host, portStr, err := net.SplitHostPort(address)
+	if err != nil {
+		return Addr{}, fmt.Errorf("sock: bad address %q: %w", address, err)
+	}
+	a := Addr{Proto: proto}
+	if host != "" {
+		a.IP, err = ipv4.ParseAddr(host)
+		if err != nil {
+			return Addr{}, fmt.Errorf("sock: bad address %q: %w", address, err)
+		}
+	}
+	p, err := strconv.Atoi(portStr)
+	if err != nil || p < 0 || p > 65535 {
+		return Addr{}, fmt.Errorf("sock: bad port in %q", address)
+	}
+	a.Port = uint16(p)
+	return a, nil
+}
+
+// opError wraps err in the stdlib's *net.OpError shape so the facade
+// honors net.Error contracts: errors.Is(err, os.ErrDeadlineExceeded)
+// and Timeout() for deadline hits, errors.Is(err, net.ErrClosed) for
+// operations on closed sockets.
+func opError(op, proto string, local, remote net.Addr, err error) error {
+	return &net.OpError{Op: op, Net: proto, Source: local, Addr: remote, Err: err}
+}
+
+// errTimeout is the inner error for deadline expiry; the stdlib
+// sentinel already implements net.Error's Timeout() == true.
+var errTimeout = os.ErrDeadlineExceeded

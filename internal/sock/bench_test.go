@@ -1,0 +1,71 @@
+package sock_test
+
+import (
+	"testing"
+
+	"mob4x4/internal/inet"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/sock"
+)
+
+// BenchmarkFacadeCoreUDPRoundTrip measures the facade's core layer the
+// way the fleet workload uses it: no driver goroutines, both ends on
+// facade packet sockets, one request/echo round trip per iteration with
+// the scheduler drained inline. The delta against the raw-socket
+// benchmarks in internal/stack is the facade's own overhead (one queue
+// copy per delivered datagram).
+func BenchmarkFacadeCoreUDPRoundTrip(b *testing.B) {
+	nw := inet.New(1)
+	a := nw.AddLAN("a", "10.1.0.0/24", netsim.SegmentOpts{Latency: 2 * ms})
+	bb := nw.AddLAN("b", "10.2.0.0/24", netsim.SegmentOpts{Latency: 2 * ms})
+	r := nw.AddRouter("r")
+	nw.AttachRouter(r, a)
+	nw.AttachRouter(r, bb)
+	client := nw.AddHost("client", a)
+	server := nw.AddHost("server", bb)
+	nw.ComputeRoutes()
+
+	srv, err := sock.NewNet(nil, server, nil).ListenPacketCore(sock.Addr{Port: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sbuf := make([]byte, 64)
+	srv.SetEvent(func() {
+		for {
+			n, src, ok, _ := srv.TryReadFrom(sbuf)
+			if !ok {
+				return
+			}
+			_ = srv.WriteToCore(sbuf[:n], src)
+		}
+	})
+
+	cli, err := sock.NewNet(nil, client, nil).ListenPacketCore(sock.Addr{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	got := 0
+	cbuf := make([]byte, 64)
+	cli.SetEvent(func() {
+		for {
+			if _, _, ok, _ := cli.TryReadFrom(cbuf); !ok {
+				return
+			}
+			got++
+		}
+	})
+
+	dst := sock.Addr{IP: server.FirstAddr(), Port: 7, Proto: "udp"}
+	payload := []byte("bench-facade-payload")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.WriteToCore(payload, dst); err != nil {
+			b.Fatal(err)
+		}
+		nw.Run()
+	}
+	if got != b.N {
+		b.Fatalf("echoed %d of %d round trips", got, b.N)
+	}
+}

@@ -1,0 +1,125 @@
+// The conformance suite is itself load-bearing — a bug here silently
+// weakens the guarantee TestConnTCP/TestConnUDP claim to prove — so it
+// is exercised in-package against the reference implementation it was
+// written for: the facade over the simulated stack. This is the same
+// world the sock package's own conformance tests build; duplicating the
+// small harness here keeps the suite's verification independent of the
+// package under test's test files.
+package conntest
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"mob4x4/internal/inet"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/sock"
+	"mob4x4/internal/stack"
+	"mob4x4/internal/tcplite"
+	"mob4x4/internal/vtime"
+)
+
+const ms = vtime.Duration(1e6)
+
+type selfWorld struct {
+	d              *sock.Driver
+	client, server *stack.Host
+	cnet, snet     *sock.Net
+}
+
+func newSelfWorld(seed int64) *selfWorld {
+	nw := inet.New(seed)
+	a := nw.AddLAN("a", "10.1.0.0/24", netsim.SegmentOpts{Latency: 2 * ms})
+	b := nw.AddLAN("b", "10.2.0.0/24", netsim.SegmentOpts{Latency: 2 * ms})
+	r := nw.AddRouter("r")
+	nw.AttachRouter(r, a)
+	nw.AttachRouter(r, b)
+	client := nw.AddHost("client", a)
+	server := nw.AddHost("server", b)
+	nw.ComputeRoutes()
+	d := sock.NewDriver(nw.Sched())
+	w := &selfWorld{
+		d:      d,
+		client: client,
+		server: server,
+		cnet:   sock.NewNet(d, client, tcplite.New(client)),
+		snet:   sock.NewNet(d, server, tcplite.New(server)),
+	}
+	d.Start()
+	return w
+}
+
+func selfTCPPipe() (Pipe, error) {
+	w := newSelfWorld(31)
+	ln, err := w.snet.Listen("tcp", ":7000")
+	if err != nil {
+		return Pipe{}, err
+	}
+	type result struct {
+		c   net.Conn
+		err error
+	}
+	acc := make(chan result, 1)
+	go func() {
+		c, err := ln.Accept()
+		acc <- result{c, err}
+	}()
+	c1, err := w.cnet.Dial("tcp", fmt.Sprintf("%s:7000", w.server.FirstAddr()))
+	if err != nil {
+		return Pipe{}, err
+	}
+	r := <-acc
+	if r.err != nil {
+		return Pipe{}, r.err
+	}
+	return Pipe{
+		C1:  c1,
+		C2:  r.c,
+		Now: w.d.WallNow,
+		Stop: func() {
+			c1.Close()
+			r.c.Close()
+			ln.Close()
+			w.d.Shutdown()
+		},
+	}, nil
+}
+
+func selfUDPPipe() (Pipe, error) {
+	w := newSelfWorld(33)
+	pc1, err := w.cnet.ListenPacket("udp", ":5001")
+	if err != nil {
+		return Pipe{}, err
+	}
+	pc2, err := w.snet.ListenPacket("udp", ":5002")
+	if err != nil {
+		return Pipe{}, err
+	}
+	p1 := pc1.(*sock.PacketConn)
+	p2 := pc2.(*sock.PacketConn)
+	if err := p1.Connect(sock.Addr{IP: w.server.FirstAddr(), Port: 5002}); err != nil {
+		return Pipe{}, err
+	}
+	if err := p2.Connect(sock.Addr{IP: w.client.FirstAddr(), Port: 5001}); err != nil {
+		return Pipe{}, err
+	}
+	return Pipe{
+		C1:       p1,
+		C2:       p2,
+		Now:      w.d.WallNow,
+		Datagram: true,
+		Stop: func() {
+			p1.Close()
+			p2.Close()
+			w.d.Shutdown()
+		},
+	}, nil
+}
+
+// TestSuiteSelfTCP proves the suite end to end over a stream transport.
+func TestSuiteSelfTCP(t *testing.T) { TestConn(t, selfTCPPipe) }
+
+// TestSuiteSelfUDP proves the suite's datagram mode (bounded chunks,
+// message counting).
+func TestSuiteSelfUDP(t *testing.T) { TestConn(t, selfUDPPipe) }

@@ -1,0 +1,130 @@
+package sock_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"mob4x4/internal/inet"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/sock"
+	"mob4x4/internal/sock/conntest"
+	"mob4x4/internal/stack"
+	"mob4x4/internal/tcplite"
+	"mob4x4/internal/vtime"
+)
+
+const ms = vtime.Duration(1e6)
+
+// world is the canonical facade test topology: client and server hosts
+// on separate LANs joined by a router, one facade Net each, one driver
+// owning the clock.
+type world struct {
+	nw             *inet.Network
+	d              *sock.Driver
+	client, server *stack.Host
+	cnet, snet     *sock.Net
+}
+
+// newWorld builds the topology and starts the driver.
+func newWorld(seed int64) *world {
+	nw := inet.New(seed)
+	a := nw.AddLAN("a", "10.1.0.0/24", netsim.SegmentOpts{Latency: 2 * ms})
+	b := nw.AddLAN("b", "10.2.0.0/24", netsim.SegmentOpts{Latency: 2 * ms})
+	r := nw.AddRouter("r")
+	nw.AttachRouter(r, a)
+	nw.AttachRouter(r, b)
+	client := nw.AddHost("client", a)
+	server := nw.AddHost("server", b)
+	nw.ComputeRoutes()
+	d := sock.NewDriver(nw.Sched())
+	w := &world{
+		nw:     nw,
+		d:      d,
+		client: client,
+		server: server,
+		cnet:   sock.NewNet(d, client, tcplite.New(client)),
+		snet:   sock.NewNet(d, server, tcplite.New(server)),
+	}
+	d.Start()
+	return w
+}
+
+func (w *world) serverAddr(port int) string {
+	return fmt.Sprintf("%s:%d", w.server.FirstAddr(), port)
+}
+
+// tcpPipe dials a facade TCP connection through the router.
+func tcpPipe() (conntest.Pipe, error) {
+	w := newWorld(7)
+	ln, err := w.snet.Listen("tcp", ":7000")
+	if err != nil {
+		return conntest.Pipe{}, err
+	}
+	type result struct {
+		c   net.Conn
+		err error
+	}
+	acc := make(chan result, 1)
+	go func() {
+		c, err := ln.Accept()
+		acc <- result{c, err}
+	}()
+	c1, err := w.cnet.Dial("tcp", w.serverAddr(7000))
+	if err != nil {
+		return conntest.Pipe{}, err
+	}
+	r := <-acc
+	if r.err != nil {
+		return conntest.Pipe{}, r.err
+	}
+	return conntest.Pipe{
+		C1:  c1,
+		C2:  r.c,
+		Now: w.d.WallNow,
+		Stop: func() {
+			c1.Close()
+			r.c.Close()
+			ln.Close()
+			w.d.Shutdown()
+		},
+	}, nil
+}
+
+// udpPipe connects two bound facade packet sockets to each other.
+func udpPipe() (conntest.Pipe, error) {
+	w := newWorld(9)
+	pc1, err := w.cnet.ListenPacket("udp", ":5001")
+	if err != nil {
+		return conntest.Pipe{}, err
+	}
+	pc2, err := w.snet.ListenPacket("udp", ":5002")
+	if err != nil {
+		return conntest.Pipe{}, err
+	}
+	p1 := pc1.(*sock.PacketConn)
+	p2 := pc2.(*sock.PacketConn)
+	if err := p1.Connect(sock.Addr{IP: w.server.FirstAddr(), Port: 5002}); err != nil {
+		return conntest.Pipe{}, err
+	}
+	if err := p2.Connect(sock.Addr{IP: w.client.FirstAddr(), Port: 5001}); err != nil {
+		return conntest.Pipe{}, err
+	}
+	return conntest.Pipe{
+		C1:       p1,
+		C2:       p2,
+		Now:      w.d.WallNow,
+		Datagram: true,
+		Stop: func() {
+			p1.Close()
+			p2.Close()
+			w.d.Shutdown()
+		},
+	}, nil
+}
+
+// TestConnTCP runs the conformance suite over tcplite-backed conns.
+func TestConnTCP(t *testing.T) { conntest.TestConn(t, tcpPipe) }
+
+// TestConnUDP runs the conformance suite over UDP-backed packet conns.
+func TestConnUDP(t *testing.T) { conntest.TestConn(t, udpPipe) }

@@ -1,0 +1,60 @@
+package sock_test
+
+import (
+	"testing"
+	"time"
+
+	"mob4x4/internal/dnssim"
+	"mob4x4/internal/sock"
+	"mob4x4/internal/udp"
+)
+
+// TestDNSOverFacade performs a DNS lookup through the facade's packet
+// socket using the wire helpers: the blocking client writes a query
+// datagram and reads the response, while the dnssim server runs
+// unmodified on the simulation side.
+func TestDNSOverFacade(t *testing.T) {
+	w := newWorld(41)
+	defer w.d.Shutdown()
+
+	srv, err := dnssim.NewServer(w.server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AddA("mh.example", w.client.FirstAddr())
+
+	pc, err := w.cnet.ListenPacket("udp", ":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+
+	q, err := dnssim.MarshalQuery(77, "mh.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := sock.Addr{IP: w.server.FirstAddr(), Port: udp.PortDNS, Proto: "udp"}
+	if _, err := pc.WriteTo(q, dst); err != nil {
+		t.Fatal(err)
+	}
+	pc.SetReadDeadline(w.d.WallNow().Add(2 * time.Second))
+	buf := make([]byte, 512)
+	n, src, err := pc.ReadFrom(buf)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	if a := src.(sock.Addr); a.Port != udp.PortDNS {
+		t.Fatalf("response from %v, want port %d", src, udp.PortDNS)
+	}
+	id, name, recs, err := dnssim.ParseResponse(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 77 || name != "mh.example" {
+		t.Fatalf("response id=%d name=%q", id, name)
+	}
+	addr, isCareOf, ok := dnssim.BestAddr(recs)
+	if !ok || isCareOf || addr != w.client.FirstAddr() {
+		t.Fatalf("records %+v", recs)
+	}
+}

@@ -1,0 +1,277 @@
+// Package sock is a net.Conn / net.Listener / net.PacketConn compatible
+// facade over the simulated stack: tcplite connections and stack UDP
+// sockets wrapped so unmodified Go application protocols (net/http, DNS
+// clients) run over the 4x4 mobility grid. Deadlines map onto vtime
+// timers through a fixed virtual epoch, Dial/Listen resolve source
+// addresses through the host's mobility policy table (the §7.1.2
+// source/port heuristic governs facade sockets exactly as raw ones),
+// and blocking reads are driven by the virtual-time scheduler.
+//
+// Two layers share one connection state machine:
+//
+//   - The core layer runs entirely on the simulation event loop —
+//     callback-driven, allocation-light, shard-safe (a facade socket
+//     lives on its host's region shard). Deterministic workloads
+//     (internal/fleet's facade class) use it directly.
+//   - The blocking layer adds real goroutine semantics on top via a
+//     Driver: app goroutines submit closures to the event-loop
+//     goroutine and park on per-operation channels, so net.Conn's
+//     blocking contract holds without touching scheduler state from
+//     more than one goroutine.
+//
+// See DESIGN.md "Socket facade & capture plane" for the determinism
+// contract (why virtual time only advances after a real-time settle
+// window, and what that guarantees for captured traffic).
+package sock
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"mob4x4/internal/race"
+	"mob4x4/internal/vtime"
+)
+
+// EpochTime is the real-world instant mapped to virtual time zero:
+// 2000-01-01T00:00:00Z. Facade deadlines are converted through it, so a
+// time.Time deadline in the far real-world future (anything derived
+// from the host's actual clock) lands decades into the virtual future —
+// effectively "no deadline", which is exactly what an application that
+// never heard of virtual time should get.
+func EpochTime() time.Time { return time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC) }
+
+// Driver owns a scheduler on behalf of blocking facade callers. Exactly
+// one goroutine (the loop started by Start) touches the scheduler and
+// all sim-side socket state; application goroutines funnel every
+// operation through do and park until it completes.
+//
+// Virtual time only advances when the loop has drained all submitted
+// operations AND a settle window of real time has passed with no new
+// submissions after the last wakeup it delivered. Application turnaround
+// (a woken net/http goroutine computing its next Read/Write) happens in
+// zero virtual time provided it outruns the settle window — the basis of
+// the capture-determinism contract (DESIGN.md §12).
+type Driver struct {
+	sched *vtime.Scheduler
+	ops   chan func()
+
+	mu      sync.RWMutex // guards stopped against op submission
+	stopped bool
+	stopq   chan struct{}
+	exited  chan struct{}
+	postMu  sync.Mutex // serializes post-shutdown stragglers
+
+	// settlePolls x settleSleep is the real-time window the loop waits
+	// after delivering a wakeup before letting virtual time advance.
+	settlePolls int
+	settleSleep time.Duration
+	// activity marks that an op ran or a waiter was woken since the
+	// last settle; loop-goroutine state.
+	activity bool
+	started  bool
+}
+
+// NewDriver wraps the scheduler. Build the topology first; once Start
+// is called, all scheduler access must go through the driver until
+// Shutdown returns.
+func NewDriver(sched *vtime.Scheduler) *Driver {
+	d := &Driver{
+		sched:       sched,
+		ops:         make(chan func(), 128),
+		stopq:       make(chan struct{}),
+		exited:      make(chan struct{}),
+		settlePolls: 20,
+		settleSleep: 200 * time.Microsecond,
+	}
+	if race.Enabled {
+		// The race detector slows application turnaround severely;
+		// widen the window so wakeup->next-op still lands inside it.
+		d.settlePolls *= 3
+	}
+	return d
+}
+
+// SetSettle tunes the settle window (polls x sleep per settle). Call
+// before Start. Larger windows buy determinism margin on loaded
+// machines at the cost of real-time throughput.
+func (d *Driver) SetSettle(polls int, sleep time.Duration) {
+	d.settlePolls, d.settleSleep = polls, sleep
+}
+
+// Start launches the event-loop goroutine.
+func (d *Driver) Start() {
+	if d.started {
+		return
+	}
+	d.started = true
+	// Begin settled: scenarios hand over schedulers with timers already
+	// pending (Mobile IP beacons, registration refresh), and the caller's
+	// setup burst (Listen, first sends) must land at the current virtual
+	// instant — not at whatever instant a free-running first advance
+	// would reach before those ops arrive.
+	d.activity = true
+	go d.loop()
+}
+
+// Shutdown stops the loop and waits for it to exit. Callers should
+// first close every facade socket and join the goroutines using them:
+// operations submitted after Shutdown run inline on the submitting
+// goroutine (serialized, but no longer concurrent-safe against other
+// stragglers' sim access — fine for the intended "everything already
+// joined" shape). After Shutdown the scheduler may be used directly
+// again (e.g. RunFor to drain close handshakes).
+func (d *Driver) Shutdown() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		<-d.exited
+		return
+	}
+	d.stopped = true
+	d.mu.Unlock()
+	if !d.started {
+		close(d.exited)
+		return
+	}
+	close(d.stopq)
+	<-d.exited
+}
+
+// do runs fn on the event-loop goroutine and returns when it has
+// completed. Safe to call from any goroutine; fn may touch all sim
+// state. Calls on the loop goroutine itself (core-layer callbacks)
+// must not use do — they already own the loop.
+func (d *Driver) do(fn func()) {
+	d.mu.RLock()
+	if d.stopped {
+		d.mu.RUnlock()
+		<-d.exited
+		d.postMu.Lock()
+		defer d.postMu.Unlock()
+		fn()
+		return
+	}
+	done := make(chan struct{})
+	d.ops <- func() { fn(); close(done) }
+	d.mu.RUnlock()
+	<-done
+}
+
+// Do runs fn on the event-loop goroutine and returns when it has
+// completed — the public form of the blocking layer's op submission,
+// for callers (experiments, tools) that need a consistent view of
+// sim-side state while the loop owns it. fn must not call back into
+// blocking facade operations.
+func (d *Driver) Do(fn func()) { d.do(fn) }
+
+// noteActivity records (on the loop goroutine) that a blocked caller
+// was woken; the loop settles before the next time advance.
+func (d *Driver) noteActivity() { d.activity = true }
+
+// WallNow returns the facade's wall clock: EpochTime plus the current
+// virtual time. Safe from any goroutine.
+func (d *Driver) WallNow() time.Time {
+	var now vtime.Time
+	d.do(func() { now = d.sched.Now() })
+	return EpochTime().Add(time.Duration(now))
+}
+
+// vtimeOf converts a wall-clock deadline to a virtual instant. Zero
+// input means "no deadline" and is handled by callers before this.
+func vtimeOf(t time.Time) vtime.Time { return vtime.Time(t.Sub(EpochTime())) }
+
+func (d *Driver) loop() {
+	defer close(d.exited)
+	for {
+		// Run everything due at the current instant, interleaved with
+		// op draining, until neither makes progress.
+		for {
+			ran := d.drainOps()
+			if t, ok := d.sched.NextAt(); ok && !t.After(d.sched.Now()) {
+				d.sched.RunUntil(d.sched.Now())
+				ran = true
+			}
+			if !ran {
+				break
+			}
+		}
+		// If anything woke a blocked caller (or an op ran), give the
+		// application a real-time window to submit its next operation
+		// before virtual time moves.
+		if d.activity {
+			d.activity = false
+			if d.settle() {
+				continue
+			}
+		}
+		select {
+		case <-d.stopq:
+			d.finalDrain()
+			return
+		default:
+		}
+		if t, ok := d.sched.NextAt(); ok {
+			d.sched.RunUntil(t)
+			continue
+		}
+		// Nothing scheduled and nothing submitted: park.
+		select {
+		case fn := <-d.ops:
+			fn()
+			d.activity = true
+		case <-d.stopq:
+			d.finalDrain()
+			return
+		}
+	}
+}
+
+// drainOps runs queued ops without blocking; reports whether any ran.
+func (d *Driver) drainOps() bool {
+	ran := false
+	for {
+		select {
+		case fn := <-d.ops:
+			fn()
+			ran = true
+			d.activity = true
+		default:
+			return ran
+		}
+	}
+}
+
+// settle waits the real-time window for follow-up operations. Returns
+// true if one arrived (and ran) — the caller restarts its cycle.
+func (d *Driver) settle() bool {
+	for i := 0; i < d.settlePolls; i++ {
+		runtime.Gosched()
+		select {
+		case fn := <-d.ops:
+			fn()
+			d.activity = true
+			return true
+		default:
+		}
+		if d.settleSleep > 0 {
+			//mob4x4vet:allow wallclock the settle window is a real-time liveness aid for blocking callers; virtual-time order never depends on its length (DESIGN.md §12)
+			time.Sleep(d.settleSleep)
+		}
+	}
+	return false
+}
+
+// finalDrain serves ops already committed to the buffer before the
+// stopped flag flipped (submission happens under mu.RLock, so nothing
+// new can arrive once Shutdown holds the write lock).
+func (d *Driver) finalDrain() {
+	for {
+		select {
+		case fn := <-d.ops:
+			fn()
+		default:
+			return
+		}
+	}
+}

@@ -3,6 +3,7 @@ package tcplite
 import (
 	"errors"
 	"fmt"
+	"net"
 
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/vtime"
@@ -13,6 +14,12 @@ import (
 // consecutive RTOs without a single acknowledgement. Match it with
 // errors.Is.
 var ErrConnTimeout = errors.New("connection timed out")
+
+// ErrClosed is the stable sentinel for operations on a connection that
+// was closed locally. It wraps net.ErrClosed, so transport consumers
+// (the sock facade) satisfy the standard library's contract with a plain
+// errors.Is(err, net.ErrClosed).
+var ErrClosed = fmt.Errorf("tcplite: %w", net.ErrClosed)
 
 // State is a connection state (simplified TCP state machine).
 type State int
@@ -26,7 +33,21 @@ const (
 	StateCloseWait // peer closed, we may still send
 	StateLastAck   // we closed after peer; awaiting final ACK
 	StateClosed
+	// StateClosing is the simultaneous-close state (RFC 793 CLOSING):
+	// our FIN is in flight and the peer's FIN already arrived; we await
+	// the ack of ours before lingering in StateTimeWait.
+	StateClosing
+	// StateTimeWait lingers after both FINs are exchanged so a
+	// retransmitted peer FIN (our ACK was lost) is re-acknowledged
+	// instead of answered with a RST. The connection tears down
+	// TimeWaitLinger later.
+	StateTimeWait
 )
+
+// TimeWaitLinger is how long a connection stays in StateTimeWait before
+// releasing its 4-tuple — long enough to cover the peer's first FIN
+// retransmissions (its RTO starts at Endpoint.RTO and backs off).
+const TimeWaitLinger = vtime.Duration(1e9)
 
 func (s State) String() string {
 	switch s {
@@ -44,6 +65,10 @@ func (s State) String() string {
 		return "last-ack"
 	case StateClosed:
 		return "closed"
+	case StateClosing:
+		return "closing"
+	case StateTimeWait:
+		return "time-wait"
 	default:
 		return "state(?)"
 	}
@@ -95,6 +120,10 @@ type Conn struct {
 	OnData        func([]byte)
 	OnClose       func()      // orderly close by the peer (EOF)
 	OnError       func(error) // reset or timeout; connection is dead
+	// OnDrain fires whenever an acknowledgement frees send-side space
+	// (sndUna advanced). Flow-controlled writers (the sock facade's
+	// bounded write buffer) use it to resume blocked writes.
+	OnDrain func()
 
 	// BytesIn/BytesOut count delivered payload.
 	BytesIn, BytesOut uint64
@@ -134,19 +163,31 @@ func (c *Conn) RemotePort() uint16 { return c.key.remotePort }
 // Established reports whether the handshake completed.
 func (c *Conn) Established() bool { return c.state == StateEstablished || c.state == StateCloseWait }
 
-// Write queues data for reliable delivery. It is an error to write on a
-// closed or closing connection.
+// Write queues data for reliable delivery. Writing on a closed or
+// closing connection returns an error matching both ErrClosed and
+// net.ErrClosed under errors.Is.
 func (c *Conn) Write(data []byte) error {
 	switch c.state {
-	case StateClosed, StateFinWait, StateLastAck:
-		return fmt.Errorf("tcplite: write on %v connection", c.state)
+	case StateClosed, StateFinWait, StateLastAck, StateClosing, StateTimeWait:
+		return fmt.Errorf("write on %v connection: %w", c.state, ErrClosed)
 	}
 	if c.finQueued {
-		return fmt.Errorf("tcplite: write after close")
+		return fmt.Errorf("write after close: %w", ErrClosed)
 	}
 	c.sendBuf = append(c.sendBuf, data...)
 	c.pump()
 	return nil
+}
+
+// PendingOut reports the payload bytes queued or in flight — the send
+// backlog a flow-controlled writer bounds (Window caps segments, so the
+// inflight scan is at most Window+1 entries).
+func (c *Conn) PendingOut() int {
+	n := len(c.sendBuf)
+	for _, u := range c.inflight {
+		n += len(u.payload)
+	}
+	return n
 }
 
 // Close initiates an orderly shutdown after queued data drains.
@@ -296,6 +337,14 @@ func (c *Conn) handle(seg segment) {
 		c.teardown(fmt.Errorf("tcplite: connection reset by %s", c.key.remoteAddr))
 		return
 	}
+	if c.state == StateTimeWait {
+		// Only a retransmitted FIN warrants a response; everything else
+		// is a stale duplicate.
+		if seg.has(flagFIN) {
+			c.sendSeg(segment{seq: c.sndNxt, ack: c.rcvNxt, flags: flagACK})
+		}
+		return
+	}
 	switch c.state {
 	case StateSynSent:
 		if seg.has(flagSYN) && seg.has(flagACK) && seg.ack == c.sndNxt {
@@ -343,7 +392,12 @@ func (c *Conn) handle(seg segment) {
 	if len(seg.payload) > 0 {
 		c.processData(seg)
 	}
-	if seg.has(flagFIN) && seg.seq == c.rcvNxt {
+	// The FIN occupies the sequence slot after any payload the segment
+	// carries: checking seg.seq alone would miss a FIN piggybacked on
+	// data (processData just advanced rcvNxt past it).
+	finSeq := seg.seq + uint32(len(seg.payload))
+	switch {
+	case seg.has(flagFIN) && finSeq == c.rcvNxt:
 		c.rcvNxt++
 		c.sendSeg(segment{seq: c.sndNxt, ack: c.rcvNxt, flags: flagACK})
 		switch c.state {
@@ -353,13 +407,40 @@ func (c *Conn) handle(seg segment) {
 				c.OnClose()
 			}
 		case StateFinWait:
-			// Simultaneous/serial close completed.
 			if c.OnClose != nil {
 				c.OnClose()
 			}
+			if len(c.inflight) == 0 {
+				// Our FIN is already acked (FIN-WAIT-2): linger to
+				// re-ACK a retransmitted peer FIN.
+				c.enterTimeWait()
+			} else {
+				// Simultaneous close: the peer FINed before acking
+				// ours. Tearing down here (the old behavior) would
+				// abandon our in-flight FIN and answer its ack — and
+				// the peer's FIN retransmissions — with RSTs.
+				c.state = StateClosing
+			}
+		}
+	case seg.has(flagFIN) && len(seg.payload) == 0 && seqLT(seg.seq, c.rcvNxt):
+		// A retransmitted FIN we already processed: our ACK was lost.
+		// Re-ACK instead of staying silent (a dup FIN carrying payload
+		// is re-ACKed by processData's old-data path).
+		c.sendSeg(segment{seq: c.sndNxt, ack: c.rcvNxt, flags: flagACK})
+	}
+}
+
+// enterTimeWait parks the connection until TimeWaitLinger elapses. The
+// 4-tuple stays claimed so late peer segments are answered by handle
+// (which re-ACKs duplicate FINs) rather than by the endpoint's RST path.
+func (c *Conn) enterTimeWait() {
+	c.state = StateTimeWait
+	c.stopRTO()
+	c.ep.host.Sched().After(TimeWaitLinger, func() {
+		if c.state == StateTimeWait {
 			c.teardown(nil)
 		}
-	}
+	})
 }
 
 func (c *Conn) processAck(ack uint32) {
@@ -392,17 +473,23 @@ func (c *Conn) processAck(ack uint32) {
 	c.reportProgress()
 	if len(c.inflight) == 0 {
 		c.stopRTO()
-		if c.state == StateLastAck || (c.state == StateFinWait && c.finSent) {
-			if c.state == StateLastAck {
-				c.teardown(nil)
-				return
-			}
-			// FinWait with everything acked: wait for the peer's FIN.
+		switch c.state {
+		case StateLastAck:
+			c.teardown(nil)
+			return
+		case StateClosing:
+			// Simultaneous close: our FIN is now acked too.
+			c.enterTimeWait()
+			return
 		}
+		// FinWait with everything acked: wait for the peer's FIN.
 	} else {
 		c.armRTO()
 	}
 	c.pump()
+	if c.OnDrain != nil {
+		c.OnDrain()
+	}
 }
 
 func (c *Conn) ackInflight(ack uint32) {

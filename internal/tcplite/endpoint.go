@@ -117,7 +117,10 @@ func (ep *Endpoint) Listen(port uint16, accept func(*Conn)) (*Listener, error) {
 // describes for TCP connection setup.
 func (ep *Endpoint) Dial(localAddr, remote ipv4.Addr, port uint16) (*Conn, error) {
 	if localAddr.IsZero() {
-		localAddr = ep.host.SourceForDestination(remote)
+		// Resolve with transport context: the mobility policy's §7.1.2
+		// port heuristic keys off the destination port, so TCP setup
+		// must present it exactly as an unbound UDP send does.
+		localAddr = ep.host.SourceForDestinationPort(remote, ipv4.ProtoTCP, port)
 		if localAddr.IsZero() {
 			return nil, fmt.Errorf("tcplite: no source address for %s", remote)
 		}
@@ -177,10 +180,15 @@ func (ep *Endpoint) receive(ifc *stack.Iface, pkt ipv4.Packet) {
 			c := newConn(ep, key, true)
 			ep.conns[key] = c
 			ep.Stats.ConnsAccepted++
-			c.handle(seg)
+			// The accept callback runs before the SYN is processed so a
+			// consumer can refuse the connection (Abort) before any
+			// SYN|ACK goes out — the way a kernel's bound-socket filter
+			// rejects ahead of answering. handle on an aborted (closed)
+			// conn is a no-op.
 			if l.accept != nil {
 				l.accept(c)
 			}
+			c.handle(seg)
 			return
 		}
 	}

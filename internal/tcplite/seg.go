@@ -89,6 +89,7 @@ func (s *segment) appendMarshal(src, dst ipv4.Addr, buf []byte) []byte {
 	b[13] = s.flags
 	binary.BigEndian.PutUint16(b[14:], s.window)
 	b[16], b[17] = 0, 0
+	b[18], b[19] = 0, 0 // urgent pointer: always zero, but the pooled buf isn't
 	copy(b[HeaderLen:], s.payload)
 	binary.BigEndian.PutUint16(b[16:], ipv4.TransportChecksum(src, dst, ipv4.ProtoTCP, b))
 	return buf[:start+total]

@@ -59,6 +59,12 @@ var detExperiments = []detExperiment{
 	{name: "transitions"},
 	{name: "multicast"},
 	{name: "trace"},
+	// httpgrid's stdout includes each cell's capture SHA-256, so this row
+	// compares the captured pcap bytes themselves — repeats, -parallel
+	// and -shards (accepted and ignored: cells are single-region) must
+	// all reproduce the same wire traffic, timestamps included, even
+	// though real net/http goroutines drive the virtual clock.
+	{name: "httpgrid", parallelOK: true, shardsOK: true},
 	{name: "dualmobile"},
 	{name: "asymmetry"},
 	{name: "savings", args: []string{"-metrics-json"}},
