@@ -11,10 +11,14 @@ FUZZ_TARGETS = \
 	./internal/encap:FuzzDecapsulateMinEnc \
 	./internal/encap:FuzzDecapsulateGRE \
 	./internal/encap:FuzzDecapsulateGREKeyed \
+	./internal/encap:FuzzDecapsulateCompact \
+	./internal/encap:FuzzDecapsulateCompactHome \
 	./internal/encap:FuzzEncapRoundTrip \
-	./internal/mobileip:FuzzAuthExtension
+	./internal/mobileip:FuzzAuthExtension \
+	./internal/routeopt:FuzzParseUpdate \
+	./internal/routeopt:FuzzParseAck
 
-.PHONY: check build vet lint test race fuzz-smoke bench benchgate chaos-smoke fleet-smoke adversary-smoke facade-smoke cover determinism
+.PHONY: check build vet lint test race fuzz-smoke bench benchgate chaos-smoke fleet-smoke adversary-smoke facade-smoke routeopt-smoke cover determinism
 
 check: build vet lint test
 
@@ -42,6 +46,7 @@ race:
 	$(MAKE) fleet-smoke
 	$(MAKE) adversary-smoke
 	$(MAKE) facade-smoke
+	$(MAKE) routeopt-smoke
 
 # Run the full benchmark suite and record it as BENCH_<date>.json.
 # Promote a run to the regression gate with:
@@ -52,7 +57,9 @@ bench:
 	@echo "wrote BENCH_$$(date +%F).json"
 
 # Fresh benchmark run gated against the committed baseline: fails on a
-# >25% ns/op slowdown or ANY allocs/op increase (see scripts/benchdiff.go).
+# >25% ns/op slowdown or a >0.1% allocs/op increase (zero slack for small
+# counts; absorbs the fleet storms' goroutine-scheduling jitter — see
+# scripts/benchdiff.go).
 benchgate:
 	$(GO) test -run '^$$' -bench . -benchmem ./... | $(GO) run ./scripts -parse > /tmp/mob4x4_bench_current.json
 	$(GO) run ./scripts BENCH_baseline.json /tmp/mob4x4_bench_current.json
@@ -62,7 +69,7 @@ benchgate:
 # measured baseline (90.9% at the time of writing) by a small buffer;
 # raise it as coverage grows, never lower it to admit a regression.
 COVER_FLOOR ?= 88.0
-COVER_PKG_FLOORS ?= mob4x4/internal/fleet=90.0,mob4x4/internal/sock=90.0,mob4x4/internal/pcap=90.0
+COVER_PKG_FLOORS ?= mob4x4/internal/fleet=90.0,mob4x4/internal/sock=90.0,mob4x4/internal/pcap=90.0,mob4x4/internal/routeopt=90.0
 cover:
 	$(GO) test -coverprofile=/tmp/mob4x4_cover.out ./internal/...
 	$(GO) run ./scripts -cover /tmp/mob4x4_cover.out -cover-floor $(COVER_FLOOR) -cover-pkg-floor $(COVER_PKG_FLOORS)
@@ -95,6 +102,17 @@ ADV_SEED ?= 1
 adversary-smoke:
 	@echo "adversarial storm (ADV_SEED=$(ADV_SEED))"
 	ADV_SEED=$(ADV_SEED) $(GO) test ./internal/experiments -race -count=1 -run 'TestAdversary'
+
+# Seeded route-optimization smoke under the race detector: the E17
+# six-way comparison (baseline / push / ha-push / compact / hier /
+# fallback) plus the routeopt unit suite. Reproduce a CI failure locally
+# with the seed it prints:
+#   RO_SEED=<n> make routeopt-smoke
+RO_SEED ?= 1
+routeopt-smoke:
+	@echo "route-optimization tier (RO_SEED=$(RO_SEED))"
+	RO_SEED=$(RO_SEED) $(GO) test ./internal/experiments -race -count=1 -run 'TestRouteOpt'
+	$(GO) test ./internal/routeopt -race -count=1
 
 # Socket-facade smoke under the race detector: the stdlib-style conn
 # conformance suite (TCP- and UDP-backed), net/http and DNS over the

@@ -46,6 +46,8 @@
 //	chaos       fault injection & self-healing soak (-trials N for more)
 //	fleet       fleet-scale handoff storm (-nodes N -cells K -model M)
 //	adversary   authenticated fleet vs attack storm (same flags as fleet)
+//	routeopt    route-optimization tier: pushed binding updates, compact
+//	            encapsulation, hierarchical registration (fleet flags)
 //	report      every experiment rendered as one markdown document
 //	all         every experiment in order
 package main
@@ -64,8 +66,8 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
-	parallel := flag.Int("parallel", 1, "worker goroutines for independent trials (grid/adaptive/durability/webbrowse/chaos/fleet/adversary)")
-	trials := flag.Int("trials", 1, "independent chaos/fleet/adversary trials (seeds seed..seed+N-1)")
+	parallel := flag.Int("parallel", 1, "worker goroutines for independent trials (grid/adaptive/durability/webbrowse/chaos/fleet/adversary/routeopt)")
+	trials := flag.Int("trials", 1, "independent chaos/fleet/adversary/routeopt trials (seeds seed..seed+N-1)")
 	nodes := flag.Int("nodes", 2000, "fleet: mobile node count")
 	cells := flag.Int("cells", 32, "fleet: visited cell count")
 	model := flag.String("model", "waypoint", "fleet: movement model (waypoint | markov)")
@@ -321,6 +323,32 @@ func main() {
 				}
 			}
 		},
+		"routeopt": func(s int64) {
+			spec := experiments.RouteOptSpec{Nodes: *nodes, Cells: *cells, Model: *model, Shards: *shards}
+			rows := experiments.RunRouteOptParallel(s, *trials, *parallel, spec)
+			fmt.Print(experiments.RouteOptTable(rows))
+			if wantMetrics {
+				for i := range rows {
+					for j := range rows[i].Trials {
+						tr := &rows[i].Trials[j]
+						fmt.Printf("== routeopt seed=%d config=%s ==\n", tr.Seed, tr.Name)
+						if *metricsJSON {
+							os.Stdout.Write(tr.Metrics.JSON())
+						} else if err := tr.Metrics.WriteText(os.Stdout); err != nil {
+							fmt.Fprintf(os.Stderr, "mob4x4: write metrics: %v\n", err)
+							os.Exit(1)
+						}
+					}
+				}
+			}
+			for i := range rows {
+				if len(rows[i].Violations) > 0 {
+					fmt.Fprintf(os.Stderr, "mob4x4: routeopt invariant violations (reproduce: mob4x4 -seed %d -nodes %d -cells %d -model %s routeopt)\n",
+						rows[i].Trials[0].Seed, *nodes, *cells, *model)
+					os.Exit(1)
+				}
+			}
+		},
 		"report": func(s int64) {
 			fmt.Print(experiments.Report(s))
 		},
@@ -346,7 +374,7 @@ func main() {
 	}
 	fn(*seed)
 	switch name {
-	case "grid", "fig10", "chaos", "fleet", "adversary":
+	case "grid", "fig10", "chaos", "fleet", "adversary", "routeopt":
 		// These print their own metrics form above.
 	default:
 		dumpCollector()

@@ -41,6 +41,29 @@ type Codec interface {
 	Decapsulate(outer ipv4.Packet) (ipv4.Packet, error)
 }
 
+// HomeEncapper is the optional binding-tunnel extension of Codec: an
+// encapsulator that knows the binding it is tunneling through states the
+// mobile home address, letting the codec elide a home-addressed inner
+// destination that the decapsulating mobile endpoint reconstructs from
+// its own configuration. Codecs without the extension ignore the hint
+// (see AppendEncapHome).
+type HomeEncapper interface {
+	AppendEncapHome(inner ipv4.Packet, src, dst, home ipv4.Addr, buf []byte) (ipv4.Packet, error)
+}
+
+// AppendEncapHome encapsulates through c with the binding's home address
+// as a compression hint when c supports it, and falls back to plain
+// AppendEncap when it does not. Tunnel entry points that know their
+// binding (home agents, smart correspondents) call this instead of
+// AppendEncap so route-opt compression engages without a codec switch
+// in the caller.
+func AppendEncapHome(c Codec, inner ipv4.Packet, src, dst, home ipv4.Addr, buf []byte) (ipv4.Packet, error) {
+	if he, ok := c.(HomeEncapper); ok {
+		return he.AppendEncapHome(inner, src, dst, home, buf)
+	}
+	return c.AppendEncap(inner, src, dst, buf)
+}
+
 // ByName returns the codec for a scheme name.
 func ByName(name string) (Codec, error) {
 	switch name {
@@ -50,13 +73,15 @@ func ByName(name string) (Codec, error) {
 		return MinEnc{}, nil
 	case "gre":
 		return GRE{}, nil
+	case "compact":
+		return Compact{}, nil
 	default:
 		return nil, fmt.Errorf("encap: unknown scheme %q", name)
 	}
 }
 
 // All returns every codec, for sweeps and ablations.
-func All() []Codec { return []Codec{IPIP{}, MinEnc{}, GRE{}} }
+func All() []Codec { return []Codec{IPIP{}, MinEnc{}, GRE{}, Compact{}} }
 
 // grow extends b by n bytes, reallocating at most once, and returns the
 // extended slice. The new bytes are uninitialized (pooled buffers carry

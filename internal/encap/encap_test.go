@@ -55,7 +55,8 @@ func TestRoundTripAllCodecs(t *testing.T) {
 
 func TestOverheadExactBytes(t *testing.T) {
 	in := innerPacket(make([]byte, 1000))
-	want := map[string]int{"ipip": 20, "minenc": 8, "gre": 24}
+	// compact: src preserved in the outer header, dst carried -> 8B.
+	want := map[string]int{"ipip": 20, "minenc": 8, "gre": 24, "compact": 8}
 	for _, codec := range All() {
 		outer, err := codec.Encapsulate(in, home, ha) // minenc: src preserved -> 8B
 		if err != nil {

@@ -63,6 +63,13 @@ func FuzzDecapsulateIPIP(f *testing.F)   { fuzzDecapsulate(f, IPIP{}) }
 func FuzzDecapsulateMinEnc(f *testing.F) { fuzzDecapsulate(f, MinEnc{}) }
 func FuzzDecapsulateGRE(f *testing.F)    { fuzzDecapsulate(f, GRE{}) }
 
+// FuzzDecapsulateCompact covers the route-opt compression option in both
+// endpoint shapes: agent side (no home; dst-is-home headers must be
+// rejected, not guessed) and mobile side (home configured, restoration
+// engaged).
+func FuzzDecapsulateCompact(f *testing.F)     { fuzzDecapsulate(f, Compact{}) }
+func FuzzDecapsulateCompactHome(f *testing.F) { fuzzDecapsulate(f, Compact{Home: ipv4.AddrFrom(36, 1, 1, 3)}) }
+
 // FuzzDecapsulateGREKeyed exercises the key-checking path separately:
 // with a key configured, mismatched and absent keys must be rejected
 // without panicking.
@@ -82,7 +89,9 @@ func FuzzEncapRoundTrip(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, which, proto, ttl uint8, id uint16, payload []byte) {
 		codecs := All()
-		codecs = append(codecs, GRE{Key: 0xfeedface})
+		// A keyed GRE and a home-configured Compact (its home matching the
+		// fixed inner destination, so the dst-is-home path round-trips).
+		codecs = append(codecs, GRE{Key: 0xfeedface}, Compact{Home: ipv4.AddrFrom(17, 5, 0, 2)})
 		c := codecs[int(which)%len(codecs)]
 		inner := ipv4.Packet{
 			Header: ipv4.Header{

@@ -66,6 +66,17 @@ func (ic *Instrumented) AppendEncap(inner ipv4.Packet, src, dst ipv4.Addr, buf [
 	return out, err
 }
 
+// AppendEncapHome counts and delegates, preserving the wrapped codec's
+// HomeEncapper capability (or its absence) through the wrapper.
+func (ic *Instrumented) AppendEncapHome(inner ipv4.Packet, src, dst, home ipv4.Addr, buf []byte) (ipv4.Packet, error) {
+	out, err := AppendEncapHome(ic.inner, inner, src, dst, home, buf)
+	if err == nil {
+		ic.reg.Encaps.Inc()
+		ic.encaps.Inc()
+	}
+	return out, err
+}
+
 // Decapsulate counts and delegates.
 func (ic *Instrumented) Decapsulate(outer ipv4.Packet) (ipv4.Packet, error) {
 	in, err := ic.inner.Decapsulate(outer)

@@ -53,6 +53,11 @@ type GridCell struct {
 	MNOutPackets, MNOutBytes [metrics.NumModes]uint64
 	MNInPackets, MNInBytes   [metrics.NumModes]uint64
 
+	// Bytes-on-wire per mode over the same window: tunnel headers
+	// included, so MNOutWireBytes-MNOutBytes is the measured (not
+	// analytic) encapsulation overhead the route-opt tier shrinks.
+	MNOutWireBytes, MNInWireBytes [metrics.NumModes]uint64
+
 	// Drops per cause over the exchange window (all-zero on the healthy
 	// grid topology).
 	Drops [metrics.NumDropCauses]uint64
@@ -210,6 +215,7 @@ func runGridCellTopo(seed int64, combo core.Combo, topo gridTopo) GridCell {
 	base := mark()
 	outP0, outB0 := read4(&reg.OutPackets), read4(&reg.OutBytes)
 	inP0, inB0 := read4(&reg.InPackets), read4(&reg.InBytes)
+	outW0, inW0 := read4(&reg.OutWireBytes), read4(&reg.InWireBytes)
 	var drops0 [metrics.NumDropCauses]uint64
 	for c := range drops0 {
 		drops0[c] = reg.DropCount(metrics.DropCause(c))
@@ -236,11 +242,14 @@ func runGridCellTopo(seed int64, combo core.Combo, topo gridTopo) GridCell {
 	}
 	outP1, outB1 := read4(&reg.OutPackets), read4(&reg.OutBytes)
 	inP1, inB1 := read4(&reg.InPackets), read4(&reg.InBytes)
+	outW1, inW1 := read4(&reg.OutWireBytes), read4(&reg.InWireBytes)
 	for m := 0; m < metrics.NumModes; m++ {
 		cell.MNOutPackets[m] = outP1[m] - outP0[m]
 		cell.MNOutBytes[m] = outB1[m] - outB0[m]
 		cell.MNInPackets[m] = inP1[m] - inP0[m]
 		cell.MNInBytes[m] = inB1[m] - inB0[m]
+		cell.MNOutWireBytes[m] = outW1[m] - outW0[m]
+		cell.MNInWireBytes[m] = inW1[m] - inW0[m]
 	}
 	for c := range cell.Drops {
 		cell.Drops[c] = reg.DropCount(metrics.DropCause(c)) - drops0[c]
@@ -336,6 +345,12 @@ type GridCellMetrics struct {
 	MNOutBytes    map[string]uint64 `json:"mn_out_bytes,omitempty"`
 	MNInPackets   map[string]uint64 `json:"mn_in_pkts,omitempty"`
 	MNInBytes     map[string]uint64 `json:"mn_in_bytes,omitempty"`
+
+	// Measured wire cost (tunnel headers included) per mode: the E17
+	// bytes-on-wire column, also surfaced per grid cell so header
+	// overhead is visible per (Out, In) pair.
+	MNOutWireBytes map[string]uint64 `json:"mn_out_wire_bytes,omitempty"`
+	MNInWireBytes  map[string]uint64 `json:"mn_in_wire_bytes,omitempty"`
 	Drops         map[string]uint64 `json:"drops,omitempty"`
 	Requirements  string            `json:"requirements,omitempty"`
 }
@@ -381,6 +396,9 @@ func CellMetrics(c GridCell) GridCellMetrics {
 		MNOutBytes:    nonzeroByName(c.MNOutBytes, metrics.OutModeNames),
 		MNInPackets:   nonzeroByName(c.MNInPackets, metrics.InModeNames),
 		MNInBytes:     nonzeroByName(c.MNInBytes, metrics.InModeNames),
+
+		MNOutWireBytes: nonzeroByName(c.MNOutWireBytes, metrics.OutModeNames),
+		MNInWireBytes:  nonzeroByName(c.MNInWireBytes, metrics.InModeNames),
 		Requirements:  c.Requirements,
 	}
 	for cause, n := range c.Drops {

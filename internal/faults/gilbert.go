@@ -135,3 +135,44 @@ func (bh *Blackhole) verdict(f netsim.Frame) netsim.Impairment {
 func (bh *Blackhole) Remove() {
 	bh.seg.SetFaultHook(nil)
 }
+
+// PortBlackhole silently discards UDP datagrams addressed to one
+// destination port — a middlebox that eats a control protocol while
+// passing everything else. E17 uses it to blackhole binding updates
+// (port 435) and prove the route-optimization tier's hard fallback:
+// updates vanish, cached bindings expire, and every conversation
+// degrades to In-IE triangle routing instead of a black hole.
+type PortBlackhole struct {
+	seg  *netsim.Segment
+	port uint16
+}
+
+// BlackholePort installs a blackhole on seg for UDP frames destined to
+// dstPort, replacing any previous fault hook.
+func BlackholePort(seg *netsim.Segment, dstPort uint16) *PortBlackhole {
+	bh := &PortBlackhole{seg: seg, port: dstPort}
+	seg.SetFaultHook(bh.verdict)
+	return bh
+}
+
+func (bh *PortBlackhole) verdict(f netsim.Frame) netsim.Impairment {
+	if f.Type != netsim.EtherTypeIPv4 || len(f.Payload) < 20 {
+		return netsim.Impairment{}
+	}
+	b := f.Payload
+	hlen := int(b[0]&0x0f) * 4
+	// Protocol at byte 9; the UDP destination port sits two bytes into
+	// the transport header.
+	if b[9] != 17 || hlen < 20 || len(b) < hlen+4 {
+		return netsim.Impairment{}
+	}
+	if uint16(b[hlen+2])<<8|uint16(b[hlen+3]) == bh.port {
+		return netsim.Impairment{Drop: true, Cause: metrics.DropBlackhole}
+	}
+	return netsim.Impairment{}
+}
+
+// Remove detaches the blackhole from its segment.
+func (bh *PortBlackhole) Remove() {
+	bh.seg.SetFaultHook(nil)
+}

@@ -21,12 +21,14 @@ import (
 
 	"mob4x4/internal/assert"
 	"mob4x4/internal/core"
+	"mob4x4/internal/encap"
 	"mob4x4/internal/icmphost"
 	"mob4x4/internal/inet"
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/metrics"
 	"mob4x4/internal/mobileip"
 	"mob4x4/internal/netsim"
+	"mob4x4/internal/routeopt"
 	"mob4x4/internal/sock"
 	"mob4x4/internal/stack"
 	"mob4x4/internal/udp"
@@ -134,6 +136,64 @@ type Options struct {
 	// Attack arms the adversarial storm of E15: binding thieves, a
 	// replayer and rogue agents attacking the fleet mid-run.
 	Attack AttackOptions
+
+	// RouteOpt arms the route-optimization tier of E17: pushed
+	// correspondent binding updates, compact encapsulation and
+	// hierarchical local registration.
+	RouteOpt RouteOptOptions
+}
+
+// RouteOptOptions parameterizes the route-optimization tier. Each piece
+// is independent so experiments can measure it in isolation; the whole
+// tier's bookkeeping (the correspondent-recovery histogram and the
+// binding-update receiver) is armed when any field is set, or by
+// Enabled alone for a measured baseline.
+type RouteOptOptions struct {
+	// Enabled arms the tier's measurement — the recovery histogram and
+	// the aware correspondent's update receiver — without any feature:
+	// the with/without baseline. Any feature flag implies it.
+	Enabled bool
+
+	// PushUpdates gives every mobile node a binding updater: on each
+	// completed handoff it pushes the new care-of address straight to
+	// its active correspondents (routeopt.Updater).
+	PushUpdates bool
+
+	// PushFromHA installs the home-agent-push alternative
+	// (routeopt.HAUpdater): the agent pushes when a binding moves, to
+	// the correspondents it saw tunneling In-IE.
+	PushFromHA bool
+
+	// Compact switches every tunnel endpoint to compact encapsulation
+	// (encap.Compact). Implies FAEvery=-1: a shared foreign agent
+	// cannot reconstruct per-visitor elided home addresses. Ignored
+	// when Hierarchical is set, for the same reason one tier up — the
+	// gateway decapsulates tunnels for every home in the metro.
+	Compact bool
+
+	// Hierarchical builds the regional gateway tier: a gateway foreign
+	// agent (routeopt.RegionalAgent) aggregates the metro's cells
+	// behind one stable care-of address, and every self-sufficient
+	// node registers intra-metro handoffs locally with it instead of
+	// across the home uplink. Foreign-agent-attached nodes keep their
+	// flat registration path.
+	Hierarchical bool
+
+	// UpdateTTL is the cache lifetime advertised in pushed binding
+	// updates (seconds, default 20).
+	UpdateTTL uint16
+
+	// BlackholeUpdates silently discards every binding-update request
+	// (UDP 435) at the cell and home LANs — the fault-injection proof
+	// that the push tier fails hard to In-IE triangle routing without
+	// losing conversations.
+	BlackholeUpdates bool
+}
+
+// engaged reports whether any part of the tier (or its baseline
+// measurement) is armed.
+func (r RouteOptOptions) engaged() bool {
+	return r.Enabled || r.PushUpdates || r.PushFromHA || r.Compact || r.Hierarchical
 }
 
 // AttackOptions parameterizes the adversarial storm. The zero value of
@@ -186,6 +246,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FAEvery == 0 {
 		o.FAEvery = 5
+	}
+	if o.RouteOpt.Hierarchical {
+		o.RouteOpt.Compact = false
+	}
+	if o.RouteOpt.Compact {
+		o.FAEvery = -1
+	}
+	if o.RouteOpt.UpdateTTL == 0 {
+		o.RouteOpt.UpdateTTL = 20
 	}
 	if o.RegLifetime == 0 {
 		o.RegLifetime = 20
@@ -280,6 +349,16 @@ type Node struct {
 	class int
 	viaFA bool
 
+	// Route-optimization tier attachments (nil/false unless the
+	// corresponding RouteOpt option is set). hier marks a node on the
+	// hierarchical registration path; movedRegional is true while the
+	// node's latest move awaits its regional registration reply — the
+	// accept completes the handoff (see onRegionalAccepted).
+	up            *routeopt.Updater
+	lr            *routeopt.LocalRegistrar
+	hier          bool
+	movedRegional bool
+
 	cell   int // current cell index; -1 until first placement
 	region int // current region shard index (0 = hub)
 	moveAt vtime.Time
@@ -362,6 +441,34 @@ type Fleet struct {
 	// attack holds the adversarial actors when Opts.Attack.Enabled; nil
 	// otherwise, and every attack path is skipped.
 	attack *attackState
+
+	// Route-optimization tier (nil/zero unless Opts.RouteOpt engaged).
+	// GFA is the hierarchical gateway; gfaAddr caches its address for
+	// the hot markBinding compare. chAwareC is the aware far
+	// correspondent, recvAware its binding-update receiver, hup the
+	// HA-push updater.
+	GFA       *routeopt.RegionalAgent
+	gfaAddr   ipv4.Addr
+	chAwareC  *mobileip.Correspondent
+	recvAware *routeopt.Receiver
+	hup       *routeopt.HAUpdater
+
+	// Correspondent-recovery bookkeeping, all hub-shard state: the home
+	// agent (and gateway) mark each real binding movement, and the aware
+	// correspondent's cache learns observe how long the correspondent
+	// routed against stale information. roMarks is point-lookup only,
+	// never iterated.
+	roMarks      map[ipv4.Addr]*roMark
+	recoveryHist *metrics.Histogram
+}
+
+// roMark is one home address's latest binding movement as seen at the
+// hub: the care-of address it moved to, when, and whether the aware
+// correspondent has caught up yet.
+type roMark struct {
+	careOf ipv4.Addr
+	at     vtime.Time
+	seen   bool
 }
 
 // regionOf maps a cell index to its region shard index.
@@ -409,22 +516,104 @@ func (f *Fleet) careOf(c, idx int) ipv4.Addr {
 
 // onRegistered records a completed handoff: the re-registration that
 // followed the node's most recent attachment was accepted. It runs on the
-// node's current shard and charges that region's accumulators.
+// node's current shard and charges that region's accumulators. With the
+// push tier armed, a completed handoff is also the moment to tell the
+// node's correspondents where it went.
 func (f *Fleet) onRegistered(n *Node) {
+	n.movedRegional = false
 	rs := f.rs[n.region]
 	rs.handoffs++
 	rs.mHandoffs.Inc()
 	rs.handoffHist.ObserveDuration(n.Host.Sim().Now().Sub(n.moveAt))
+	if n.up != nil {
+		n.up.PushBinding()
+	}
+}
+
+// onRegionalAccepted fires when the gateway accepted a node's regional
+// registration. When the node's latest move took the regional path,
+// this accept is what completes the handoff — the home agent never saw
+// the move. The first attach in a metro runs both registrations; the
+// movedRegional flag makes whichever acceptance lands count the handoff
+// exactly once.
+func (f *Fleet) onRegionalAccepted(n *Node) {
+	if !n.movedRegional {
+		return
+	}
+	n.movedRegional = false
+	rs := f.rs[n.region]
+	rs.handoffs++
+	rs.mHandoffs.Inc()
+	rs.handoffHist.ObserveDuration(n.Host.Sim().Now().Sub(n.moveAt))
+	if n.up != nil {
+		n.up.PushBinding()
+	}
+}
+
+// recoveryBuckets extends the handoff buckets upward: a correspondent
+// that must wait out a partition plus a cache TTL before relearning a
+// binding can lag most of a minute.
+func recoveryBuckets() []int64 {
+	return append(handoffBuckets(), 40e9, 60e9)
+}
+
+// markBinding records a real binding movement at the hub: the home
+// agent accepted a registration for a new care-of address, or the
+// gateway accepted a regional one. Renewals at the same address are not
+// movements; neither is the home agent's view of a hierarchical node
+// (the stable gateway address) changing hands.
+func (f *Fleet) markBinding(home, careOf ipv4.Addr) {
+	if careOf == f.gfaAddr {
+		return
+	}
+	m := f.roMarks[home]
+	if m == nil {
+		m = &roMark{}
+		f.roMarks[home] = m
+	}
+	if m.careOf == careOf {
+		return
+	}
+	m.careOf = careOf
+	m.at = f.Net.Sim.Now()
+	m.seen = false
+}
+
+// noteLearn observes the aware correspondent catching up with a marked
+// movement: the lag from the binding moving to the correspondent's
+// cache holding the new care-of address is the window it routed (or
+// would have routed) against stale information.
+func (f *Fleet) noteLearn(b core.Binding) {
+	m := f.roMarks[b.Home]
+	if m == nil || m.seen || m.careOf != b.CareOf {
+		return
+	}
+	m.seen = true
+	f.recoveryHist.ObserveDuration(f.Net.Sim.Now().Sub(m.at))
+}
+
+// tunnelCodec returns the fleet's tunnel codec for an endpoint whose
+// mobile home address is home (zero for agents and correspondents,
+// which state per-binding homes via AppendEncapHome). nil selects the
+// default IPIP.
+func (f *Fleet) tunnelCodec(home ipv4.Addr) encap.Codec {
+	if !f.Opts.RouteOpt.Compact {
+		return nil
+	}
+	return encap.Compact{Home: home}
 }
 
 // noteIn attributes one classified arrival to the (Out, In) pair of the
-// conversation that elicited it. Registration replies are the mobility
-// machinery's own traffic (always In-DT by Section 6.4) and are excluded
-// so the matrix reflects workload conversations only.
+// conversation that elicited it. Registration replies and binding-update
+// acks are the mobility machinery's own traffic (always In-DT by Section
+// 6.4) and are excluded so the matrix reflects workload conversations
+// only.
 func (f *Fleet) noteIn(n *Node, mode core.InMode, pkt ipv4.Packet) {
-	if pkt.Protocol == ipv4.ProtoUDP && len(pkt.Payload) >= 2 &&
-		binary.BigEndian.Uint16(pkt.Payload[0:2]) == udp.PortRegistration {
-		return
+	if pkt.Protocol == ipv4.ProtoUDP && len(pkt.Payload) >= 2 {
+		if sp := binary.BigEndian.Uint16(pkt.Payload[0:2]); sp == udp.PortRegistration ||
+			sp == udp.PortBindingUpdate {
+			return
+		}
 	}
 	if !n.hasOut {
 		return

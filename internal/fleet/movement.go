@@ -116,7 +116,21 @@ func (f *Fleet) armMove(n *Node, d vtime.Duration) {
 // vtime.Timer is bound to the scheduler that created it.
 func (f *Fleet) migrate(n *Node, c int, d vtime.Duration) {
 	src := n.Host.Sim()
-	n.MN.Detach()
+	if n.up != nil {
+		n.up.Quiesce()
+	}
+	if n.lr != nil {
+		n.lr.Quiesce()
+	}
+	if n.hier {
+		// A hierarchical node keeps its home registration across the
+		// transit: the home agent's view (the stable gateway address)
+		// is still correct, and the regional re-registration after
+		// arrival is the whole point of the tier.
+		n.MN.DetachRetain()
+	} else {
+		n.MN.Detach()
+	}
 	n.moveTimer.Stop()
 	n.tickTimer.Stop()
 	n.cmdTimer.Stop()
@@ -143,6 +157,12 @@ func (f *Fleet) arrive(n *Node) {
 	sim := f.Net.Regions()[region]
 	n.Host.Rehome(sim)
 	n.MN.Rehome()
+	if n.up != nil {
+		n.up.Rehome()
+	}
+	if n.lr != nil {
+		n.lr.Rehome()
+	}
 	n.region = region
 	f.move(n, n.migCell)
 	f.armMove(n, n.migDwell)
@@ -177,15 +197,31 @@ func (f *Fleet) cmdFire(n *Node) {
 // move attaches node n to cell c and starts the re-registration that
 // completes the handoff. Foreign-agent nodes attach through the cell's
 // agent (shared care-of address, relayed registration); self-sufficient
-// nodes take their own care-of address on the cell LAN. The node's host
-// must already live in cell c's region.
+// nodes take their own care-of address on the cell LAN. A hierarchical
+// node that still holds its home registration moves regionally: only
+// the gateway learns the new cell, and the gateway's accept is what
+// completes the handoff. The node's host must already live in cell c's
+// region.
 func (f *Fleet) move(n *Node, c int) {
 	n.moveAt = n.Host.Sim().Now()
 	n.cell = c
+	n.movedRegional = false
 	cell := f.Cells[c]
-	if n.viaFA && cell.FA != nil {
+	switch {
+	case n.viaFA && cell.FA != nil:
 		n.MN.MoveToForeignAgent(cell.LAN.Seg, cell.FA.Addr())
-	} else {
+	case n.hier && n.MN.Registered():
+		n.movedRegional = true
+		n.MN.MoveToRegional(cell.LAN.Seg, f.careOf(c, n.Idx), cell.LAN.Prefix, cell.LAN.Gateway)
+		n.lr.Register()
+	default:
 		n.MN.MoveTo(cell.LAN.Seg, f.careOf(c, n.Idx), cell.LAN.Prefix, cell.LAN.Gateway)
+		if n.hier {
+			// First attach (or a re-attach after losing the home
+			// registration): the full home path runs, and the gateway
+			// learns the cell in parallel so the home agent's tunnels
+			// to the stable address have somewhere to go.
+			n.lr.Register()
+		}
 	}
 }

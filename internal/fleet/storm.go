@@ -6,6 +6,7 @@ import (
 	"mob4x4/internal/core"
 	"mob4x4/internal/faults"
 	"mob4x4/internal/metrics"
+	"mob4x4/internal/routeopt"
 	"mob4x4/internal/vtime"
 )
 
@@ -67,6 +68,37 @@ type Result struct {
 	DeniedBadMAC   uint64 // CodeDeniedAuthFailed receipts at the attackers
 	DeniedReplay   uint64 // CodeDeniedReplay receipts
 	DeniedStale    uint64 // CodeDeniedStaleID receipts
+
+	// Route-optimization tier accounting (zero unless Opts.RouteOpt is
+	// engaged). Push* sums the MN-push and HA-push engines; CHUpdates*
+	// is the aware correspondent's receiver; Recovery* quantifies how
+	// long the aware correspondent routed against stale binding
+	// information after each real movement (nanoseconds of vtime).
+	PushUpdatesSent   uint64
+	PushAcks          uint64
+	PushNacks         uint64
+	PushRetransmits   uint64
+	PushAbandons      uint64
+	CHUpdatesAccepted uint64
+	CHUpdatesRefused  uint64
+	RecoverySamples   uint64
+	RecoveryP50       int64
+	RecoveryP95       int64
+
+	// Hierarchical tier accounting.
+	RegionalRegistrations uint64 // gateway-accepted regional registrations
+	RegionalDenied        uint64
+	LocalRegFails         uint64 // registrar-side denials + exhausted retries
+	GFADownRelayed        uint64 // HA→gateway tunnels re-tunneled to a cell
+	GFAUpRelayed          uint64 // reverse tunnels relayed on to the HA
+	GFANoBinding          uint64
+
+	// UplinkBytes is the byte count carried by the home uplink segment
+	// — the link the hierarchical tier keeps intra-metro handoffs off.
+	UplinkBytes uint64
+	// BlackholeDrops counts update requests eaten by the fault-injected
+	// blackhole (RouteOpt.BlackholeUpdates).
+	BlackholeDrops uint64
 
 	// Auth rejects from the shared drop-cause vector: the agents' view.
 	// Superset of the attacker receipts when legitimate traffic was
@@ -185,6 +217,41 @@ func (f *Fleet) Run() Result {
 			res.RegisteredAtEnd++
 		}
 	}
+	if opts.RouteOpt.engaged() {
+		tallyPush := func(st *routeopt.PushStats) {
+			res.PushUpdatesSent += st.UpdatesSent
+			res.PushAcks += st.Acks
+			res.PushNacks += st.Nacks
+			res.PushRetransmits += st.Retransmits
+			res.PushAbandons += st.Abandons
+		}
+		for _, n := range f.Nodes {
+			if n.up != nil {
+				tallyPush(&n.up.Stats)
+			}
+			if n.lr != nil {
+				res.LocalRegFails += n.lr.Stats.Fails
+			}
+		}
+		if f.hup != nil {
+			tallyPush(&f.hup.Stats)
+		}
+		res.CHUpdatesAccepted = f.recvAware.Stats.Accepted
+		res.CHUpdatesRefused = f.recvAware.Stats.Refused
+		rhist := merged.Histogram("routeopt/recovery_ns", recoveryBuckets())
+		res.RecoverySamples = rhist.Count()
+		res.RecoveryP50 = rhist.Quantile(0.50)
+		res.RecoveryP95 = rhist.Quantile(0.95)
+		if f.GFA != nil {
+			res.RegionalRegistrations = f.GFA.Stats.Registrations
+			res.RegionalDenied = f.GFA.Stats.Denied
+			res.GFADownRelayed = f.GFA.Stats.DownRelayed
+			res.GFAUpRelayed = f.GFA.Stats.UpRelayed
+			res.GFANoBinding = f.GFA.Stats.NoBinding
+		}
+		res.BlackholeDrops = merged.DropCount(metrics.DropBlackhole)
+	}
+	res.UplinkBytes = f.HomeUplink.BytesCarried
 	res.Expiries = f.HA.Stats.Expiries
 	res.BindingsAtEnd = f.HA.Bindings()
 	res.FacadeEchoes = f.facadeEchoes
@@ -228,6 +295,12 @@ func (f *Fleet) Run() Result {
 		if n.fconn != nil {
 			n.fconn.CloseCore()
 		}
+		if n.up != nil {
+			n.up.Close()
+		}
+		if n.lr != nil {
+			n.lr.Close()
+		}
 	}
 	for _, c := range f.Cells {
 		if c.FA != nil {
@@ -238,6 +311,15 @@ func (f *Fleet) Run() Result {
 	}
 	f.probeSrv.Close()
 	f.facadeSrv.CloseCore()
+	if f.hup != nil {
+		f.hup.Close()
+	}
+	if f.recvAware != nil {
+		f.recvAware.Close()
+	}
+	if f.GFA != nil {
+		f.GFA.Close()
+	}
 	f.closeAttackers()
 	for _, cancel := range f.cancels {
 		cancel()
@@ -335,6 +417,43 @@ func (f *Fleet) invariants(r *Result) []string {
 		if r.AuthBadMACDrops != 0 || r.AuthReplayDrops != 0 {
 			bad("legitimate traffic tripped auth rejects: bad_mac=%d replay=%d",
 				r.AuthBadMACDrops, r.AuthReplayDrops)
+		}
+	}
+	ro := f.Opts.RouteOpt
+	pushing := ro.PushUpdates || ro.PushFromHA
+	if pushing && ro.BlackholeUpdates {
+		// The fallback proof: with every update request eaten, the push
+		// tier must fail hard — retries exhausted, nothing acked,
+		// nothing learned — while the conversation-survival checks
+		// below still hold via In-IE triangle routing.
+		if r.PushAcks != 0 || r.CHUpdatesAccepted != 0 {
+			bad("blackholed binding updates got through: acks=%d accepted=%d",
+				r.PushAcks, r.CHUpdatesAccepted)
+		}
+		if r.PushUpdatesSent == 0 || r.PushAbandons == 0 {
+			bad("blackholed push tier idle: sent=%d abandons=%d",
+				r.PushUpdatesSent, r.PushAbandons)
+		}
+		if r.BlackholeDrops == 0 {
+			bad("blackhole armed but ate no update request")
+		}
+	} else if pushing && !(ro.PushFromHA && !ro.PushUpdates && ro.Hierarchical) {
+		// (HA-push under the hierarchical tier is degenerate — the home
+		// agent sees one stable address per node and never pushes — so
+		// the liveness check skips that combination.)
+		if r.PushUpdatesSent == 0 {
+			bad("push tier enabled but no update was ever sent")
+		}
+		if r.PushAcks == 0 {
+			bad("no push was ever acknowledged")
+		}
+	}
+	if ro.Hierarchical {
+		if r.RegionalRegistrations == 0 {
+			bad("hierarchical tier enabled but the gateway accepted no registration")
+		}
+		if r.GFADownRelayed == 0 {
+			bad("gateway never re-tunneled home-agent traffic to a cell")
 		}
 	}
 	if r.RegisteredAtEnd != r.Nodes {

@@ -5,12 +5,15 @@ import (
 
 	"mob4x4/internal/assert"
 	"mob4x4/internal/core"
+	"mob4x4/internal/faults"
 	"mob4x4/internal/icmphost"
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/mobileip"
 	"mob4x4/internal/netsim"
+	"mob4x4/internal/routeopt"
 	"mob4x4/internal/sock"
 	"mob4x4/internal/stack"
+	"mob4x4/internal/udp"
 	"mob4x4/internal/vtime"
 )
 
@@ -47,14 +50,26 @@ func (f *Fleet) buildTopology() {
 
 	// chAware is mobile-aware: it learns bindings from the home agent's
 	// notices and switches its replies to In-DE. It can also
-	// decapsulate, so nodes may send to it Out-DE.
+	// decapsulate, so nodes may send to it Out-DE. The route-
+	// optimization tier hangs its binding-update receiver off this
+	// correspondent — the other correspondents stay update-deaf, so
+	// pushes to them exhaust their retries and the TTL fallback carries
+	// the conversation.
 	chAwareHost := n.AddHost("ch-aware", far)
 	chAwareIC := icmphost.Install(chAwareHost)
-	mobileip.NewCorrespondent(chAwareHost, chAwareIC, mobileip.CorrespondentConfig{
+	f.chAwareC = mobileip.NewCorrespondent(chAwareHost, chAwareIC, mobileip.CorrespondentConfig{
 		MobileAware:    true,
 		CanDecapsulate: true,
+		Codec:          f.tunnelCodec(ipv4.Zero),
 	})
 	f.chAware = chAwareHost.FirstAddr()
+	if opts.RouteOpt.engaged() {
+		recv, err := routeopt.NewReceiver(f.chAwareC, routeopt.ReceiverConfig{
+			RequireAuth: opts.Auth,
+		})
+		assert.NoError(err, "fleet: binding-update receiver")
+		f.recvAware = recv
+	}
 
 	// chProbe answers UDP probes on port 53; the port heuristic elects
 	// Out-DT for them, and the echoed reply comes back In-DT.
@@ -123,7 +138,7 @@ func (f *Fleet) buildTopology() {
 		// UDP echoes In-DH — the paper's Row C same-segment case.
 		kioskHost := n.AddHost(fmt.Sprintf("kiosk%d", i), lan)
 		kc := mobileip.NewCorrespondent(kioskHost, icmphost.Install(kioskHost),
-			mobileip.CorrespondentConfig{MobileAware: true})
+			mobileip.CorrespondentConfig{MobileAware: true, Codec: f.tunnelCodec(ipv4.Zero)})
 		cancel, err := kc.ListenForVisitors(30)
 		assert.NoError(err, "fleet: kiosk visitor listener")
 		c.kioskCancel = cancel
@@ -143,9 +158,12 @@ func (f *Fleet) buildTopology() {
 		NoticeLifetime:     30,
 		ExpiryGranularity:  opts.ExpiryGranularity,
 		RequireAuth:        opts.Auth,
+		Codec:              f.tunnelCodec(ipv4.Zero),
 	})
 	assert.NoError(err, "fleet: create home agent")
 	f.HA = ha
+
+	f.buildRouteOpt(bb)
 
 	// Adversaries, when armed, are hosts like any other and need routes.
 	f.buildAttackers()
@@ -155,6 +173,67 @@ func (f *Fleet) buildTopology() {
 	f.HomeUplink = n.Sim.SegmentByName("p2p-hagw-bb0")
 	if f.HomeUplink == nil {
 		assert.Unreachable("fleet: home uplink segment missing")
+	}
+}
+
+// buildRouteOpt constructs the route-optimization tier's hub-side
+// pieces: the correspondent-recovery bookkeeping, the regional gateway
+// (Hierarchical), the HA-push updater (PushFromHA), and the
+// binding-update blackholes of the fallback proof. Runs in build region
+// 0, after the home agent exists and before routes are computed.
+func (f *Fleet) buildRouteOpt(bb []*stack.Host) {
+	opts := f.Opts
+	if !opts.RouteOpt.engaged() {
+		return
+	}
+	n := f.Net
+
+	// Recovery bookkeeping: the home agent (and gateway) mark binding
+	// movements; the aware correspondent's cache learns clear them. All
+	// the hooks run on the hub shard, so the mark map needs no locks.
+	// The HA-push updater chains onto OnBind after this, preserving the
+	// mark hook.
+	f.roMarks = make(map[ipv4.Addr]*roMark, opts.Nodes)
+	f.recoveryHist = f.Net.Sim.Metrics.Histogram("routeopt/recovery_ns", recoveryBuckets())
+	f.HA.OnBind = f.markBinding
+	f.chAwareC.OnLearn = f.noteLearn
+
+	if opts.RouteOpt.Hierarchical {
+		// The gateway agent: its own LAN behind a metro gateway router
+		// on the backbone, in the hub region — its registrations and
+		// re-tunnels are hub events like the home agent's. Every cell
+		// reaches it without crossing the home uplink.
+		gfaLAN := n.AddLAN("gfa", "11.1.0.0/24", netsim.SegmentOpts{Latency: 1 * millisecond})
+		mgw := n.AddRouter("mgw")
+		n.AttachRouter(mgw, gfaLAN)
+		n.Link(mgw, bb[1%len(bb)], 3*millisecond)
+		gfaHost := n.AddHost("gfa", gfaLAN)
+		gfa, err := routeopt.NewRegionalAgent(gfaHost, gfaHost.FirstAddr(), routeopt.RegionalAgentConfig{
+			HomeAgent:   f.HA.Addr(),
+			RequireAuth: opts.Auth,
+		})
+		assert.NoError(err, "fleet: regional gateway agent")
+		gfa.OnRegister = f.markBinding
+		f.GFA = gfa
+		f.gfaAddr = gfa.Addr()
+	}
+
+	if opts.RouteOpt.PushFromHA {
+		hup, err := routeopt.NewHAUpdater(f.HA, routeopt.HAUpdaterConfig{
+			Lifetime: opts.RouteOpt.UpdateTTL,
+		})
+		assert.NoError(err, "fleet: ha-push updater")
+		f.hup = hup
+	}
+
+	if opts.RouteOpt.BlackholeUpdates {
+		// Silent discard of every binding-update request at its first
+		// segment: cell LANs for MN-push, the home LAN for HA-push. The
+		// acks need no hole — no update arrives to be acked.
+		for _, c := range f.Cells {
+			faults.BlackholePort(c.LAN.Seg, udp.PortBindingUpdate)
+		}
+		faults.BlackholePort(f.HomeLAN.Seg, udp.PortBindingUpdate)
 	}
 }
 
@@ -194,7 +273,14 @@ func (f *Fleet) buildNodes() {
 			auth = f.provisionAuth(i, ifc.Addr())
 		}
 
-		mn, err := mobileip.NewMobileNode(host, ifc, mobileip.MobileNodeConfig{
+		// Hierarchical nodes register through the regional gateway:
+		// the home agent sees the gateway's stable address, intra-metro
+		// moves register locally only. Foreign-agent-attached nodes
+		// keep the flat path — their care-of address (the FA) is
+		// already a relay the gateway would only shadow.
+		viaFA := opts.FAEvery > 0 && i%opts.FAEvery == 0
+		hier := opts.RouteOpt.Hierarchical && !viaFA
+		cfg := mobileip.MobileNodeConfig{
 			Home:             ifc.Addr(),
 			HomePrefix:       f.HomeLAN.Prefix,
 			HomeAgent:        haAddr,
@@ -203,7 +289,13 @@ func (f *Fleet) buildNodes() {
 			Selector:         sel,
 			AnnouncePresence: class == clsKiosk,
 			Auth:             auth,
-		})
+			Codec:            f.tunnelCodec(ifc.Addr()),
+		}
+		if hier {
+			cfg.RegisterCareOf = f.gfaAddr
+			cfg.RegionalAgent = f.gfaAddr
+		}
+		mn, err := mobileip.NewMobileNode(host, ifc, cfg)
 		assert.NoError(err, "fleet: create mobile node")
 
 		ws, err := host.OpenUDP(ipv4.Zero, 0, func(ipv4.Addr, uint16, ipv4.Addr, []byte) {})
@@ -238,14 +330,61 @@ func (f *Fleet) buildNodes() {
 			fconn:  fconn,
 			rng:    rngFor(opts.Seed, i),
 			class:  class,
-			viaFA:  opts.FAEvery > 0 && i%opts.FAEvery == 0,
+			viaFA:  viaFA,
+			hier:   hier,
 			cell:   -1,
 			region: 0, // built on the home LAN, in the hub region
 		}
 		mn.OnRegistered = func() { f.onRegistered(node) }
 		mn.OnInPacket = func(mode core.InMode, pkt ipv4.Packet) { f.noteIn(node, mode, pkt) }
+		f.attachRouteOpt(node, auth)
 		// Built detached; the placement storm attaches it.
 		mn.Detach()
 		f.Nodes[i] = node
+	}
+}
+
+// attachRouteOpt installs a node's per-node route-optimization pieces —
+// the MN-push updater, the regional registration client — and
+// provisions the keys their verifiers check against. No-op when the
+// tier is off.
+func (f *Fleet) attachRouteOpt(n *Node, auth *mobileip.Authenticator) {
+	opts := f.Opts
+	if !opts.RouteOpt.engaged() {
+		return
+	}
+	home := n.MN.Home()
+	if (opts.RouteOpt.PushUpdates || opts.RouteOpt.PushFromHA) && opts.Auth {
+		f.recvAware.ProvisionKey(home, authSPIFor(n.Idx), authKeyFor(opts.Seed, n.Idx))
+	}
+	if opts.RouteOpt.PushUpdates {
+		up, err := routeopt.NewUpdater(n.MN, routeopt.UpdaterConfig{
+			Lifetime: opts.RouteOpt.UpdateTTL,
+			Auth:     auth,
+		})
+		assert.NoError(err, "fleet: node binding updater")
+		n.up = up
+	}
+	if opts.RouteOpt.PushFromHA {
+		var hubAuth *mobileip.Authenticator
+		if opts.Auth {
+			// The HA-side pusher signs on the hub shard, so it gets its
+			// own authenticator instance; the node's lives on the
+			// node's shard.
+			hubAuth = mobileip.NewAuthenticator(authSPIFor(n.Idx), authKeyFor(opts.Seed, n.Idx))
+		}
+		f.hup.ProvisionHome(home, hubAuth)
+	}
+	if n.hier {
+		if opts.Auth {
+			f.GFA.ProvisionKey(home, authSPIFor(n.Idx), authKeyFor(opts.Seed, n.Idx))
+		}
+		lr, err := routeopt.NewLocalRegistrar(n.MN, routeopt.LocalRegistrarConfig{
+			Regional: f.gfaAddr,
+			Auth:     auth,
+		})
+		assert.NoError(err, "fleet: node local registrar")
+		lr.OnAccepted = func(ipv4.Addr) { f.onRegionalAccepted(n) }
+		n.lr = lr
 	}
 }

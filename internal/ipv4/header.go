@@ -16,6 +16,9 @@ const (
 	ProtoUDP    uint8 = 17
 	ProtoGRE    uint8 = 47
 	ProtoMinEnc uint8 = 55
+	// ProtoCompact is the route-optimization compact encapsulation
+	// (internal/encap.Compact); it uses an RFC 3692 experimental number.
+	ProtoCompact uint8 = 253
 )
 
 // HeaderLen is the length of an IPv4 header without options.

@@ -25,6 +25,7 @@ var bufretainPkgs = map[string]bool{
 	"internal/faults":   true,
 	"internal/sock":     true,
 	"internal/pcap":     true,
+	"internal/routeopt": true,
 }
 
 // BufRetain returns the analyzer enforcing the receive-side half of the

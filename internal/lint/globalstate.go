@@ -21,6 +21,7 @@ var globalstatePkgs = map[string]bool{
 	"internal/mobileip": true,
 	"internal/fleet":    true,
 	"internal/core":     true,
+	"internal/routeopt": true,
 }
 
 // GlobalState returns the analyzer banning package-level mutable state in
@@ -31,7 +32,7 @@ var globalstatePkgs = map[string]bool{
 func GlobalState() *Analyzer {
 	a := &Analyzer{
 		Name:          "globalstate",
-		Doc:           "no package-level mutable state in shard-candidate packages (internal/vtime, internal/netsim, internal/stack, internal/encap, internal/mobileip, internal/fleet, internal/core); move it into per-Sim state or annotate with a justification",
+		Doc:           "no package-level mutable state in shard-candidate packages (internal/vtime, internal/netsim, internal/stack, internal/encap, internal/mobileip, internal/fleet, internal/core, internal/routeopt); move it into per-Sim state or annotate with a justification",
 		RequireReason: true,
 	}
 	a.Run = func(pass *Pass) {

@@ -32,6 +32,7 @@ var hotpathallocPkgs = map[string]bool{
 	"internal/mobileip": true,
 	"internal/fleet":    true,
 	"internal/pcap":     true,
+	"internal/routeopt": true,
 }
 
 // HotPathAlloc returns the analyzer keeping allocating codec calls out of
@@ -41,7 +42,7 @@ var hotpathallocPkgs = map[string]bool{
 func HotPathAlloc() *Analyzer {
 	a := &Analyzer{
 		Name: "hotpathalloc",
-		Doc:  "no allocating Marshal/Clone/Encapsulate calls in the packet datapath (internal/netsim, internal/stack, internal/encap, internal/mobileip, internal/fleet, internal/pcap); use the Append* forms with pooled buffers",
+		Doc:  "no allocating Marshal/Clone/Encapsulate calls in the packet datapath (internal/netsim, internal/stack, internal/encap, internal/mobileip, internal/fleet, internal/pcap, internal/routeopt); use the Append* forms with pooled buffers",
 	}
 	a.Run = func(pass *Pass) {
 		pkg := pass.Pkg

@@ -110,9 +110,9 @@ func TestDiagnosticPositions(t *testing.T) {
 		{"errcheck", 4, 13, 2, "ParseAddr"},
 		{"panicpolicy", 2, 9, 3, "bare panic"},
 		{"mapiter", 3, 11, 2, "map iteration order is randomized"},
-		{"globalstate", 5, 13, 5, "package-level var seq"},
-		{"sharedrand", 4, 10, 5, "process-wide RNG stream"},
-		{"bufretain", 6, 22, 4, "field last"},
+		{"globalstate", 6, 13, 5, "package-level var seq"},
+		{"sharedrand", 5, 10, 5, "process-wide RNG stream"},
+		{"bufretain", 7, 22, 4, "field last"},
 		{"shardpin", 7, 27, 28, "reading NICs through the far half"},
 	}
 	for _, tc := range tests {
@@ -169,6 +169,40 @@ func TestWallclockScope(t *testing.T) {
 	asVtime := loadFixtureAs(t, fresh, "wallclock", "bad", fresh.ModulePath+"/internal/vtime")
 	if diags := lint.Run([]*lint.Package{asVtime}, []*lint.Analyzer{a}); len(diags) != 0 {
 		t.Errorf("wallclock fired on the exempt vtime package path:\n%s", format(diags))
+	}
+}
+
+// TestRouteOptScope checks that the scoped analyzers actually cover
+// internal/routeopt: each bad fixture, loaded as if it were the real
+// route-optimization package, must still fire. (A fresh loader per
+// masquerade keeps the shared cache clean, like TestWallclockScope.)
+func TestRouteOptScope(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"hotpathalloc", "bufretain", "globalstate", "sharedrand"} {
+		t.Run(name, func(t *testing.T) {
+			a, err := lint.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := lint.NewLoader(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The hotpathalloc bad fixture imports internal/routeopt, so
+			// it cannot itself masquerade as that path; it has a minimal
+			// scoped variant without the import.
+			variant := "bad"
+			if name == "hotpathalloc" {
+				variant = "scoped"
+			}
+			pkg := loadFixtureAs(t, fresh, name, variant, fresh.ModulePath+"/internal/routeopt")
+			if diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a}); len(diags) == 0 {
+				t.Errorf("%s stayed silent on its %s fixture under the internal/routeopt import path", name, variant)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,18 @@
+// The route-optimization receiver parses binding updates out of pooled
+// datagram payloads; caching the raw bytes instead of the parsed fields
+// retains the pooled buffer.
+package bufretainbad
+
+import "mob4x4/internal/ipv4"
+
+// updateCache mimics a binding-update receiver keeping the wire bytes.
+type updateCache struct {
+	lastUpdate []byte
+}
+
+// OnUpdate is the binding-update receive callback: the datagram's
+// payload storage returns to the pool when it returns, so the field
+// store must be flagged.
+func (c *updateCache) OnUpdate(pkt ipv4.Packet) {
+	c.lastUpdate = pkt.Payload
+}

@@ -1,0 +1,15 @@
+// The contract-respecting binding-update receiver: parse inside the
+// callback, keep only owned fields (here, a copy).
+package bufretainclean
+
+import "mob4x4/internal/ipv4"
+
+// updateCache keeps an owned copy of the last update's bytes.
+type updateCache struct {
+	lastUpdate []byte
+}
+
+// OnUpdate copies what it keeps into owned storage before returning.
+func (c *updateCache) OnUpdate(pkt ipv4.Packet) {
+	c.lastUpdate = append(c.lastUpdate[:0], pkt.Payload...)
+}

@@ -1,0 +1,14 @@
+// A binding-update sequence counter at package level couples every
+// shard's pushes to one stream — the exact coupling the regional tier
+// cannot tolerate.
+package globalstatebad
+
+// pushSeq would order every node's binding updates through one shared
+// counter.
+var pushSeq uint16
+
+// NextPushSeq bumps the shared counter.
+func NextPushSeq() uint16 {
+	pushSeq++
+	return pushSeq
+}

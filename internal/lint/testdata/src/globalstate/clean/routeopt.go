@@ -1,0 +1,14 @@
+// The shard-safe shape: each pusher owns its binding-update sequence
+// counter.
+package globalstateclean
+
+// Pusher owns its update sequence, one per (node, correspondent) pair.
+type Pusher struct {
+	seq uint16
+}
+
+// NextSeq is a pure function of this pusher's history.
+func (p *Pusher) NextSeq() uint16 {
+	p.seq++
+	return p.seq
+}

@@ -1,0 +1,17 @@
+// The route-optimization push path serializes one binding update per
+// handoff per active correspondent, so its allocating codec forms are
+// in scope too.
+package hotpathallocbad
+
+import "mob4x4/internal/routeopt"
+
+// PushUpdate serializes a binding update the allocating way; the send
+// path is pinned at 0 allocs/op, so this must be flagged.
+func PushUpdate(u *routeopt.BindingUpdate) []byte {
+	return u.Marshal()
+}
+
+// AckUpdate serializes the acknowledgment the allocating way.
+func AckUpdate(a *routeopt.BindingAck) []byte {
+	return a.Marshal()
+}

@@ -1,0 +1,16 @@
+// The zero-allocation shape of the route-optimization push path:
+// binding updates and acks marshal into caller-provided buffers.
+package hotpathallocclean
+
+import "mob4x4/internal/routeopt"
+
+// PushUpdate appends the binding update into a pooled buffer — the
+// 0 allocs/op send-path shape.
+func PushUpdate(u *routeopt.BindingUpdate, buf []byte) []byte {
+	return u.AppendMarshal(buf[:0])
+}
+
+// AckUpdate appends the acknowledgment the same way.
+func AckUpdate(a *routeopt.BindingAck, buf []byte) []byte {
+	return a.AppendMarshal(buf[:0])
+}

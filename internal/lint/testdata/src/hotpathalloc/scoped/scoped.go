@@ -1,0 +1,12 @@
+// A minimal datapath shape used only by the scope test: unlike the bad
+// fixture it must not import internal/routeopt, because the test loads
+// it under that very import path.
+package hotpathallocscoped
+
+import "mob4x4/internal/mobileip"
+
+// Register serializes the allocating way; under a scoped import path
+// the analyzer must flag it.
+func Register(req *mobileip.Request) []byte {
+	return req.Marshal()
+}

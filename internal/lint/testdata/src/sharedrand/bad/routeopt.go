@@ -1,0 +1,11 @@
+// Retransmission jitter for binding updates drawn from the global
+// stream couples every in-flight push to every other goroutine's draws.
+package sharedrandbad
+
+import "math/rand"
+
+// RetransmitJitter must be flagged: the backoff becomes a function of
+// event interleaving instead of (seed, index).
+func RetransmitJitter() int64 {
+	return rand.Int63n(50)
+}

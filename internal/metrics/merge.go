@@ -37,6 +37,8 @@ func (r *Registry) Merge(src *Registry) {
 		r.OutBytes[i].Add(src.OutBytes[i].Value())
 		r.InPackets[i].Add(src.InPackets[i].Value())
 		r.InBytes[i].Add(src.InBytes[i].Value())
+		r.OutWireBytes[i].Add(src.OutWireBytes[i].Value())
+		r.InWireBytes[i].Add(src.InWireBytes[i].Value())
 	}
 	for c := 0; c < NumDropCauses; c++ {
 		r.drops[c].Add(src.drops[c].Value())

@@ -204,6 +204,14 @@ type Registry struct {
 	InPackets  [NumModes]Counter
 	InBytes    [NumModes]Counter
 
+	// Bytes-on-wire per mode: what the mobile host's traffic actually
+	// cost the network, tunnel headers included — the outer packet's
+	// total length for encapsulated modes, the plain packet's for the
+	// rest. OutWireBytes[m] - OutBytes[m] is the encapsulation overhead
+	// the route-optimization tier exists to shrink (E17).
+	OutWireBytes [NumModes]Counter
+	InWireBytes  [NumModes]Counter
+
 	drops [NumDropCauses]Counter
 
 	counters   map[string]*Counter

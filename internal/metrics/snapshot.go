@@ -68,6 +68,8 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Counters = appendStatic(s.Counters, "grid/out_bytes{"+OutModeNames[i]+"}", &r.OutBytes[i])
 		s.Counters = appendStatic(s.Counters, "grid/in_pkts{"+InModeNames[i]+"}", &r.InPackets[i])
 		s.Counters = appendStatic(s.Counters, "grid/in_bytes{"+InModeNames[i]+"}", &r.InBytes[i])
+		s.Counters = appendStatic(s.Counters, "grid/out_wire_bytes{"+OutModeNames[i]+"}", &r.OutWireBytes[i])
+		s.Counters = appendStatic(s.Counters, "grid/in_wire_bytes{"+InModeNames[i]+"}", &r.InWireBytes[i])
 	}
 	for c := 0; c < NumDropCauses; c++ {
 		s.Counters = appendStatic(s.Counters, "drop/"+DropCause(c).String(), &r.drops[c])

@@ -33,6 +33,10 @@ const (
 	authExtPayloadLen = 4 + authMACLen
 	// authExtLen is the full on-wire extension size.
 	authExtLen = 2 + authExtPayloadLen
+	// AuthExtLen exports the full on-wire extension size for other
+	// packages framing authenticated messages with the same extension
+	// (internal/routeopt's binding updates).
+	AuthExtLen = authExtLen
 )
 
 // AuthExt is the decoded authenticator extension.
@@ -119,6 +123,32 @@ func (a *Authenticator) Verify(msg []byte) bool {
 	a.mac.Write(msg[:len(msg)-authMACLen])
 	sum := a.mac.Sum(a.scratch[:0])
 	return subtle.ConstantTimeCompare(sum[:authMACLen], ext.MAC[:]) == 1
+}
+
+// ReplayVerdict classifies an identification against a ReplayWindow,
+// mirroring the package's internal verdicts for external receivers
+// (internal/routeopt's binding-update receiver).
+type ReplayVerdict uint8
+
+const (
+	// ReplayAccept: fresh identification; the window has advanced.
+	ReplayAccept ReplayVerdict = ReplayVerdict(replayAccept)
+	// ReplayDuplicate: inside the window and already accepted.
+	ReplayDuplicate ReplayVerdict = ReplayVerdict(replayDuplicate)
+	// ReplayStale: behind the window entirely.
+	ReplayStale ReplayVerdict = ReplayVerdict(replayStale)
+)
+
+// ReplayWindow is the exported form of the sliding identification window
+// below, for packages that build their own authenticated message
+// handlers on this package's associations. The zero value is ready to
+// use. Callers must verify the message's MAC before Check — see
+// replayWindow.check.
+type ReplayWindow struct{ w replayWindow }
+
+// Check classifies id and, on accept, marks it as seen.
+func (w *ReplayWindow) Check(id uint64) ReplayVerdict {
+	return ReplayVerdict(w.w.check(id))
 }
 
 // replayWindow is the sliding identification window of RFC 3220 §5.7

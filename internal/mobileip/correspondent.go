@@ -56,6 +56,12 @@ type Correspondent struct {
 	inDH stack.Route
 	inDE stack.Route
 
+	// OnLearn, when non-nil, observes every accepted binding learn —
+	// ICMP notice, DNS, or pushed binding update — after the policy is
+	// updated. E17's recovery-latency monitor hangs here so both learn
+	// paths feed one histogram.
+	OnLearn func(b core.Binding)
+
 	Stats CorrespondentStats
 
 	// Metric instruments, resolved once at construction.
@@ -125,6 +131,9 @@ func (c *Correspondent) LearnBinding(b core.Binding, lifetimeSec uint16) {
 		}
 	}
 	c.policy.NoteOnLink(b.Home, onLink)
+	if c.OnLearn != nil {
+		c.OnLearn(b)
+	}
 	if t := c.expiry[b.Home]; t != nil {
 		t.Stop()
 	}
@@ -241,7 +250,10 @@ func (c *Correspondent) tunnelOutput(inner ipv4.Packet) {
 	}
 	careOf := b.CareOf
 	buf := netsim.GetBuf()
-	outer, err := c.cfg.Codec.AppendEncap(inner, inner.Src, careOf, buf.B)
+	// The binding names the inner destination's home address, so a
+	// home-aware codec (compact) can elide the inner destination from
+	// the tunnel header entirely.
+	outer, err := encap.AppendEncapHome(c.cfg.Codec, inner, inner.Src, careOf, b.Home, buf.B)
 	if err != nil {
 		netsim.PutBuf(buf)
 		return

@@ -109,6 +109,12 @@ type HomeAgent struct {
 	// care-of address" is checked at every install, not just at quiesce.
 	OnBind func(home, careOf ipv4.Addr)
 
+	// OnForward, when non-nil, observes every packet the agent tunnels
+	// to a mobile host, keyed by (correspondent source, home address).
+	// The HA-push route-optimization updater hangs here to learn which
+	// correspondents are active per binding.
+	OnForward func(correspondent, home ipv4.Addr)
+
 	Stats HomeAgentStats
 
 	// Metric instruments, resolved once at construction.
@@ -446,7 +452,9 @@ func (ha *HomeAgent) forwardToMobile(home ipv4.Addr, pkt ipv4.Packet) {
 	// Build the tunnel payload in a pooled buffer; Resubmit copies it
 	// onward before returning, so the buffer is recycled immediately.
 	buf := netsim.GetBuf()
-	outer, err := ha.cfg.Codec.AppendEncap(pkt, ha.Addr(), b.careOf, buf.B)
+	// home names the inner destination, so a home-aware codec (compact)
+	// can elide it from the tunnel header.
+	outer, err := encap.AppendEncapHome(ha.cfg.Codec, pkt, ha.Addr(), b.careOf, home, buf.B)
 	if err != nil {
 		netsim.PutBuf(buf)
 		return
@@ -465,6 +473,9 @@ func (ha *HomeAgent) forwardToMobile(home ipv4.Addr, pkt ipv4.Packet) {
 	_ = ha.host.Resubmit(outer)
 	netsim.PutBuf(buf)
 
+	if ha.OnForward != nil {
+		ha.OnForward(pkt.Src, home)
+	}
 	// Resubmit never registers bindings, so b still points at the same
 	// slot here (inserts are the only operation that may move slots).
 	if ha.cfg.SendBindingNotices && !b.noticed[pkt.Src] {

@@ -57,6 +57,18 @@ type MobileNodeConfig struct {
 	AnnouncePresence bool
 	// ReverseTunnelFlag is advertised in registrations.
 	ReverseTunnelFlag bool
+	// RegisterCareOf, when non-zero, is advertised to the home agent in
+	// place of the node's actual care-of address. The hierarchical
+	// route-optimization tier sets it to the regional gateway agent's
+	// address so the home agent sees one stable care-of address per
+	// metro; intra-metro moves then register locally only.
+	// Deregistrations (GoHome) still advertise the home address.
+	RegisterCareOf ipv4.Addr
+	// RegionalAgent, when non-zero, is the regional gateway agent this
+	// node tunnels through: Out-IE traffic is tunneled to it instead of
+	// the home agent, and tunnels arriving from it are classified In-IE
+	// (the agent is re-tunneling what the home agent sent it).
+	RegionalAgent ipv4.Addr
 	// Auth, when non-nil, is the node's mobility security association:
 	// every registration carries the mobile-home authentication
 	// extension computed with it, and replies must carry a valid one
@@ -113,7 +125,11 @@ type MobileNode struct {
 	// regBackoff is the current retransmission interval, doubling per
 	// retry up to cfg.RegBackoffMax.
 	regBackoff vtime.Duration
-	sock       *stack.UDPSocket
+	// renewAt is the absolute deadline of the scheduled renewal, kept so
+	// MoveToRegional can re-arm the renewal timer after a migration
+	// (DetachRetain nils timer handles but the home binding lives on).
+	renewAt vtime.Time
+	sock    *stack.UDPSocket
 
 	// tunIE and tunDE are the two virtual-interface routes the policy
 	// hands out, built once: their Output closures read the node's
@@ -142,6 +158,13 @@ type MobileNode struct {
 	// The fleet engine uses it to attribute replies to the (Out, In) pair
 	// of the conversation that elicited them.
 	OnInPacket func(mode core.InMode, pkt ipv4.Packet)
+
+	// OnOutPacket, when non-nil, observes every packet the node files
+	// into the Out half of the grid, after the mode counters are bumped.
+	// Passed by value for the same escape-analysis reason as OnInPacket.
+	// The route-optimization updater uses it to learn which
+	// correspondents are active and so deserve pushed binding updates.
+	OnOutPacket func(mode core.OutMode, pkt ipv4.Packet)
 
 	Stats MobileNodeStats
 
@@ -208,10 +231,10 @@ func NewMobileNode(host *stack.Host, ifc *stack.Iface, cfg MobileNodeConfig) (*M
 		rng:       host.Sched().NewStream(),
 	}
 	mn.tunIE = stack.Route{Name: "mip-tunnel", Output: func(inner ipv4.Packet) {
-		mn.tunnelOutput(inner, mn.cfg.HomeAgent)
+		mn.tunnelOutput(inner, mn.ieDecapsulator(), core.OutIE)
 	}}
 	mn.tunDE = stack.Route{Name: "mip-tunnel", Output: func(inner ipv4.Packet) {
-		mn.tunnelOutput(inner, inner.Dst)
+		mn.tunnelOutput(inner, inner.Dst, core.OutDE)
 	}}
 	// The home address is always ours, wherever we are.
 	host.Claim(cfg.Home, nil)
@@ -242,6 +265,10 @@ func (mn *MobileNode) Home() ipv4.Addr { return mn.cfg.Home }
 
 // CareOf returns the current care-of address (== Home when at home).
 func (mn *MobileNode) CareOf() ipv4.Addr { return mn.careOf }
+
+// HomeAgentAddr returns the configured home agent's address (the
+// route-optimization updater filters it out of peer tracking).
+func (mn *MobileNode) HomeAgentAddr() ipv4.Addr { return mn.cfg.HomeAgent }
 
 // AtHome reports whether the node is on its home network.
 func (mn *MobileNode) AtHome() bool { return mn.atHome }
@@ -350,6 +377,64 @@ func (mn *MobileNode) GoHome(seg *netsim.Segment, gateway ipv4.Addr) {
 	mn.ifc.GratuitousARP(mn.cfg.Home)
 }
 
+// MoveToRegional attaches the node to a new segment inside its current
+// metro without touching the home registration: the home agent keeps
+// tunneling to the stable regional care-of address (cfg.RegisterCareOf),
+// so only the regional agent needs to learn the new location — the
+// caller's local registrar does that. The registered flag and the
+// renewal schedule survive the move; if a migration (DetachRetain +
+// Rehome) nilled the renewal timer, it is re-armed here from the
+// preserved deadline.
+func (mn *MobileNode) MoveToRegional(seg *netsim.Segment, careOf ipv4.Addr, prefix ipv4.Prefix, gateway ipv4.Addr) {
+	mn.atHome = false
+	mn.viaFA = false
+	mn.careOf = careOf
+	mn.Stats.Moves++
+	mn.mMoves.Inc()
+	mn.ifc.Attach(seg)
+	mn.ifc.SetAddr(careOf, prefix)
+	mn.host.Routes().Remove(ipv4.Prefix{})
+	if !gateway.IsZero() {
+		mn.host.Routes().AddDefault(mn.ifc, gateway)
+	}
+	mn.cfg.Selector.Reset()
+	if !mn.registered || mn.awaitingReply {
+		return
+	}
+	now := mn.host.Sim().Now()
+	switch {
+	case mn.renewTimer.Pending():
+		// Intra-region move without migration: the schedule is intact.
+	case mn.renewAt > now:
+		if mn.renewTimer == nil {
+			mn.renewTimer = mn.host.Sched().After(mn.renewAt.Sub(now), mn.onRenew)
+		} else {
+			mn.renewTimer.Reset(mn.renewAt.Sub(now))
+		}
+	default:
+		// The renewal came due while the node was in transit: renew now
+		// rather than letting the home binding silently expire.
+		mn.onRenew()
+	}
+}
+
+// DetachRetain detaches the node for migration while keeping its home
+// registration: the hierarchical tier's intra-metro moves never clear
+// the home binding (the home agent points at the regional care-of
+// address, which does not change). Timers are stopped — Rehome requires
+// a quiet node — and MoveToRegional re-arms renewal from the preserved
+// deadline. The node's +1 contribution to the mn/registered gauge moves
+// with it: DetachRetain takes it out of this region's registry, Rehome
+// adds it to the next one's.
+func (mn *MobileNode) DetachRetain() {
+	mn.cancelTimers()
+	if mn.registered {
+		mn.regGauge.Add(-1)
+	}
+	mn.atHome = false
+	mn.ifc.Detach()
+}
+
 // Detach models the laptop going to sleep mid-move: connected to nothing.
 // A detached node no longer assumes it is home — wherever it wakes up, it
 // either discovers an agent (ListenForAgents), acquires an address
@@ -380,9 +465,13 @@ func (mn *MobileNode) Detach() {
 //     migrations, so carrying the stream keeps the draw sequence — and
 //     with it cross-worker-count determinism — intact.
 func (mn *MobileNode) Rehome() {
-	if mn.registered || mn.awaitingReply {
-		assert.Unreachable("mobileip: Rehome of %s with a live registration (registered=%v awaiting=%v)",
-			mn.host.Name(), mn.registered, mn.awaitingReply)
+	// A preserved registration (DetachRetain, hierarchical tier) may ride
+	// along — its stable regional care-of address stays valid across the
+	// migration — but an unanswered exchange may not: its reply would
+	// arrive on the old shard.
+	if mn.awaitingReply {
+		assert.Unreachable("mobileip: Rehome of %s with a registration exchange in flight",
+			mn.host.Name())
 	}
 	if mn.regTimer.Pending() || mn.renewTimer.Pending() || mn.probeTimer.Pending() {
 		assert.Unreachable("mobileip: Rehome of %s with pending timers", mn.host.Name())
@@ -400,6 +489,11 @@ func (mn *MobileNode) Rehome() {
 		mn.cfg.Codec = encap.Instrument(w.Unwrap(), reg, "mn")
 	}
 	mn.regTimer, mn.renewTimer, mn.probeTimer = nil, nil, nil
+	if mn.registered {
+		// The registration survived the migration (DetachRetain): its
+		// gauge contribution lands in the new region's registry.
+		mn.regGauge.Add(1)
+	}
 }
 
 func (mn *MobileNode) cancelTimers() {
@@ -414,6 +508,26 @@ func (mn *MobileNode) cancelTimers() {
 // register starts (or restarts) the registration exchange.
 func (mn *MobileNode) register() {
 	mn.startExchange()
+}
+
+// ieDecapsulator is where Out-IE tunnels terminate: the regional gateway
+// agent when the hierarchical tier is configured, the home agent
+// otherwise.
+func (mn *MobileNode) ieDecapsulator() ipv4.Addr {
+	if !mn.cfg.RegionalAgent.IsZero() {
+		return mn.cfg.RegionalAgent
+	}
+	return mn.cfg.HomeAgent
+}
+
+// registerCareOf is the care-of address advertised to the home agent:
+// the configured stable regional address when the hierarchical tier is
+// on, the node's actual one otherwise.
+func (mn *MobileNode) registerCareOf() ipv4.Addr {
+	if !mn.cfg.RegisterCareOf.IsZero() {
+		return mn.cfg.RegisterCareOf
+	}
+	return mn.careOf
 }
 
 // Reregister restarts the registration exchange for the current care-of
@@ -436,7 +550,7 @@ func (mn *MobileNode) startExchange() {
 	mn.regBackoff = mn.cfg.RegRetryInterval
 	mn.awaitingReply = true
 	mn.regExchangeAt = mn.host.Sim().Now()
-	mn.sendRegistration(mn.cfg.Lifetime, mn.careOf)
+	mn.sendRegistration(mn.cfg.Lifetime, mn.registerCareOf())
 	mn.armRegRetry()
 }
 
@@ -545,7 +659,7 @@ func (mn *MobileNode) onRegRetry() {
 	if mn.regBackoff > mn.cfg.RegBackoffMax {
 		mn.regBackoff = mn.cfg.RegBackoffMax
 	}
-	mn.sendRegistration(mn.cfg.Lifetime, mn.careOf)
+	mn.sendRegistration(mn.cfg.Lifetime, mn.registerCareOf())
 	mn.armRegRetry()
 }
 
@@ -632,6 +746,7 @@ func (mn *MobileNode) handleRegistrationReply(src ipv4.Addr, srcPort uint16, dst
 	})
 	// Renew at 80% of the granted lifetime.
 	renewAt := vtime.Duration(rep.Lifetime) * 1e9 * 8 / 10
+	mn.renewAt = mn.host.Sim().Now().Add(renewAt)
 	if mn.renewTimer == nil {
 		mn.renewTimer = mn.host.Sched().After(renewAt, mn.onRenew)
 	} else {
@@ -664,6 +779,7 @@ func (mn *MobileNode) classifyDelivery(ifc *stack.Iface, pkt ipv4.Packet) {
 		mn.Stats.InByMode[core.InDH]++
 		mn.reg.InPackets[core.InDH].Inc()
 		mn.reg.InBytes[core.InDH].Add(uint64(pkt.TotalLen()))
+		mn.reg.InWireBytes[core.InDH].Add(uint64(pkt.TotalLen()))
 		if mn.OnInPacket != nil {
 			mn.OnInPacket(core.InDH, pkt)
 		}
@@ -674,6 +790,7 @@ func (mn *MobileNode) classifyDelivery(ifc *stack.Iface, pkt ipv4.Packet) {
 		mn.Stats.InByMode[core.InDT]++
 		mn.reg.InPackets[core.InDT].Inc()
 		mn.reg.InBytes[core.InDT].Add(uint64(pkt.TotalLen()))
+		mn.reg.InWireBytes[core.InDT].Add(uint64(pkt.TotalLen()))
 		if mn.OnInPacket != nil {
 			mn.OnInPacket(core.InDT, pkt)
 		}
@@ -692,12 +809,14 @@ func (mn *MobileNode) handleTunneled(ifc *stack.Iface, outer ipv4.Packet) {
 	// In-IE when the tunnel entry point was the home agent, In-DE when a
 	// correspondent encapsulated directly to us (Section 4's columns).
 	inMode := core.InDE
-	if outer.Src == mn.cfg.HomeAgent {
+	if outer.Src == mn.cfg.HomeAgent ||
+		(!mn.cfg.RegionalAgent.IsZero() && outer.Src == mn.cfg.RegionalAgent) {
 		inMode = core.InIE
 	}
 	mn.Stats.InByMode[inMode]++
 	mn.reg.InPackets[inMode].Inc()
 	mn.reg.InBytes[inMode].Add(uint64(inner.TotalLen()))
+	mn.reg.InWireBytes[inMode].Add(uint64(outer.TotalLen()))
 	if mn.OnInPacket != nil {
 		mn.OnInPacket(inMode, inner)
 	}
@@ -737,6 +856,14 @@ func (mn *MobileNode) countOut(mode core.OutMode, pkt *ipv4.Packet) {
 	mn.Stats.OutByMode[mode]++
 	mn.reg.OutPackets[mode].Inc()
 	mn.reg.OutBytes[mode].Add(uint64(pkt.TotalLen()))
+	if mode == core.OutDH || mode == core.OutDT {
+		// Direct modes hit the wire as-is; the encapsulated modes file
+		// their wire bytes in tunnelOutput, where the outer exists.
+		mn.reg.OutWireBytes[mode].Add(uint64(pkt.TotalLen()))
+	}
+	if mn.OnOutPacket != nil {
+		mn.OnOutPacket(mode, *pkt)
+	}
 }
 
 // routeOverride is the paper's policy-table-before-route-table hook. It
@@ -822,7 +949,7 @@ func (mn *MobileNode) routeOverride(pkt *ipv4.Packet) (stack.Route, bool) {
 // encapsulates the packet and resubmits it to IP"). The tunnel payload is
 // built in a pooled buffer; Resubmit copies it onward before returning, so
 // the buffer is recycled immediately.
-func (mn *MobileNode) tunnelOutput(inner ipv4.Packet, decapsulator ipv4.Addr) {
+func (mn *MobileNode) tunnelOutput(inner ipv4.Packet, decapsulator ipv4.Addr, mode core.OutMode) {
 	if inner.TTL == 0 {
 		inner.TTL = ipv4.DefaultTTL
 	}
@@ -833,6 +960,7 @@ func (mn *MobileNode) tunnelOutput(inner ipv4.Packet, decapsulator ipv4.Addr) {
 		netsim.PutBuf(buf)
 		return
 	}
+	mn.reg.OutWireBytes[mode].Add(uint64(outer.TotalLen()))
 	var detail string
 	if mn.host.Sim().Trace.Detailing() {
 		detail = tunnelDetail(careOf, decapsulator, inner.Src, inner.Dst)

@@ -3,6 +3,7 @@ package mobileip
 import (
 	"fmt"
 
+	"mob4x4/internal/encap"
 	"mob4x4/internal/ipv4"
 	"mob4x4/internal/netsim"
 	"mob4x4/internal/stack"
@@ -89,7 +90,7 @@ func (ha *HomeAgent) tapMulticast(ifc *stack.Iface, pkt ipv4.Packet) bool {
 		// Relay fan-out builds each copy in a pooled buffer; Resubmit
 		// copies it onward synchronously, so the buffer recycles per sub.
 		buf := netsim.GetBuf()
-		outer, err := ha.cfg.Codec.AppendEncap(pkt, ha.Addr(), b.careOf, buf.B)
+		outer, err := encap.AppendEncapHome(ha.cfg.Codec, pkt, ha.Addr(), b.careOf, b.home, buf.B)
 		if err != nil {
 			netsim.PutBuf(buf)
 			continue

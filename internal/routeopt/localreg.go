@@ -1,0 +1,220 @@
+package routeopt
+
+import (
+	"fmt"
+
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/metrics"
+	"mob4x4/internal/mobileip"
+	"mob4x4/internal/netsim"
+	"mob4x4/internal/stack"
+	"mob4x4/internal/udp"
+	"mob4x4/internal/vtime"
+)
+
+// LocalRegistrarConfig tunes the mobile node's regional registration
+// client.
+type LocalRegistrarConfig struct {
+	// Regional is the gateway agent's address.
+	Regional ipv4.Addr
+	// Lifetime is the regional registration lifetime requested
+	// (seconds, default 60).
+	Lifetime uint16
+	// RetryInterval is the retransmission interval (default 500ms);
+	// MaxRetries bounds attempts per exchange (default 4).
+	RetryInterval vtime.Duration
+	MaxRetries    int
+	// Auth, when non-nil, signs regional registrations; the gateway
+	// must hold the same association (RegionalAgent.ProvisionKey).
+	Auth *mobileip.Authenticator
+}
+
+// LocalRegistrarStats counts regional registration activity.
+type LocalRegistrarStats struct {
+	Registrations uint64 // accepted exchanges
+	Fails         uint64 // denied or retries exhausted
+	Retransmits   uint64
+}
+
+// LocalRegistrar is the hierarchical tier's mobile-node side: after an
+// intra-metro handoff it registers the new cell care-of address with
+// the regional gateway — a LAN-scale exchange — instead of re-running
+// the home registration across the uplink. It owns its own socket and
+// retry timer so it composes with the node's home registration state
+// machine instead of entangling it.
+type LocalRegistrar struct {
+	mn   *mobileip.MobileNode
+	cfg  LocalRegistrarConfig
+	sock *stack.UDPSocket
+
+	timer    *vtime.Timer
+	awaiting bool
+	tries    int
+	lastID   uint64
+	careOf   ipv4.Addr // care-of address the in-flight exchange registers
+
+	// OnAccepted, when non-nil, fires on every accepted regional
+	// registration with the care-of address the gateway now holds.
+	OnAccepted func(careOf ipv4.Addr)
+
+	Stats LocalRegistrarStats
+
+	// Metric instruments, resolved once at construction.
+	mRegs  *metrics.Counter
+	mFails *metrics.Counter
+}
+
+// NewLocalRegistrar installs the regional registration client on mn's
+// host.
+func NewLocalRegistrar(mn *mobileip.MobileNode, cfg LocalRegistrarConfig) (*LocalRegistrar, error) {
+	if cfg.Lifetime == 0 {
+		cfg.Lifetime = 60
+	}
+	if cfg.RetryInterval == 0 {
+		cfg.RetryInterval = vtime.Duration(500e6)
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 4
+	}
+	reg := mn.Host().Sim().Metrics
+	lr := &LocalRegistrar{
+		mn: mn, cfg: cfg,
+		mRegs:  reg.Counter("ro/local_registrations"),
+		mFails: reg.Counter("ro/local_reg_fails"),
+	}
+	sock, err := mn.Host().OpenUDP(ipv4.Zero, 0, lr.handleReply)
+	if err != nil {
+		return nil, fmt.Errorf("routeopt: local registrar: %w", err)
+	}
+	lr.sock = sock
+	return lr, nil
+}
+
+// Register starts a regional registration exchange for the node's
+// current care-of address. Call it after every intra-metro handoff
+// (MoveToRegional); a new call supersedes any exchange in flight.
+func (lr *LocalRegistrar) Register() {
+	lr.careOf = lr.mn.CareOf()
+	lr.tries = 0
+	lr.awaiting = true
+	lr.send()
+	lr.arm()
+}
+
+// Deregister clears the regional binding (the node left the metro or
+// went home).
+func (lr *LocalRegistrar) Deregister() {
+	lr.timer.Stop()
+	lr.awaiting = false
+	lr.careOf = lr.mn.Home()
+	lr.sendLifetime(0)
+}
+
+func (lr *LocalRegistrar) send() { lr.sendLifetime(lr.cfg.Lifetime) }
+
+// sendLifetime transmits one regional registration request. Pooled
+// buffer, preallocated HMAC state: zero allocations per send.
+func (lr *LocalRegistrar) sendLifetime(lifetime uint16) {
+	req := mobileip.Request{
+		Lifetime:  lifetime,
+		Home:      lr.mn.Home(),
+		HomeAgent: lr.cfg.Regional,
+		CareOf:    lr.careOf,
+		ID:        lr.nextID(),
+	}
+	buf := netsim.GetBuf()
+	b := req.AppendMarshal(buf.B)
+	if lr.cfg.Auth != nil {
+		b = lr.cfg.Auth.AppendAuth(b)
+	}
+	_ = lr.sock.SendToFrom(lr.mn.CareOf(), lr.cfg.Regional, udp.PortRegistration, b)
+	netsim.PutBuf(buf)
+}
+
+// nextID mirrors the node's vtime-monotone identification scheme.
+func (lr *LocalRegistrar) nextID() uint64 {
+	id := uint64(lr.mn.Host().Sim().Now())
+	if id <= lr.lastID {
+		id = lr.lastID + 1
+	}
+	lr.lastID = id
+	return id
+}
+
+func (lr *LocalRegistrar) arm() {
+	if lr.timer == nil {
+		lr.timer = lr.mn.Host().Sched().After(lr.cfg.RetryInterval, lr.onRetry)
+	} else {
+		lr.timer.Reset(lr.cfg.RetryInterval)
+	}
+}
+
+func (lr *LocalRegistrar) onRetry() {
+	if !lr.awaiting {
+		return
+	}
+	lr.tries++
+	if lr.tries >= lr.cfg.MaxRetries {
+		lr.awaiting = false
+		lr.Stats.Fails++
+		lr.mFails.Inc()
+		lr.mn.Host().Sim().Trace.Record(netsim.Event{
+			Kind: netsim.EventNote, Time: lr.mn.Host().Sim().Now(), Where: lr.mn.Host().Name(),
+			Detail: "regional registration abandoned: retries exhausted",
+		})
+		return
+	}
+	lr.Stats.Retransmits++
+	lr.send()
+	lr.arm()
+}
+
+// handleReply serves the registrar's ephemeral UDP port.
+func (lr *LocalRegistrar) handleReply(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte) {
+	rep, _, hasAuth, ok := mobileip.ParseReply(payload)
+	if !ok || rep.Home != lr.mn.Home() || rep.ID != lr.lastID {
+		return
+	}
+	if lr.cfg.Auth != nil && (!hasAuth || !lr.cfg.Auth.Verify(payload)) {
+		lr.mn.Host().Sim().Metrics.Drop(metrics.DropAuthBadMAC)
+		return
+	}
+	if !lr.awaiting {
+		return
+	}
+	lr.awaiting = false
+	lr.timer.Stop()
+	if rep.Code != mobileip.CodeAccepted {
+		lr.Stats.Fails++
+		lr.mFails.Inc()
+		return
+	}
+	lr.Stats.Registrations++
+	lr.mRegs.Inc()
+	if lr.OnAccepted != nil {
+		lr.OnAccepted(lr.careOf)
+	}
+}
+
+// Quiesce stops the retry timer and clears in-flight state (migration
+// prep; the Register after arrival supersedes it).
+func (lr *LocalRegistrar) Quiesce() {
+	lr.timer.Stop()
+	lr.awaiting = false
+}
+
+// Close quiesces the registrar and releases its socket (fleet cleanup).
+func (lr *LocalRegistrar) Close() {
+	lr.Quiesce()
+	lr.sock.Close()
+}
+
+// Rehome rebinds region-pinned state after the node's host migrated:
+// counters re-resolved, the timer handle dropped (the next arm
+// recreates it on the new scheduler). Quiesce first.
+func (lr *LocalRegistrar) Rehome() {
+	reg := lr.mn.Host().Sim().Metrics
+	lr.mRegs = reg.Counter("ro/local_registrations")
+	lr.mFails = reg.Counter("ro/local_reg_fails")
+	lr.timer = nil
+}

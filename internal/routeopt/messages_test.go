@@ -1,0 +1,178 @@
+package routeopt_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/mobileip"
+	"mob4x4/internal/routeopt"
+)
+
+const testSPI uint32 = 0x524f_0001
+
+var testKey = []byte("mob4x4-routeopt-key-0123456789ab")
+
+func sampleUpdate() routeopt.BindingUpdate {
+	return routeopt.BindingUpdate{
+		Flags:    0x01,
+		Lifetime: 20,
+		Home:     ipv4.Addr{36, 1, 1, 3},
+		CareOf:   ipv4.Addr{128, 9, 1, 4},
+		ID:       0xdead_beef_cafe_0001,
+	}
+}
+
+func sampleAck() routeopt.BindingAck {
+	return routeopt.BindingAck{
+		Code:     routeopt.AckAccepted,
+		Lifetime: 20,
+		Home:     ipv4.Addr{36, 1, 1, 3},
+		ID:       0xdead_beef_cafe_0001,
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	u := sampleUpdate()
+	b := u.Marshal()
+	var got routeopt.BindingUpdate
+	if !got.Unmarshal(b) {
+		t.Fatal("unmarshal rejected own marshal")
+	}
+	if got != u {
+		t.Fatalf("round trip: got %+v, want %+v", got, u)
+	}
+	// AppendMarshal extends, never clobbers.
+	pre := []byte{0xaa, 0xbb}
+	ext := u.AppendMarshal(pre)
+	if !bytes.Equal(ext[:2], pre) || !bytes.Equal(ext[2:], b) {
+		t.Fatal("AppendMarshal corrupted prefix or body")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	a := sampleAck()
+	a.Code = routeopt.AckDeniedReplay
+	b := a.Marshal()
+	var got routeopt.BindingAck
+	if !got.Unmarshal(b) {
+		t.Fatal("unmarshal rejected own marshal")
+	}
+	if got != a {
+		t.Fatalf("round trip: got %+v, want %+v", got, a)
+	}
+}
+
+// TestStrictLength: the codecs follow the registration protocol's
+// strict-length contract — exactly the base message, nothing else.
+func TestStrictLength(t *testing.T) {
+	u, a := sampleUpdate(), sampleAck()
+	ub, ab := u.Marshal(), a.Marshal()
+	var u2 routeopt.BindingUpdate
+	var a2 routeopt.BindingAck
+	if u2.Unmarshal(ub[:len(ub)-1]) || u2.Unmarshal(append(append([]byte{}, ub...), 0)) {
+		t.Error("update accepted wrong length")
+	}
+	if a2.Unmarshal(ab[:len(ab)-1]) || a2.Unmarshal(append(append([]byte{}, ab...), 0)) {
+		t.Error("ack accepted wrong length")
+	}
+	// Wrong type byte: an ack is not an update and vice versa (lengths
+	// differ too, so swap the type in place instead).
+	ub2 := append([]byte{}, ub...)
+	ub2[0] = routeopt.TypeBindingAck
+	if u2.Unmarshal(ub2) {
+		t.Error("update accepted foreign type byte")
+	}
+	ab2 := append([]byte{}, ab...)
+	ab2[0] = routeopt.TypeBindingUpdate
+	if a2.Unmarshal(ab2) {
+		t.Error("ack accepted foreign type byte")
+	}
+}
+
+func TestIsRevocation(t *testing.T) {
+	u := sampleUpdate()
+	if u.IsRevocation() {
+		t.Error("live update read as revocation")
+	}
+	u.Lifetime = 0
+	if !u.IsRevocation() {
+		t.Error("zero-lifetime update not a revocation")
+	}
+}
+
+func TestParseUpdateAuth(t *testing.T) {
+	auth := mobileip.NewAuthenticator(testSPI, testKey)
+	u := sampleUpdate()
+	plain := u.Marshal()
+	signed := auth.AppendAuth(append([]byte{}, plain...))
+
+	if got, _, hasAuth, ok := routeopt.ParseUpdate(plain); !ok || hasAuth || got != u {
+		t.Fatalf("plain update: got %+v hasAuth=%v ok=%v", got, hasAuth, ok)
+	}
+	got, ext, hasAuth, ok := routeopt.ParseUpdate(signed)
+	if !ok || !hasAuth || got != u {
+		t.Fatalf("signed update: got %+v hasAuth=%v ok=%v", got, hasAuth, ok)
+	}
+	if ext.SPI != testSPI {
+		t.Errorf("ext SPI = %#x, want %#x", ext.SPI, testSPI)
+	}
+	if !auth.Verify(signed) {
+		t.Error("MAC does not verify over the full wire image")
+	}
+	// Truncation, padding, or a corrupt extension header must all refuse.
+	if _, _, _, ok := routeopt.ParseUpdate(signed[:len(signed)-1]); ok {
+		t.Error("accepted truncated MAC")
+	}
+	if _, _, _, ok := routeopt.ParseUpdate(append(append([]byte{}, signed...), 0)); ok {
+		t.Error("accepted trailing garbage")
+	}
+	bad := append([]byte{}, signed...)
+	bad[len(plain)] ^= 0xff // extension type byte
+	if _, _, _, ok := routeopt.ParseUpdate(bad); ok {
+		t.Error("accepted corrupt extension header")
+	}
+}
+
+func TestParseAckAuth(t *testing.T) {
+	auth := mobileip.NewAuthenticator(testSPI, testKey)
+	a := sampleAck()
+	plain := a.Marshal()
+	signed := auth.AppendAuth(append([]byte{}, plain...))
+
+	if got, _, hasAuth, ok := routeopt.ParseAck(plain); !ok || hasAuth || got != a {
+		t.Fatalf("plain ack: got %+v hasAuth=%v ok=%v", got, hasAuth, ok)
+	}
+	if got, _, hasAuth, ok := routeopt.ParseAck(signed); !ok || !hasAuth || got != a {
+		t.Fatalf("signed ack: got %+v hasAuth=%v ok=%v", got, hasAuth, ok)
+	}
+	if _, _, _, ok := routeopt.ParseAck(signed[:len(signed)-1]); ok {
+		t.Error("accepted truncated MAC")
+	}
+	bad := append([]byte{}, signed...)
+	bad[len(plain)] ^= 0xff // extension type byte
+	if _, _, _, ok := routeopt.ParseAck(bad); ok {
+		t.Error("accepted corrupt extension header")
+	}
+}
+
+// TestParseWrongTypeByte: a buffer of exactly the right length but the
+// wrong leading type byte is somebody else's message, not ours.
+func TestParseWrongTypeByte(t *testing.T) {
+	u, a := sampleUpdate(), sampleAck()
+	ub := u.Marshal()
+	ub[0] = routeopt.TypeBindingAck
+	if _, _, _, ok := routeopt.ParseUpdate(ub); ok {
+		t.Error("ParseUpdate accepted foreign type byte")
+	}
+	ab := a.Marshal()
+	ab[0] = routeopt.TypeBindingUpdate
+	if _, _, _, ok := routeopt.ParseAck(ab); ok {
+		t.Error("ParseAck accepted foreign type byte")
+	}
+	auth := mobileip.NewAuthenticator(testSPI, testKey)
+	signedBad := auth.AppendAuth(ab)
+	if _, _, _, ok := routeopt.ParseAck(signedBad); ok {
+		t.Error("ParseAck accepted signed foreign type byte")
+	}
+}

@@ -1,0 +1,160 @@
+package routeopt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mob4x4/internal/core"
+	"mob4x4/internal/ipv4"
+	"mob4x4/internal/mobileip"
+	"mob4x4/internal/stack"
+	"mob4x4/internal/udp"
+	"mob4x4/internal/vtime"
+)
+
+// UpdaterConfig tunes the MN-push binding updater.
+type UpdaterConfig struct {
+	// Lifetime is the cache TTL advertised in updates (seconds, default
+	// 20). Short by design: an expired entry falls back to In-IE, so
+	// the TTL bounds how long a lost revocation can misroute.
+	Lifetime uint16
+	// RetryInterval is the per-peer retransmission interval (default
+	// 500ms); MaxRetries bounds transmissions per push (default 3).
+	RetryInterval vtime.Duration
+	MaxRetries    int
+	// MaxPeers bounds the tracked-correspondent table (default 8).
+	// Beyond it the least-recently-active peer is evicted — it keeps
+	// its cached binding until TTL expiry and then degrades to In-IE.
+	MaxPeers int
+	// Auth, when non-nil, signs every update with the node's mobility
+	// association; receivers provisioned with the same (SPI, key)
+	// verify and ack under it.
+	Auth *mobileip.Authenticator
+}
+
+// Updater is the mobile-node-push side of the route-optimization tier:
+// it watches the node's outgoing traffic to learn which correspondents
+// are active, and on handoff (PushBinding) tells each one the new
+// care-of address directly — no waiting for the home agent's ICMP
+// notice on the next triangle-routed packet.
+//
+// The MN pushes by default (rather than the HA) because the modes the
+// paper's smart correspondents actually use — Out-DE/In-DE — bypass the
+// home agent entirely: an HA-push tier never sees that traffic and so
+// cannot know who to update. HAUpdater exists for the configurations
+// where the HA does see the traffic.
+type Updater struct {
+	mn   *mobileip.MobileNode
+	cfg  UpdaterConfig
+	sock *stack.UDPSocket
+	p    *pusher
+	m    pushMetrics
+
+	Stats PushStats
+}
+
+// NewUpdater installs the updater on mn's host. It chains onto the
+// node's OnOutPacket hook (preserving any existing observer).
+func NewUpdater(mn *mobileip.MobileNode, cfg UpdaterConfig) (*Updater, error) {
+	pc := pushConfig{
+		lifetime:   cfg.Lifetime,
+		retry:      cfg.RetryInterval,
+		maxRetries: cfg.MaxRetries,
+		maxPeers:   cfg.MaxPeers,
+	}
+	pc.fillDefaults()
+	cfg.Lifetime = pc.lifetime
+	u := &Updater{mn: mn, cfg: cfg, m: resolvePushMetrics(mn.Host().Sim().Metrics)}
+	sock, err := mn.Host().OpenUDP(ipv4.Zero, 0, u.handleAck)
+	if err != nil {
+		return nil, fmt.Errorf("routeopt: updater: %w", err)
+	}
+	u.sock = sock
+	u.p = newPusher(mn.Host(), sock, mn.Home(), cfg.Auth, pc, &u.m, &u.Stats, mn.CareOf)
+	prev := mn.OnOutPacket
+	mn.OnOutPacket = func(mode core.OutMode, pkt ipv4.Packet) {
+		u.noteOut(&pkt)
+		if prev != nil {
+			prev(mode, pkt)
+		}
+	}
+	return u, nil
+}
+
+// noteOut tracks the destinations of the node's own traffic. Control
+// traffic (registration and binding-update exchanges, anything to the
+// home agent) and non-unicast destinations are not correspondents.
+func (u *Updater) noteOut(pkt *ipv4.Packet) {
+	dst := pkt.Dst
+	if dst == u.mn.HomeAgentAddr() || dst.IsMulticast() || dst.IsBroadcast() || dst.IsZero() {
+		return
+	}
+	if port, ok := transportDstPort(pkt); ok &&
+		(port == udp.PortRegistration || port == udp.PortBindingUpdate) {
+		return
+	}
+	u.p.notePeer(dst)
+}
+
+// PushBinding announces the node's current care-of address to every
+// tracked correspondent. Call it after each handoff (the fleet's
+// movement engine does), once the new attachment is live.
+func (u *Updater) PushBinding() {
+	u.p.push(u.mn.CareOf(), u.cfg.Lifetime)
+}
+
+// PushRevocation clears the pushed bindings (the node went home):
+// lifetime zero with the home address as care-of.
+func (u *Updater) PushRevocation() {
+	u.p.careOf = u.mn.Home()
+	for i := range u.p.slots {
+		if u.p.slots[i].active {
+			u.p.sendUpdate(i, 0, false)
+		}
+	}
+}
+
+// handleAck serves the updater's ephemeral UDP port.
+func (u *Updater) handleAck(src ipv4.Addr, srcPort uint16, dst ipv4.Addr, payload []byte) {
+	a, _, hasAuth, ok := ParseAck(payload)
+	if !ok || a.Home != u.mn.Home() {
+		return
+	}
+	u.p.handleAck(src, a, hasAuth, payload)
+}
+
+// ActivePeers returns the number of tracked correspondents.
+func (u *Updater) ActivePeers() int { return u.p.activePeers() }
+
+// Quiesce stops all retransmission timers and clears in-flight pushes —
+// migration prep. The push after arrival (PushBinding) supersedes
+// anything that was in flight.
+func (u *Updater) Quiesce() { u.p.quiesce() }
+
+// Rehome rebinds region-pinned state after the node's host migrated to
+// a new shard: metric counters are re-resolved and timer handles
+// dropped (the next arm recreates them on the new scheduler). The
+// updater must be quiesced first.
+func (u *Updater) Rehome() {
+	u.m = resolvePushMetrics(u.mn.Host().Sim().Metrics)
+	u.p.host = u.mn.Host()
+	u.p.rehome()
+}
+
+// Close quiesces the updater and releases its socket (fleet cleanup).
+func (u *Updater) Close() {
+	u.p.quiesce()
+	u.sock.Close()
+}
+
+// transportDstPort extracts the destination port from a UDP or TCP
+// payload (both carry it at offset 2).
+func transportDstPort(pkt *ipv4.Packet) (uint16, bool) {
+	if pkt.Protocol != ipv4.ProtoUDP && pkt.Protocol != ipv4.ProtoTCP {
+		return 0, false
+	}
+	if len(pkt.Payload) < 4 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(pkt.Payload[2:4]), true
+}

@@ -100,4 +100,8 @@ const (
 	PortDHCPClient   = 68
 	PortHTTP         = 80  // used by the paper's port-number heuristic
 	PortRegistration = 434 // Mobile IP registration (IETF assignment)
+	// PortBindingUpdate carries the route-optimization tier's pushed
+	// correspondent binding updates (internal/routeopt); 435 is the
+	// next free port after the registration protocol.
+	PortBindingUpdate = 435
 )

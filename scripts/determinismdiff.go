@@ -71,6 +71,7 @@ var detExperiments = []detExperiment{
 	{name: "chaos", args: []string{"-trials", "2", "-metrics-json"}, parallelOK: true, shardsOK: true},
 	{name: "fleet", args: []string{"-nodes", "60", "-cells", "6", "-trials", "2", "-metrics-json"}, parallelOK: true, shardsOK: true},
 	{name: "adversary", args: []string{"-nodes", "60", "-cells", "6", "-trials", "2", "-metrics-json"}, parallelOK: true, shardsOK: true},
+	{name: "routeopt", args: []string{"-nodes", "24", "-cells", "4", "-trials", "2", "-metrics-json"}, parallelOK: true, shardsOK: true},
 	{name: "report"},
 }
 
